@@ -1,0 +1,170 @@
+"""Ablation: hot/cold standby vs migration (§3's mechanism menu).
+
+The paper notes multi-VB applications "must rely on either hot/cold
+standbys using continuous replication or migration" and that the right
+choice depends on the site's dip pattern.  This bench (a) sweeps dip
+frequency on a controlled square-wave site to locate the crossover —
+migration wins when displacements are rare, continuous replication wins
+when they are frequent — and (b) bills the strategies on real synthetic
+sites, whose event structure (long nightly solar outages vs short
+frequent wind dips) drives the choice.
+"""
+
+from __future__ import annotations
+
+from datetime import timedelta
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.availability import (
+    AppProfile,
+    compare_strategies,
+    displacement_events,
+)
+from repro.traces import PowerTrace, synthesize_catalog_traces
+from repro.units import TimeGrid, grid_days
+
+from conftest import SEED, START
+
+GIB = 2**30
+
+
+def square_site(n_dips: int, days: int = 30) -> PowerTrace:
+    """A site whose power dips ``n_dips`` times over ``days``."""
+    n = days * 96
+    values = np.full(n, 0.9)
+    if n_dips:
+        dip_len = 8  # 2-hour dips
+        starts = np.linspace(0, n - dip_len - 1, n_dips).astype(int)
+        for start in starts:
+            values[start : start + dip_len] = 0.05
+    grid = TimeGrid(START, timedelta(minutes=15), n)
+    return PowerTrace(grid, values, f"square-{n_dips}", "wind")
+
+
+@pytest.fixture(scope="module")
+def site_traces(catalog):
+    grid = grid_days(START, 30)
+    subset = catalog.subset(["ES-solar", "FI-wind"])
+    return synthesize_catalog_traces(subset, grid, seed=SEED + 70)
+
+
+def test_strategy_crossover(benchmark, report_writer):
+    """Dip-frequency sweep: migration -> replication crossover."""
+    app = AppProfile(
+        memory_bytes=16 * GIB, write_rate_bytes_per_s=1e6, cores=4
+    )
+
+    def run():
+        results = {}
+        for n_dips in (2, 20, 100, 300):
+            costs = compare_strategies(
+                square_site(n_dips), app, threshold=0.3
+            )
+            results[n_dips] = {
+                name: cost.network_bytes / 1e9
+                for name, cost in costs.items()
+            }
+        return results
+
+    results = benchmark(run)
+    rows = [
+        [
+            n_dips,
+            round(costs["hot-standby"]),
+            round(costs["cold-standby"]),
+            round(costs["migration"]),
+            min(costs, key=costs.get),
+        ]
+        for n_dips, costs in results.items()
+    ]
+    table = format_table(
+        ["Dips / 30 days", "Hot (GB)", "Cold (GB)", "Migration (GB)",
+         "Cheapest"],
+        rows,
+        title="Availability strategy crossover vs dip frequency"
+        " (16 GiB app, 1 MB/s writes)",
+    )
+    report_writer("ablation_availability_crossover", table)
+
+    # Migration cost scales with events; replication is flat.
+    assert results[300]["migration"] > results[2]["migration"] * 50
+    assert results[300]["hot-standby"] == pytest.approx(
+        results[2]["hot-standby"], rel=0.01
+    )
+    # The crossover exists: rare dips -> migration cheapest; very
+    # frequent dips -> a replication strategy wins.
+    assert min(results[2], key=results[2].get) == "migration"
+    cheapest_at_300 = min(results[300], key=results[300].get)
+    assert cheapest_at_300 in ("hot-standby", "cold-standby")
+
+
+def test_write_rate_flips_replication(benchmark, report_writer):
+    """Write-heavy apps make continuous replication prohibitive."""
+    site = square_site(200)
+
+    def run():
+        results = {}
+        for label, rate in (("1 MB/s", 1e6), ("200 MB/s", 200e6)):
+            app = AppProfile(
+                memory_bytes=16 * GIB,
+                write_rate_bytes_per_s=rate,
+                cores=4,
+            )
+            costs = compare_strategies(site, app, threshold=0.3)
+            results[label] = {
+                name: cost.network_bytes / 1e9
+                for name, cost in costs.items()
+            }
+        return results
+
+    results = benchmark(run)
+    rows = [
+        [label, round(costs["hot-standby"]), round(costs["migration"])]
+        for label, costs in results.items()
+    ]
+    report_writer(
+        "ablation_availability_write_rate",
+        format_table(
+            ["Write rate", "Hot standby (GB)", "Migration (GB)"],
+            rows,
+            title="Write rate vs replication viability (200 dips/month)",
+        ),
+    )
+    light, heavy = results["1 MB/s"], results["200 MB/s"]
+    # Heavy writes blow up the replication stream far faster than they
+    # amplify pre-copy migration.
+    assert heavy["hot-standby"] > 50 * light["hot-standby"]
+    assert heavy["migration"] < 3 * light["migration"]
+
+
+def test_event_statistics(benchmark, site_traces, report_writer):
+    """Real sites: solar outages are long and nightly, wind dips short."""
+
+    def run():
+        stats = {}
+        for name, trace in site_traces.items():
+            events = displacement_events(trace, 0.3)
+            mean_steps = sum(e.duration_steps for e in events) / max(
+                len(events), 1
+            )
+            stats[name] = (len(events), mean_steps)
+        return stats
+
+    stats = benchmark(run)
+    rows = [
+        [name, count, f"{mean_steps * 0.25:.1f} h"]
+        for name, (count, mean_steps) in stats.items()
+    ]
+    table = format_table(
+        ["Site", "Events (30 days)", "Mean duration"],
+        rows,
+        title="Displacement events below 30% capacity",
+    )
+    report_writer("ablation_availability_events", table)
+    # Solar has (at least) a nightly outage, each far longer than a
+    # wind dip.
+    assert stats["ES-solar"][0] >= 25
+    assert stats["ES-solar"][1] > 2 * stats["FI-wind"][1]

@@ -1,0 +1,206 @@
+"""Figure 3: masking variability by aggregating multiple VB sites (§2.3).
+
+Fig 3a — the NO-solar + UK-wind + PT-wind stack on a complementary
+3-day window, with cov improvements from each addition and the
+grid-purchase gap fill; Fig 3b — the stable/variable energy break-down
+for all seven combinations; plus the §2.3 pairwise study (>52% of
+2-site combinations improving cov by >50%).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.multisite import (
+    GridPurchase,
+    combination_report,
+    cov_improvement,
+    stabilize_with_purchase,
+    stable_energy_split,
+)
+from repro.traces.base import aggregate_traces
+
+TRIO = ("NO-solar", "UK-wind", "PT-wind")
+
+
+def _best_window(traces, days=3.0):
+    """Search 3-day windows for the most complementary one, as the
+    paper did ("we searched for complementary groups ... over 3 day
+    intervals")."""
+    n_days = len(traces[TRIO[0]]) // traces[TRIO[0]].grid.steps_per_day()
+    best = None
+    for start in range(0, int(n_days - days)):
+        window = {
+            name: traces[name].slice_days(start, days) for name in TRIO
+        }
+        report = stable_energy_split(window, TRIO, window_days=days)
+        if best is None or report.stable_fraction > best[1]:
+            best = (start, report.stable_fraction)
+    start = best[0]
+    return {name: traces[name].slice_days(start, days) for name in TRIO}, start
+
+
+@pytest.fixture(scope="module")
+def window_traces(quarter_traces):
+    return _best_window(quarter_traces)
+
+
+def test_fig3a_complementary_stack(
+    benchmark, window_traces, report_writer
+):
+    """Fig 3a: complementary generation across the trio + cov gains."""
+    window, start_day = window_traces
+
+    def run():
+        return {
+            "NO": cov_improvement(window, ["NO-solar"], "UK-wind"),
+            "NO+UK": cov_improvement(
+                window, ["NO-solar", "UK-wind"], "PT-wind"
+            ),
+        }
+
+    gains = benchmark(run)
+    stack = aggregate_traces([window[name] for name in TRIO], "trio")
+    lines = [
+        "Figure 3a: complementary 3-day window"
+        f" (starting day {start_day} of the quarter)",
+        f"adding UK-wind to NO-solar improves cov by"
+        f" {gains['NO']:.1f}x (paper: 3.7x)",
+        f"adding PT-wind to NO-solar+UK-wind improves cov by"
+        f" {gains['NO+UK']:.1f}x (paper: 2.3x)",
+        f"trio aggregate: mean {stack.power_mw().mean():,.0f} MW,"
+        f" min {stack.power_mw().min():,.0f} MW,"
+        f" cov {stack.cov():.2f}",
+    ]
+    report_writer("fig3a_complementary_stack", "\n".join(lines))
+
+    # Shape: each addition reduces cov by a clear factor (paper: 3.7x
+    # then 2.3x; synthetic traces land lower but well above 1).
+    assert gains["NO"] > 1.5
+    assert gains["NO+UK"] > 1.2
+
+
+def test_fig3b_stable_energy_breakdown(
+    benchmark, window_traces, report_writer
+):
+    """Fig 3b: stable vs variable energy for all 7 combinations."""
+    window, _ = window_traces
+
+    def run():
+        return combination_report(window, TRIO, window_days=3.0)
+
+    reports = benchmark(run)
+    rows = [
+        [
+            "+".join(r.names),
+            round(r.total_energy_mwh),
+            round(r.stable_energy_mwh),
+            round(r.variable_energy_mwh),
+            f"{100 * (1 - r.stable_fraction):.0f}%",
+        ]
+        for r in reports
+    ]
+    table = format_table(
+        ["Combination", "Total MWh", "Stable MWh", "Variable MWh",
+         "Variable %"],
+        rows,
+        title="Figure 3b: stable & variable energy by combination",
+    )
+    report_writer("fig3b_stable_energy", table)
+
+    by_names = {r.names: r for r in reports}
+    trio = by_names[TRIO]
+    singles = [by_names[(name,)] for name in TRIO]
+    # Paper: solar alone is ~100% variable (nights zero the floor).
+    assert by_names[("NO-solar",)].stable_fraction < 0.02
+    # Paper: the trio's stable share beats every single site's and the
+    # NO+UK pair's (67% vs 38% in the paper).
+    assert trio.stable_fraction > max(s.stable_fraction for s in singles)
+    assert trio.stable_fraction > by_names[
+        ("NO-solar", "UK-wind")
+    ].stable_fraction
+    # Aggregation made a large part of the energy stable.
+    assert trio.stable_fraction > 0.25
+
+
+def test_grid_purchase(benchmark, window_traces, report_writer):
+    """§2.3: a small firm-energy purchase is highly leveraged.
+
+    Paper: buying 4,000 MWh fills the trio's worst gaps, stabilizing a
+    further 8,000 MWh of variable energy — 12,000 MWh of new stable
+    energy, a 3x leverage.
+    """
+    window, _ = window_traces
+    stack = aggregate_traces([window[name] for name in TRIO], "trio")
+    purchase = GridPurchase(budget_mwh=4000.0, window_days=3.0)
+
+    outcome = benchmark(
+        lambda: stabilize_with_purchase(stack, purchase)
+    )
+    lines = [
+        "Grid purchase gap-fill on the trio window",
+        f"purchased: {outcome.purchased_mwh:,.0f} MWh"
+        " (paper: 4,000)",
+        f"stabilized variable energy: "
+        f"{outcome.stabilized_variable_mwh:,.0f} MWh (paper: 8,000)",
+        f"new stable energy: {outcome.new_stable_mwh:,.0f} MWh"
+        " (paper: 12,000)",
+        f"leverage: {outcome.leverage:.1f}x (paper: 3x)",
+    ]
+    report_writer("fig3_grid_purchase", "\n".join(lines))
+
+    assert outcome.purchased_mwh <= 4000.0 + 1e-6
+    # Leverage above 1: the purchase converts more than itself.
+    assert outcome.leverage > 1.5
+    assert outcome.new_stable_mwh == pytest.approx(
+        outcome.purchased_mwh + outcome.stabilized_variable_mwh
+    )
+
+
+def test_pairwise_cov(benchmark, quarter_traces, report_writer):
+    """§2.3: >52% of 2-site combinations improve cov by >50%.
+
+    Computed the paper's way: per 3-day interval, compare the pair's
+    aggregate cov against its less-steady member's (Fig 3a's framing —
+    the improvement UK-wind brings is measured against NO-solar); a
+    pair counts when its median interval improves cov by at least 50%
+    (factor >= 2).
+    """
+    names = sorted(quarter_traces)
+    days = 3
+
+    def run():
+        winners = 0
+        total = 0
+        per_day = quarter_traces[names[0]].grid.steps_per_day()
+        n_windows = len(quarter_traces[names[0]]) // (per_day * days)
+        for a, b in combinations(names, 2):
+            factors = []
+            for w in range(n_windows):
+                ta = quarter_traces[a].slice_days(w * days, days)
+                tb = quarter_traces[b].slice_days(w * days, days)
+                cov_a, cov_b = ta.cov(), tb.cov()
+                combined = aggregate_traces([ta, tb]).cov()
+                if combined <= 0:
+                    factors.append(np.inf)
+                else:
+                    factors.append(max(cov_a, cov_b) / combined)
+            total += 1
+            if np.median(factors) >= 2.0:
+                winners += 1
+        return winners, total
+
+    winners, total = benchmark.pedantic(run, rounds=1, iterations=1)
+    fraction = winners / total
+    report_writer(
+        "fig3_pairwise_cov",
+        f"2-site combinations with median 3-day cov improvement >= 2x:"
+        f" {winners}/{total} = {100 * fraction:.0f}%"
+        " (paper: >52% improve cov by >50%)",
+    )
+    # Shape: a large share of pairs benefit substantially.
+    assert fraction > 0.30

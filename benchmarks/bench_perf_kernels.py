@@ -1,0 +1,82 @@
+"""Performance benchmarks of the library's hot kernels.
+
+Not a paper figure — these keep the substrate fast enough that the
+3-month Figure-4 simulation and the Table-1 MIP stay interactive.
+pytest-benchmark tracks regressions run-over-run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Datacenter, DatacenterConfig
+from repro.forecast import NoisyOracleForecaster
+from repro.sched import MIPScheduler, problem_from_forecasts
+from repro.traces import synthesize_solar, synthesize_wind, synthesize_catalog_traces
+from repro.units import grid_days
+from repro.workload import generate_vm_requests, workload_matched_to_power
+
+from conftest import SEED, START
+
+
+def test_perf_solar_synthesis_year(benchmark):
+    grid = grid_days(START, 365)
+    trace = benchmark(lambda: synthesize_solar(grid, seed=1))
+    assert len(trace) == 365 * 96
+
+
+def test_perf_wind_synthesis_year(benchmark):
+    grid = grid_days(START, 365)
+    trace = benchmark(lambda: synthesize_wind(grid, seed=1))
+    assert len(trace) == 365 * 96
+
+
+def test_perf_datacenter_week(benchmark):
+    grid = grid_days(START, 7)
+    trace = synthesize_wind(grid, seed=2, name="site")
+    config = DatacenterConfig()
+    workload = workload_matched_to_power(
+        float(trace.values.mean()), config.cluster.total_cores
+    )
+    requests = generate_vm_requests(grid, workload, seed=3)
+
+    def run():
+        return Datacenter(config, trace).run(requests)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(result.records) == grid.n
+
+
+def test_perf_forecast_issue(benchmark):
+    grid = grid_days(START, 30)
+    trace = synthesize_wind(grid, seed=4, name="site")
+    model = NoisyOracleForecaster(seed=5)
+
+    def run():
+        return model.forecast(trace, 0, 96 * 7)
+
+    forecast = benchmark(run)
+    assert len(forecast) == 96 * 7
+
+
+def test_perf_mip_solve(benchmark, catalog, hourly_week_grid):
+    from repro.workload import generate_applications
+
+    trio = catalog.subset(["NO-solar", "UK-wind", "PT-wind"])
+    traces = synthesize_catalog_traces(trio, hourly_week_grid, seed=SEED)
+    total_cores = {name: 28000 for name in traces}
+    apps = generate_applications(
+        hourly_week_grid, 100, seed=SEED,
+        mean_vm_count=30, mean_duration_days=2.0,
+    )
+    problem = problem_from_forecasts(
+        hourly_week_grid, traces, total_cores, apps,
+        NoisyOracleForecaster(seed=SEED),
+    )
+
+    def run():
+        return MIPScheduler(time_limit_s=120.0).schedule(problem)
+
+    placement = benchmark.pedantic(run, rounds=2, iterations=1)
+    placement.validate_complete(problem)

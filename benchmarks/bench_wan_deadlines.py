@@ -1,0 +1,103 @@
+"""WAN feasibility of each policy's migrations (§3 sizing, §5 claim).
+
+The paper sizes migration bursts against the WAN: a multi-TB spike must
+complete within ~5 minutes, requiring ~200 Gbps of a site's WAN share.
+This bench replays each Table-1 policy's realized migrations over a
+max-min-fair WAN and reports (a) the 5-minute-deadline hit rate and
+(b) the smallest access-link capacity at which every migration makes
+its deadline — the provisioning number a peak-aware scheduler buys
+down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.wan import WanSimulator, WanTopology, flows_from_execution
+
+POLICY_ORDER = ("Greedy", "MIP-24h", "MIP", "MIP-peak")
+DEADLINE_S = 300.0
+
+
+def _deadline_rate(execution, problem, access_gbps):
+    flows = flows_from_execution(execution, problem.grid, min_bytes=1e9)
+    if not flows:
+        return 1.0, 0
+    topology = WanTopology(
+        tuple(problem.site_names), access_gbps=access_gbps
+    )
+    simulator = WanSimulator(topology, problem.grid.step_seconds)
+    results = simulator.run(flows)
+    met = sum(1 for r in results if r.meets_deadline(DEADLINE_S))
+    return met / len(results), len(flows)
+
+
+def test_wan_deadline_rates(benchmark, table1_results, report_writer):
+    """5-minute deadline hit rate at the paper's 200 Gbps share."""
+
+    def run():
+        rates = {}
+        for name in POLICY_ORDER:
+            _, execution, problem = table1_results[name]
+            rates[name] = _deadline_rate(execution, problem, 200.0)
+        return rates
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [name, n_flows, f"{100 * rate:.0f}%"]
+        for name, (rate, n_flows) in rates.items()
+    ]
+    table = format_table(
+        ["Policy", "Flows", "Met 5-min deadline @200 Gbps"],
+        rows,
+        title="WAN deadline feasibility of realized migrations",
+    )
+    report_writer("wan_deadline_rates", table)
+
+    # The paper's sizing: 200 Gbps suffices for the typical spike; the
+    # peak-aware policy's small transfers essentially always fit.
+    peak_rate, _ = rates["MIP-peak"]
+    greedy_rate, _ = rates["Greedy"]
+    assert peak_rate >= greedy_rate
+    assert peak_rate > 0.95
+
+
+def test_wan_provisioning_requirement(
+    benchmark, table1_results, report_writer
+):
+    """Smallest access capacity meeting every deadline, per policy."""
+
+    capacities = (25.0, 50.0, 100.0, 200.0, 400.0, 800.0)
+
+    def run():
+        needed = {}
+        for name in POLICY_ORDER:
+            _, execution, problem = table1_results[name]
+            needed[name] = None
+            for capacity in capacities:
+                rate, _ = _deadline_rate(execution, problem, capacity)
+                if rate >= 0.999:
+                    needed[name] = capacity
+                    break
+        return needed
+
+    needed = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [name, f"{capacity:.0f} Gbps" if capacity else "> 800 Gbps"]
+        for name, capacity in needed.items()
+    ]
+    table = format_table(
+        ["Policy", "Access capacity for 100% deadlines"],
+        rows,
+        title="WAN provisioning needed per scheduling policy",
+    )
+    report_writer("wan_provisioning", table)
+
+    # Peak-aware scheduling needs no more provisioning than greedy —
+    # flattening spikes is exactly a provisioning reduction.
+    def rank(value):
+        return value if value is not None else float("inf")
+
+    assert rank(needed["MIP-peak"]) <= rank(needed["Greedy"])

@@ -1,0 +1,142 @@
+"""Shared fixtures and reporting plumbing for the benchmark harness.
+
+Each bench regenerates one of the paper's tables or figures: it builds
+the workload, runs the experiment, prints the same rows/series the
+paper reports, writes the report under ``benchmarks/results/``, and
+asserts the paper's *shape* claims (orderings, approximate factors,
+CDF structure) — not absolute numbers, since the substrate is a
+synthetic simulator rather than the authors' traces.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.traces import default_european_catalog, synthesize_catalog_traces
+from repro.units import TimeGrid, grid_days
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Start date used across benches; matches the paper's EMHIRES window
+#: (Figure 3a shows days in May 2015).
+START = datetime(2015, 3, 1)
+
+#: Master seed for all benches.
+SEED = 2021
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where benches drop their text reports."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def report_writer(results_dir):
+    """Write (and echo) a bench's report text."""
+
+    def write(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}\n[written to {path}]")
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    """The full European site catalog."""
+    return default_european_catalog()
+
+
+@pytest.fixture(scope="session")
+def quarter_traces(catalog):
+    """Three months of 15-minute traces for every catalog site.
+
+    This is the paper's §2.3/§3 analysis span ("3 month solar and wind
+    traces in Europe").
+    """
+    grid = grid_days(START, 90)
+    return synthesize_catalog_traces(catalog, grid, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def year_traces(catalog):
+    """One year of 15-minute traces for the Figure-2b CDF (solar and
+    wind at a Belgium-like site, the ELIA coverage area)."""
+    grid = grid_days(datetime(2015, 1, 1), 365)
+    subset = catalog.subset(["BE-solar", "BE-wind"])
+    return synthesize_catalog_traces(subset, grid, seed=SEED + 1)
+
+
+@pytest.fixture(scope="session")
+def hourly_week_grid():
+    """Seven days at hourly resolution — the Table-1 horizon."""
+    return TimeGrid(datetime(2015, 5, 1), timedelta(hours=1), 7 * 24)
+
+
+@pytest.fixture(scope="session")
+def table1_results(catalog, hourly_week_grid):
+    """Run the four §3.1 policies on the paper's 7-day setup.
+
+    Shared by the Table-1 and Figure-7 benches: a 3-site multi-VB
+    group (the Figure-3 trio), 7 days at hourly resolution, ~200
+    applications, placements planned on NoisyOracle forecasts and
+    executed against the actual traces.
+
+    Returns a dict: policy name -> (placement, execution, problem).
+    """
+    import numpy as np
+
+    from repro.forecast import NoisyOracleForecaster
+    from repro.sched import (
+        GreedyScheduler,
+        MIPScheduler,
+        RollingMIPScheduler,
+        problem_from_forecasts,
+    )
+    from repro.sim import execute_placement
+    from repro.workload import generate_applications
+
+    trio = catalog.subset(["NO-solar", "UK-wind", "PT-wind"])
+    traces = synthesize_catalog_traces(trio, hourly_week_grid, seed=SEED + 5)
+    total_cores = {name: 28000 for name in traces}
+    apps = generate_applications(
+        hourly_week_grid, 200, seed=SEED + 6,
+        mean_vm_count=40, mean_duration_days=2.5,
+    )
+    forecaster = NoisyOracleForecaster(seed=SEED + 7)
+    problem = problem_from_forecasts(
+        hourly_week_grid, traces, total_cores, apps, forecaster
+    )
+    actual = {
+        name: np.floor(traces[name].values * total_cores[name])
+        for name in traces
+    }
+
+    def day_ahead_provider(site_name, issue_step, horizon):
+        forecast = forecaster.forecast(
+            traces[site_name], issue_step, horizon
+        )
+        return np.floor(forecast.values * total_cores[site_name])
+
+    policies = {
+        "Greedy": GreedyScheduler(),
+        "MIP-24h": RollingMIPScheduler(
+            window_steps=24, capacity_provider=day_ahead_provider,
+            time_limit_s=30.0,
+        ),
+        "MIP": MIPScheduler(time_limit_s=120.0),
+        "MIP-peak": MIPScheduler(peak_weight=50.0, time_limit_s=120.0),
+    }
+    results = {}
+    for name, scheduler in policies.items():
+        placement = scheduler.schedule(problem)
+        execution = execute_placement(problem, placement, actual)
+        results[name] = (placement, execution, problem)
+    return results

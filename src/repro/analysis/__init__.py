@@ -1,0 +1,21 @@
+"""Statistics and reporting helpers shared by benches and examples."""
+
+from .stats import (
+    empirical_cdf,
+    nonzero_cdf,
+    percentile_ratio,
+    rolling_min,
+    series_cov,
+)
+from .report import format_table, format_cdf_points, format_series_sample
+
+__all__ = [
+    "empirical_cdf",
+    "nonzero_cdf",
+    "percentile_ratio",
+    "rolling_min",
+    "series_cov",
+    "format_table",
+    "format_cdf_points",
+    "format_series_sample",
+]

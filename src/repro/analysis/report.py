@@ -1,0 +1,90 @@
+"""Fixed-width text rendering for bench output.
+
+The benchmark harness prints the same rows and series the paper's
+tables and figures report; these helpers keep the formatting in one
+place so every bench reads the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a left-aligned fixed-width table.
+
+    Numbers format with thousands separators; floats get two decimals.
+    """
+    if not headers:
+        raise ConfigurationError("table needs headers")
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:,.2f}"
+        if isinstance(value, (int, np.integer)):
+            return f"{value:,}"
+        return str(value)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows))
+        if text_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        lines.append(
+            "  ".join(row[i].ljust(widths[i]) for i in range(len(headers)))
+        )
+    return "\n".join(lines)
+
+
+def format_cdf_points(
+    values: np.ndarray,
+    probabilities: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99),
+    unit: str = "",
+) -> str:
+    """Quantile summary of a distribution, one line per probability."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ConfigurationError("no samples to summarize")
+    lines = []
+    for p in probabilities:
+        quantile = float(np.quantile(values, p))
+        lines.append(f"  p{int(p * 100):>2d}: {quantile:,.2f} {unit}".rstrip())
+    return "\n".join(lines)
+
+
+def format_series_sample(
+    values: np.ndarray, n_points: int = 12, unit: str = ""
+) -> str:
+    """Evenly-spaced sample of a long series, as ``index: value`` lines."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ConfigurationError("no samples to render")
+    if n_points <= 0:
+        raise ConfigurationError(f"n_points must be positive: {n_points}")
+    indices = np.linspace(0, len(values) - 1, min(n_points, len(values)))
+    lines = []
+    for index in indices.astype(int):
+        lines.append(f"  [{index:>6d}] {values[index]:,.3f} {unit}".rstrip())
+    return "\n".join(lines)

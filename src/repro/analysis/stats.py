@@ -1,0 +1,87 @@
+"""Statistical helpers used across the evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+def empirical_cdf(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(sorted values, cumulative probabilities) of an empirical CDF.
+
+    Probabilities are ``i / n`` for the i-th smallest value (right-
+    continuous convention), matching how the paper's CDF figures read.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ConfigurationError("cannot build a CDF from no samples")
+    ordered = np.sort(values)
+    probabilities = np.arange(1, len(ordered) + 1) / len(ordered)
+    return ordered, probabilities
+
+
+def nonzero_cdf(
+    values: np.ndarray, threshold: float = 1e-12
+) -> tuple[np.ndarray, np.ndarray]:
+    """CDF of the non-zero samples only.
+
+    Figure 4b "only includes non-zero overhead values"; this helper
+    applies the same filter.
+
+    Raises:
+        ConfigurationError: if every sample is (numerically) zero.
+    """
+    values = np.asarray(values, dtype=float)
+    nonzero = values[values > threshold]
+    if nonzero.size == 0:
+        raise ConfigurationError("no non-zero samples for CDF")
+    return empirical_cdf(nonzero)
+
+
+def percentile_ratio(
+    values: np.ndarray, upper: float = 99.0, lower: float = 50.0
+) -> float:
+    """p_upper / p_lower of a sample (the paper's spikiness metric).
+
+    Returns ``inf`` when the lower percentile is zero but the upper is
+    not, and 1.0 when both are zero.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ConfigurationError("cannot take percentiles of no samples")
+    high = float(np.percentile(values, upper))
+    low = float(np.percentile(values, lower))
+    if low <= 0:
+        return 1.0 if high <= 0 else float("inf")
+    return high / low
+
+
+def rolling_min(values: np.ndarray, window: int) -> np.ndarray:
+    """Minimum over consecutive non-overlapping windows.
+
+    The trailing partial window (if any) contributes its own minimum.
+    Used for stable-power floors.
+    """
+    values = np.asarray(values, dtype=float)
+    if window <= 0:
+        raise ConfigurationError(f"window must be positive: {window}")
+    if values.size == 0:
+        return np.empty(0)
+    return np.array(
+        [
+            values[start : start + window].min()
+            for start in range(0, len(values), window)
+        ]
+    )
+
+
+def series_cov(values: np.ndarray) -> float:
+    """Coefficient of variation of an arbitrary series (std / mean)."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ConfigurationError("cannot take cov of no samples")
+    mean = float(values.mean())
+    if mean <= 0:
+        return float("inf")
+    return float(values.std() / mean)

@@ -1,0 +1,33 @@
+"""Availability strategies for multi-VB applications (§3).
+
+"Applications ... must rely on either hot/cold standbys using
+continuous replication or migration."  This subpackage implements all
+three mechanisms with their network, downtime, and spare-resource
+costs, plus an evaluator that compares them against a site's power
+profile — quantifying the §3 trade-off the paper describes but does
+not evaluate.
+"""
+
+from .strategies import (
+    AppProfile,
+    ColdStandby,
+    HotStandby,
+    MigrationOnDemand,
+    StrategyCost,
+)
+from .evaluator import (
+    DisplacementEvent,
+    compare_strategies,
+    displacement_events,
+)
+
+__all__ = [
+    "AppProfile",
+    "ColdStandby",
+    "HotStandby",
+    "MigrationOnDemand",
+    "StrategyCost",
+    "DisplacementEvent",
+    "compare_strategies",
+    "displacement_events",
+]

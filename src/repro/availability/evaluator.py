@@ -1,0 +1,97 @@
+"""Comparing availability strategies against a site's power profile."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ConfigurationError
+from ..traces import PowerTrace
+from .strategies import (
+    AppProfile,
+    ColdStandby,
+    HotStandby,
+    MigrationOnDemand,
+    StrategyCost,
+)
+
+
+@dataclass(frozen=True)
+class DisplacementEvent:
+    """One contiguous interval during which the app cannot run locally.
+
+    Attributes:
+        start_step: First step below the threshold.
+        end_step: First step back above it (exclusive).
+    """
+
+    start_step: int
+    end_step: int
+
+    @property
+    def duration_steps(self) -> int:
+        """Steps the app spends displaced."""
+        return self.end_step - self.start_step
+
+
+def displacement_events(
+    trace: PowerTrace, threshold: float
+) -> list[DisplacementEvent]:
+    """Intervals where normalized power sits below ``threshold``.
+
+    The threshold represents the power level at which the app's share
+    of the site can no longer be powered — an app occupying the top
+    30% of a site's cores is displaced whenever generation falls below
+    0.7, for instance.
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ConfigurationError(
+            f"threshold must be in [0,1]: {threshold}"
+        )
+    below = trace.values < threshold
+    events: list[DisplacementEvent] = []
+    start = None
+    for step, is_below in enumerate(below):
+        if is_below and start is None:
+            start = step
+        elif not is_below and start is not None:
+            events.append(DisplacementEvent(start, step))
+            start = None
+    if start is not None:
+        events.append(DisplacementEvent(start, len(below)))
+    return events
+
+
+def compare_strategies(
+    trace: PowerTrace,
+    app: AppProfile,
+    threshold: float = 0.5,
+    strategies: Sequence[object] | None = None,
+) -> dict[str, StrategyCost]:
+    """Bill every strategy for keeping ``app`` available at this site.
+
+    Args:
+        trace: The home site's generation profile.
+        app: The application's availability-relevant shape.
+        threshold: Normalized power below which the app is displaced.
+        strategies: Strategy instances to compare; defaults to hot
+            standby, cold standby, and on-demand migration with their
+            default parameters.
+
+    Returns:
+        Mapping from strategy name to its :class:`StrategyCost`.
+    """
+    if strategies is None:
+        strategies = [HotStandby(), ColdStandby(), MigrationOnDemand()]
+    events = displacement_events(trace, threshold)
+    horizon_seconds = trace.grid.n * trace.grid.step_seconds
+    event_seconds = sum(e.duration_steps for e in events) * (
+        trace.grid.step_seconds
+    )
+    costs: dict[str, StrategyCost] = {}
+    for strategy in strategies:
+        cost = strategy.cost(
+            app, horizon_seconds, len(events), event_seconds
+        )
+        costs[cost.strategy] = cost
+    return costs

@@ -1,0 +1,209 @@
+"""The three availability mechanisms and their cost models.
+
+Each strategy answers: given an application and a set of power-dip
+events at its home site, what does keeping the application available
+cost in (a) WAN bytes, (b) downtime, and (c) standby resources held at
+a remote site?
+
+- **Hot standby**: a live replica at another site receives a continuous
+  stream of state updates (the app's write rate).  Failover is nearly
+  instant, but the stream runs all the time and the replica pins cores
+  around the clock.
+- **Cold standby**: periodic snapshots ship to the remote site.  Cheap
+  on the wire and no standing cores, but failover must restore the
+  last snapshot and replay/lose the interval since (RPO), giving the
+  longest downtime.
+- **Migration on demand**: nothing moves until power actually dips;
+  then the VM live-migrates out (pre-copy model) and back when power
+  returns.  Network cost scales with the *number of events*, which is
+  what makes the §3 trade-off interesting: frequently-dipping sites
+  favour replication, steady sites favour migration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.livemigration import LiveMigrationModel, estimate_migration
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """What the availability strategies need to know about an app.
+
+    Attributes:
+        memory_bytes: Working-set size (migration / snapshot volume).
+        write_rate_bytes_per_s: State-update rate a hot standby must
+            absorb (also the dirty rate seen by live migration).
+        cores: Cores the app (and any hot standby) pins.
+        boot_seconds: Time to start the app from an image.
+    """
+
+    memory_bytes: float
+    write_rate_bytes_per_s: float
+    cores: int
+    boot_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0:
+            raise ConfigurationError(
+                f"memory must be positive: {self.memory_bytes}"
+            )
+        if self.write_rate_bytes_per_s < 0:
+            raise ConfigurationError(
+                f"write rate must be >= 0: {self.write_rate_bytes_per_s}"
+            )
+        if self.cores <= 0:
+            raise ConfigurationError(f"cores must be positive: {self.cores}")
+        if self.boot_seconds < 0:
+            raise ConfigurationError(
+                f"boot time must be >= 0: {self.boot_seconds}"
+            )
+
+
+@dataclass(frozen=True)
+class StrategyCost:
+    """One strategy's bill over an evaluation horizon.
+
+    Attributes:
+        strategy: Label, e.g. ``"hot-standby"``.
+        network_bytes: Total WAN traffic.
+        downtime_seconds: Application unavailability summed over events.
+        standby_core_seconds: Remote core-seconds pinned by replicas.
+    """
+
+    strategy: str
+    network_bytes: float
+    downtime_seconds: float
+    standby_core_seconds: float
+
+
+class HotStandby:
+    """Continuous replication to a warm replica.
+
+    Args:
+        sync_overhead: Protocol amplification on the write stream
+            (acks, metadata, resends); 1.2 means 20% overhead.
+    """
+
+    name = "hot-standby"
+
+    def __init__(self, sync_overhead: float = 1.2):
+        if sync_overhead < 1.0:
+            raise ConfigurationError(
+                f"sync overhead must be >= 1: {sync_overhead}"
+            )
+        self.sync_overhead = sync_overhead
+
+    def cost(
+        self,
+        app: AppProfile,
+        horizon_seconds: float,
+        n_events: int,
+        event_seconds: float,
+    ) -> StrategyCost:
+        """Bill: stream all the time, fail over instantly, pin cores."""
+        if horizon_seconds < 0:
+            raise ConfigurationError(
+                f"horizon must be >= 0: {horizon_seconds}"
+            )
+        # Initial full sync plus the continuous update stream.
+        network = app.memory_bytes + (
+            app.write_rate_bytes_per_s * horizon_seconds
+            * self.sync_overhead
+        )
+        # Failover is a connection hand-off per event.
+        downtime = 1.0 * n_events
+        return StrategyCost(
+            self.name, network, downtime, app.cores * horizon_seconds
+        )
+
+
+class ColdStandby:
+    """Periodic snapshots to a remote image store.
+
+    Args:
+        snapshot_interval_s: Time between snapshots (the RPO).
+        incremental_fraction: Snapshot size relative to memory after
+            the first (changed-block tracking); 1.0 = full images.
+    """
+
+    name = "cold-standby"
+
+    def __init__(
+        self,
+        snapshot_interval_s: float = 3600.0,
+        incremental_fraction: float = 0.3,
+    ):
+        if snapshot_interval_s <= 0:
+            raise ConfigurationError(
+                f"interval must be positive: {snapshot_interval_s}"
+            )
+        if not 0.0 < incremental_fraction <= 1.0:
+            raise ConfigurationError(
+                "incremental fraction must be in (0,1]:"
+                f" {incremental_fraction}"
+            )
+        self.snapshot_interval_s = snapshot_interval_s
+        self.incremental_fraction = incremental_fraction
+
+    def cost(
+        self,
+        app: AppProfile,
+        horizon_seconds: float,
+        n_events: int,
+        event_seconds: float,
+    ) -> StrategyCost:
+        """Bill: snapshots on schedule; slow failover (boot + lost work)."""
+        if horizon_seconds < 0:
+            raise ConfigurationError(
+                f"horizon must be >= 0: {horizon_seconds}"
+            )
+        n_snapshots = int(horizon_seconds / self.snapshot_interval_s)
+        network = app.memory_bytes  # initial full image
+        network += n_snapshots * app.memory_bytes * self.incremental_fraction
+        # Per event: boot the image, plus half an interval of lost work
+        # on average (the RPO cost counted as downtime-equivalent).
+        downtime = n_events * (
+            app.boot_seconds + self.snapshot_interval_s / 2.0
+        )
+        return StrategyCost(self.name, network, downtime, 0.0)
+
+
+class MigrationOnDemand:
+    """Live-migrate out on each power dip, back when power returns.
+
+    Args:
+        model: Pre-copy migration model; the app's write rate is used
+            as the dirty rate.
+    """
+
+    name = "migration"
+
+    def __init__(self, model: LiveMigrationModel | None = None):
+        self._base_model = model or LiveMigrationModel()
+
+    def cost(
+        self,
+        app: AppProfile,
+        horizon_seconds: float,
+        n_events: int,
+        event_seconds: float,
+    ) -> StrategyCost:
+        """Bill: two migrations per event (out and back), brief blackouts."""
+        if horizon_seconds < 0:
+            raise ConfigurationError(
+                f"horizon must be >= 0: {horizon_seconds}"
+            )
+        from dataclasses import replace
+
+        model = replace(
+            self._base_model,
+            dirty_rate_bytes_per_s=app.write_rate_bytes_per_s,
+        )
+        estimate = estimate_migration(app.memory_bytes, model)
+        moves = 2 * n_events  # out at dip start, back at dip end
+        network = moves * estimate.total_bytes
+        downtime = moves * estimate.downtime_s
+        return StrategyCost(self.name, network, downtime, 0.0)

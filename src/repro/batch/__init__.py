@@ -1,0 +1,32 @@
+"""Degradable (harvest) workloads: batch jobs on variable energy.
+
+§2.3's second application class: "batch or ML training jobs" run as
+degradable VMs on the *variable* share of a VB site's energy — the
+power above the stable floor that cannot back availability guarantees.
+When generation dips, these jobs are preempted in place and lose any
+work since their last checkpoint (the paper's §4 cites CheckFreq-style
+checkpointing as the enabling mechanism).
+
+This subpackage provides:
+
+- :class:`~repro.batch.jobs.BatchJob` — a unit of preemptible work.
+- :class:`~repro.batch.checkpoint.CheckpointPolicy` — periodic
+  checkpointing with overhead, plus the Young-Daly optimal interval.
+- :class:`~repro.batch.scheduler.HarvestScheduler` — runs a job queue
+  on a site's variable capacity and accounts for goodput, checkpoint
+  overhead, and work lost to preemptions.
+"""
+
+from .jobs import BatchJob, JobState
+from .checkpoint import CheckpointPolicy, young_daly_interval
+from .scheduler import HarvestResult, HarvestScheduler, variable_capacity_series
+
+__all__ = [
+    "BatchJob",
+    "JobState",
+    "CheckpointPolicy",
+    "young_daly_interval",
+    "HarvestResult",
+    "HarvestScheduler",
+    "variable_capacity_series",
+]

@@ -1,0 +1,67 @@
+"""Checkpointing policy and the Young-Daly optimum.
+
+A job checkpoints every ``interval_steps`` of its own execution, paying
+``overhead_fraction`` of a step's work per checkpoint.  On preemption
+it rolls back to the last checkpoint, losing everything since.  The
+classic trade-off: frequent checkpoints waste overhead, rare ones risk
+large roll-backs; Young's approximation puts the optimum at
+``sqrt(2 * checkpoint_cost * MTBF)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """Periodic checkpointing parameters.
+
+    Attributes:
+        interval_steps: Steps of useful execution between checkpoints.
+        overhead_fraction: Share of one step's work consumed by writing
+            a checkpoint (e.g. 0.1 = the job stalls 10% of a step).
+    """
+
+    interval_steps: int = 8
+    overhead_fraction: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.interval_steps < 1:
+            raise ConfigurationError(
+                f"interval must be >= 1 step: {self.interval_steps}"
+            )
+        if not 0.0 <= self.overhead_fraction < 1.0:
+            raise ConfigurationError(
+                f"overhead must be in [0,1): {self.overhead_fraction}"
+            )
+
+
+def young_daly_interval(
+    mean_steps_between_preemptions: float, overhead_fraction: float
+) -> int:
+    """Young's optimal checkpoint interval, in steps.
+
+    ``interval = sqrt(2 * C * MTBF)`` with the checkpoint cost ``C``
+    expressed in steps (the overhead fraction of one step).  Clamped
+    to at least one step.
+
+    Args:
+        mean_steps_between_preemptions: Observed or predicted MTBF of
+            the variable-capacity supply, in steps.
+        overhead_fraction: Checkpoint cost as a fraction of a step.
+    """
+    if mean_steps_between_preemptions <= 0:
+        raise ConfigurationError(
+            "MTBF must be positive:"
+            f" {mean_steps_between_preemptions}"
+        )
+    if overhead_fraction <= 0:
+        return 1
+    interval = math.sqrt(
+        2.0 * overhead_fraction * mean_steps_between_preemptions
+    )
+    return max(1, round(interval))

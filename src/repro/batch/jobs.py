@@ -1,0 +1,75 @@
+"""Batch job objects for the harvest scheduler."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a batch job."""
+
+    WAITING = "waiting"
+    RUNNING = "running"
+    PREEMPTED = "preempted"
+    FINISHED = "finished"
+
+
+@dataclass
+class BatchJob:
+    """A preemptible unit of work (batch / ML training style).
+
+    Work is measured in core-steps: a job needing ``work_core_steps``
+    of 100 with ``cores`` of 4 runs for 25 uninterrupted steps.
+
+    Attributes:
+        job_id: Unique id.
+        arrival_step: When the job enters the queue.
+        cores: Cores the job occupies while running (gang-scheduled).
+        work_core_steps: Total core-steps of useful work required.
+        state: Lifecycle state.
+        progress_core_steps: Useful work completed *and checkpointed or
+            still valid* — preemption rolls uncommitted progress back.
+        committed_core_steps: Work protected by the latest checkpoint.
+        finish_step: Step at which the job completed, if it has.
+        preemptions: How many times the job lost its cores.
+        lost_core_steps: Work discarded by preemption roll-backs.
+        checkpoint_core_steps: Overhead core-steps spent writing
+            checkpoints (not useful work).
+    """
+
+    job_id: int
+    arrival_step: int
+    cores: int
+    work_core_steps: float
+    state: JobState = JobState.WAITING
+    progress_core_steps: float = 0.0
+    committed_core_steps: float = 0.0
+    finish_step: int | None = None
+    preemptions: int = 0
+    lost_core_steps: float = 0.0
+    checkpoint_core_steps: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.arrival_step < 0:
+            raise ConfigurationError(
+                f"negative arrival step: {self.arrival_step}"
+            )
+        if self.cores <= 0:
+            raise ConfigurationError(f"cores must be positive: {self.cores}")
+        if self.work_core_steps <= 0:
+            raise ConfigurationError(
+                f"work must be positive: {self.work_core_steps}"
+            )
+
+    @property
+    def remaining_core_steps(self) -> float:
+        """Useful work still owed."""
+        return max(0.0, self.work_core_steps - self.progress_core_steps)
+
+    @property
+    def is_done(self) -> bool:
+        """True once all work is complete."""
+        return self.state is JobState.FINISHED

@@ -1,0 +1,223 @@
+"""The harvest scheduler: batch jobs on a VB site's variable capacity.
+
+Each step, the variable capacity is whatever powered cores remain above
+the stable reservation.  Waiting jobs are gang-admitted FIFO; when
+capacity drops, the most-recently-started jobs are preempted first
+(LIFO eviction keeps old jobs converging) and roll back to their last
+checkpoint.  The accounting separates useful work, checkpoint overhead,
+and work lost to roll-backs — the quantities that decide whether
+"degradable VMs absorb the variability" is actually cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..traces import PowerTrace
+from .checkpoint import CheckpointPolicy
+from .jobs import BatchJob, JobState
+
+
+def variable_capacity_series(
+    trace: PowerTrace,
+    total_cores: int,
+    stable_reservation_fraction: float = 0.0,
+) -> np.ndarray:
+    """Cores available to degradable work per step.
+
+    The stable reservation (cores promised to stable VMs, §2.3's
+    windowed floor) is served first; batch jobs harvest the rest.
+    """
+    if total_cores <= 0:
+        raise ConfigurationError(
+            f"total cores must be positive: {total_cores}"
+        )
+    if not 0.0 <= stable_reservation_fraction <= 1.0:
+        raise ConfigurationError(
+            "stable reservation must be in [0,1]:"
+            f" {stable_reservation_fraction}"
+        )
+    powered = np.floor(trace.values * total_cores)
+    reserved = stable_reservation_fraction * total_cores
+    return np.clip(powered - reserved, 0.0, None)
+
+
+@dataclass
+class HarvestResult:
+    """Outcome of running a job queue over variable capacity.
+
+    Attributes:
+        jobs: The jobs, with final accounting on each.
+        capacity: The variable-capacity series supplied.
+        used_cores: Cores actually running batch work per step.
+    """
+
+    jobs: list[BatchJob]
+    capacity: np.ndarray
+    used_cores: np.ndarray
+
+    @property
+    def finished_jobs(self) -> list[BatchJob]:
+        """Jobs that completed within the horizon."""
+        return [job for job in self.jobs if job.is_done]
+
+    @property
+    def useful_core_steps(self) -> float:
+        """Committed useful work across all jobs."""
+        return sum(job.progress_core_steps for job in self.jobs)
+
+    @property
+    def lost_core_steps(self) -> float:
+        """Work destroyed by preemption roll-backs."""
+        return sum(job.lost_core_steps for job in self.jobs)
+
+    @property
+    def checkpoint_core_steps(self) -> float:
+        """Core-steps burnt writing checkpoints."""
+        return sum(job.checkpoint_core_steps for job in self.jobs)
+
+    @property
+    def total_preemptions(self) -> int:
+        """Preemption events across all jobs."""
+        return sum(job.preemptions for job in self.jobs)
+
+    def goodput_fraction(self) -> float:
+        """Useful work over all core-steps consumed.
+
+        Consumed = useful + checkpoints + lost; 1.0 means the variable
+        energy turned entirely into committed progress.
+        """
+        consumed = (
+            self.useful_core_steps
+            + self.checkpoint_core_steps
+            + self.lost_core_steps
+        )
+        if consumed <= 0:
+            return 1.0
+        return self.useful_core_steps / consumed
+
+    def harvest_utilization(self) -> float:
+        """Share of offered variable core-steps actually used."""
+        offered = float(self.capacity.sum())
+        if offered <= 0:
+            return 0.0
+        return float(self.used_cores.sum()) / offered
+
+    def mean_completion_steps(self) -> float:
+        """Mean queue-to-finish latency of completed jobs."""
+        finished = self.finished_jobs
+        if not finished:
+            return float("nan")
+        return float(
+            np.mean(
+                [job.finish_step - job.arrival_step for job in finished]
+            )
+        )
+
+
+class HarvestScheduler:
+    """FIFO gang scheduler with LIFO preemption and checkpoint rollback.
+
+    Args:
+        policy: Checkpoint policy applied to every job.
+    """
+
+    def __init__(self, policy: CheckpointPolicy | None = None):
+        self.policy = policy or CheckpointPolicy()
+
+    def run(
+        self, jobs: Sequence[BatchJob], capacity: np.ndarray
+    ) -> HarvestResult:
+        """Execute ``jobs`` against a variable-capacity series.
+
+        Jobs must have distinct ids; their ``arrival_step`` values are
+        interpreted on the capacity series' index space.
+        """
+        capacity = np.asarray(capacity, dtype=float)
+        if capacity.ndim != 1:
+            raise ConfigurationError(
+                f"capacity must be 1-D, got shape {capacity.shape}"
+            )
+        ids = [job.job_id for job in jobs]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError("duplicate job ids")
+        queue: list[BatchJob] = []
+        running: list[BatchJob] = []  # in start order (oldest first)
+        pending = sorted(jobs, key=lambda j: (j.arrival_step, j.job_id))
+        arrival_index = 0
+        used = np.zeros(len(capacity))
+        # Per-job steps executed since the last checkpoint.
+        since_checkpoint: dict[int, int] = {}
+
+        for step in range(len(capacity)):
+            # Arrivals join the queue.
+            while (
+                arrival_index < len(pending)
+                and pending[arrival_index].arrival_step <= step
+            ):
+                queue.append(pending[arrival_index])
+                arrival_index += 1
+
+            budget = capacity[step]
+            running_cores = sum(job.cores for job in running)
+
+            # Preempt newest-first while over budget.
+            while running and running_cores > budget:
+                victim = running.pop()  # LIFO
+                rollback = (
+                    victim.progress_core_steps
+                    - victim.committed_core_steps
+                )
+                victim.lost_core_steps += rollback
+                victim.progress_core_steps = victim.committed_core_steps
+                victim.preemptions += 1
+                victim.state = JobState.PREEMPTED
+                since_checkpoint.pop(victim.job_id, None)
+                running_cores -= victim.cores
+                queue.insert(0, victim)
+
+            # Admit FIFO while capacity allows (gang: all-or-nothing,
+            # but keep scanning for smaller jobs behind a blocked head).
+            still_waiting: list[BatchJob] = []
+            for job in queue:
+                if job.cores <= budget - running_cores:
+                    job.state = JobState.RUNNING
+                    running.append(job)
+                    running_cores += job.cores
+                    since_checkpoint[job.job_id] = 0
+                else:
+                    still_waiting.append(job)
+            queue = still_waiting
+
+            # Execute one step.
+            finished: list[BatchJob] = []
+            for job in running:
+                used[step] += job.cores
+                executed = since_checkpoint.get(job.job_id, 0) + 1
+                if executed >= self.policy.interval_steps:
+                    # Checkpoint step: part of the step goes to the
+                    # checkpoint write, the rest to useful work, and
+                    # everything so far becomes committed.
+                    overhead = job.cores * self.policy.overhead_fraction
+                    job.checkpoint_core_steps += overhead
+                    job.progress_core_steps += job.cores - overhead
+                    job.committed_core_steps = job.progress_core_steps
+                    since_checkpoint[job.job_id] = 0
+                else:
+                    job.progress_core_steps += job.cores
+                    since_checkpoint[job.job_id] = executed
+                if job.progress_core_steps >= job.work_core_steps - 1e-9:
+                    job.progress_core_steps = job.work_core_steps
+                    job.committed_core_steps = job.work_core_steps
+                    job.state = JobState.FINISHED
+                    job.finish_step = step
+                    finished.append(job)
+                    since_checkpoint.pop(job.job_id, None)
+            for job in finished:
+                running.remove(job)
+
+        return HarvestResult(list(jobs), capacity, used)

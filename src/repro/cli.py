@@ -1,0 +1,305 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Subcommands::
+
+    python -m repro synthesize --sites NO-solar UK-wind --days 30 --out traces/
+    python -m repro variability --sites NO-solar UK-wind PT-wind --days 30
+    python -m repro simulate --kind wind --days 14
+    python -m repro forecast --kind wind --days 60
+    python -m repro schedule --days 7 --apps 150
+
+Every command is deterministic for a given ``--seed`` and prints the
+same style of report the benchmark harness writes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from datetime import datetime
+from typing import Sequence
+
+import numpy as np
+
+from .analysis import format_table
+from .cluster import Datacenter, DatacenterConfig
+from .forecast import NoisyOracleForecaster, horizon_mape_profile
+from .multisite import stable_energy_split
+from .sched import (
+    GreedyScheduler,
+    MIPScheduler,
+    problem_from_forecasts,
+)
+from .sim import PolicyComparison, execute_placement, summarize_transfers
+from .traces import (
+    default_european_catalog,
+    synthesize_catalog_traces,
+    synthesize_solar,
+    synthesize_wind,
+    trace_to_csv,
+)
+from .units import TimeGrid, grid_days
+from .workload import (
+    generate_applications,
+    generate_vm_requests,
+    workload_matched_to_power,
+)
+
+DEFAULT_START = datetime(2015, 5, 1)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--seed", type=int, default=0, help="master random seed"
+    )
+    parser.add_argument(
+        "--days", type=float, default=7.0, help="simulation span in days"
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Virtual Battery (HotNets '21) experiment runner",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    synthesize = commands.add_parser(
+        "synthesize", help="generate site traces and write them as CSV"
+    )
+    _add_common(synthesize)
+    synthesize.add_argument(
+        "--sites", nargs="+", required=True,
+        help="catalog site names (see 'repro sites')",
+    )
+    synthesize.add_argument(
+        "--out", required=True, help="output directory for CSV files"
+    )
+
+    commands.add_parser("sites", help="list the built-in site catalog")
+
+    variability = commands.add_parser(
+        "variability",
+        help="§2.3 aggregation analysis over a site combination",
+    )
+    _add_common(variability)
+    variability.add_argument("--sites", nargs="+", required=True)
+    variability.add_argument(
+        "--window-days", type=float, default=3.0,
+        help="stable-energy window",
+    )
+
+    simulate = commands.add_parser(
+        "simulate", help="§3 single-site migration simulation"
+    )
+    _add_common(simulate)
+    simulate.add_argument(
+        "--kind", choices=("solar", "wind"), default="wind"
+    )
+    simulate.add_argument(
+        "--utilization", type=float, default=0.70,
+        help="admission utilization cap",
+    )
+
+    forecast = commands.add_parser(
+        "forecast", help="Figure-5 forecast MAPE by horizon"
+    )
+    _add_common(forecast)
+    forecast.add_argument(
+        "--kind", choices=("solar", "wind"), default="wind"
+    )
+
+    schedule = commands.add_parser(
+        "schedule", help="Table-1 policy comparison on the Fig-3 trio"
+    )
+    _add_common(schedule)
+    schedule.add_argument("--apps", type=int, default=150)
+    schedule.add_argument(
+        "--cores-per-site", type=int, default=28000
+    )
+
+    return parser
+
+
+def _cmd_sites(_args: argparse.Namespace) -> int:
+    catalog = default_european_catalog()
+    rows = [
+        [s.name, s.kind, f"{s.latitude_deg:.2f}", f"{s.longitude_deg:.2f}",
+         round(s.capacity_mw)]
+        for s in catalog
+    ]
+    print(
+        format_table(
+            ["Name", "Kind", "Lat", "Lon", "MW"], rows,
+            title="Built-in European site catalog",
+        )
+    )
+    return 0
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    catalog = default_european_catalog().subset(args.sites)
+    grid = grid_days(DEFAULT_START, args.days)
+    traces = synthesize_catalog_traces(catalog, grid, seed=args.seed)
+    from pathlib import Path
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    for name, trace in traces.items():
+        path = out / f"{name}.csv"
+        trace_to_csv(trace, path)
+        print(f"wrote {path} ({len(trace)} samples)")
+    return 0
+
+
+def _cmd_variability(args: argparse.Namespace) -> int:
+    catalog = default_european_catalog().subset(args.sites)
+    grid = grid_days(DEFAULT_START, args.days)
+    traces = synthesize_catalog_traces(catalog, grid, seed=args.seed)
+    rows = []
+    for name, trace in traces.items():
+        report = stable_energy_split(traces, [name], args.window_days)
+        rows.append(
+            [name, f"{trace.cov():.2f}",
+             f"{100 * report.stable_fraction:.0f}%"]
+        )
+    combined = stable_energy_split(
+        traces, list(traces), args.window_days
+    )
+    rows.append(
+        ["+".join(args.sites), f"{combined.cov:.2f}",
+         f"{100 * combined.stable_fraction:.0f}%"]
+    )
+    print(
+        format_table(
+            ["Combination", "cov", "Stable energy"], rows,
+            title=f"Variability over {args.days:g} days"
+            f" ({args.window_days:g}-day stable windows)",
+        )
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    grid = grid_days(DEFAULT_START, args.days)
+    synthesize = (
+        synthesize_solar if args.kind == "solar" else synthesize_wind
+    )
+    trace = synthesize(grid, seed=args.seed, name="site")
+    config = DatacenterConfig(admission_utilization=args.utilization)
+    workload = workload_matched_to_power(
+        float(trace.values.mean()),
+        config.cluster.total_cores,
+        utilization=args.utilization,
+    )
+    requests = generate_vm_requests(grid, workload, seed=args.seed + 1)
+    result = Datacenter(config, trace).run(requests)
+    out_gb = result.out_gb_series()
+    in_gb = result.in_gb_series()
+    print(
+        format_table(
+            ["Metric", "Value"],
+            [
+                ["VM arrivals", len(requests)],
+                ["out-migration GB", round(out_gb.sum())],
+                ["in-migration GB", round(in_gb.sum())],
+                ["peak step GB", round(max(out_gb.max(), in_gb.max()))],
+                [
+                    "silent power changes",
+                    f"{100 * result.power_changes_without_migration_fraction():.0f}%",
+                ],
+                [
+                    "WAN busy @200Gbps",
+                    f"{100 * result.migration_active_fraction():.2f}%",
+                ],
+            ],
+            title=f"Single-site {args.kind} simulation,"
+            f" {args.days:g} days",
+        )
+    )
+    return 0
+
+
+def _cmd_forecast(args: argparse.Namespace) -> int:
+    grid = grid_days(DEFAULT_START, args.days)
+    synthesize = (
+        synthesize_solar if args.kind == "solar" else synthesize_wind
+    )
+    trace = synthesize(grid, seed=args.seed, name="site")
+    model = NoisyOracleForecaster(seed=args.seed)
+    horizons = {"3h": 12, "day": 96, "week": 96 * 7}
+    profile = horizon_mape_profile(model, trace, horizons, 48)
+    rows = [
+        [label, f"{100 * value:.1f}%" if np.isfinite(value) else "n/a"]
+        for label, value in profile.items()
+    ]
+    print(
+        format_table(
+            ["Horizon", "MAPE"], rows,
+            title=f"Forecast accuracy, {args.kind},"
+            f" {args.days:g} days of evaluation",
+        )
+    )
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    from datetime import timedelta
+
+    catalog = default_european_catalog().subset(
+        ["NO-solar", "UK-wind", "PT-wind"]
+    )
+    steps = int(args.days * 24)
+    grid = TimeGrid(DEFAULT_START, timedelta(hours=1), steps)
+    traces = synthesize_catalog_traces(catalog, grid, seed=args.seed)
+    total_cores = {name: args.cores_per_site for name in traces}
+    apps = generate_applications(
+        grid, args.apps, seed=args.seed + 1,
+        mean_vm_count=40, mean_duration_days=max(args.days / 3, 1.0),
+    )
+    forecaster = NoisyOracleForecaster(seed=args.seed + 2)
+    problem = problem_from_forecasts(
+        grid, traces, total_cores, apps, forecaster
+    )
+    actual = {
+        name: np.floor(traces[name].values * total_cores[name])
+        for name in traces
+    }
+    summaries = []
+    for label, scheduler in (
+        ("Greedy", GreedyScheduler()),
+        ("MIP", MIPScheduler(time_limit_s=60.0)),
+        ("MIP-peak", MIPScheduler(peak_weight=50.0, time_limit_s=60.0)),
+    ):
+        placement = scheduler.schedule(problem)
+        execution = execute_placement(problem, placement, actual)
+        summaries.append(
+            summarize_transfers(label, execution.total_transfer_series())
+        )
+    print(PolicyComparison(summaries).as_table())
+    return 0
+
+
+_COMMANDS = {
+    "sites": _cmd_sites,
+    "synthesize": _cmd_synthesize,
+    "variability": _cmd_variability,
+    "simulate": _cmd_simulate,
+    "forecast": _cmd_forecast,
+    "schedule": _cmd_schedule,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an
+        # error from the user's point of view.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

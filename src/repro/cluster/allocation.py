@@ -1,0 +1,101 @@
+"""VM-to-server placement policies.
+
+The paper uses "Azure's VM allocation policy" (Protean-style rule
+scoring); what its experiment actually depends on is *consolidation* —
+packing VMs tightly so whole unallocated cores (and servers) can be
+powered down when generation dips.  BestFit is the default for that
+reason; FirstFit and WorstFit exist as comparison points and for the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+from ..errors import ConfigurationError
+from .server import Server
+from .vm import VM
+
+
+@runtime_checkable
+class AllocationPolicy(Protocol):
+    """Chooses a hosting server for a VM, or None if nothing fits."""
+
+    def choose(self, servers: Sequence[Server], vm: VM) -> Server | None:
+        """Return the server to host ``vm``, or None when full."""
+        ...
+
+
+class BestFit:
+    """Tightest-fit packing: fewest free cores remaining after placement.
+
+    Consolidates load onto few servers, maximizing the unallocated cores
+    available to power down — the behaviour the paper's 70%-utilization
+    headroom argument relies on.  Ties break toward the lower server id
+    for determinism.
+    """
+
+    def choose(self, servers: Sequence[Server], vm: VM) -> Server | None:
+        """Tightest-fitting server for ``vm``, or None."""
+        best: Server | None = None
+        best_free = None
+        for server in servers:
+            if not server.fits(vm):
+                continue
+            free_after = server.free_cores - vm.cores
+            if best_free is None or free_after < best_free:
+                best, best_free = server, free_after
+        return best
+
+
+class FirstFit:
+    """First server (by id) with room.  Fast, moderately consolidating."""
+
+    def choose(self, servers: Sequence[Server], vm: VM) -> Server | None:
+        """Lowest-id server that fits ``vm``, or None."""
+        for server in servers:
+            if server.fits(vm):
+                return server
+        return None
+
+
+class WorstFit:
+    """Most-free-cores-first (load spreading).
+
+    The anti-consolidation strawman: spreads VMs thin so nearly every
+    server stays partially allocated and little can be powered down.
+    Used by the ablation benchmark to show why packing matters for VBs.
+    """
+
+    def choose(self, servers: Sequence[Server], vm: VM) -> Server | None:
+        """Emptiest server that fits ``vm``, or None."""
+        best: Server | None = None
+        best_free = -1
+        for server in servers:
+            if not server.fits(vm):
+                continue
+            if server.free_cores > best_free:
+                best, best_free = server, server.free_cores
+        return best
+
+
+_POLICIES = {
+    "bestfit": BestFit,
+    "firstfit": FirstFit,
+    "worstfit": WorstFit,
+}
+
+
+def make_policy(name: str) -> AllocationPolicy:
+    """Construct a policy by name: ``bestfit`` | ``firstfit`` | ``worstfit``.
+
+    Raises:
+        ConfigurationError: for unknown names.
+    """
+    try:
+        return _POLICIES[name.lower()]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown allocation policy {name!r}; choose from"
+            f" {sorted(_POLICIES)}"
+        ) from None

@@ -1,0 +1,542 @@
+"""The single-site datacenter simulator (§3's experiment engine).
+
+Per step, the simulator:
+
+1. Derives the powered-core budget from the site's power trace.
+2. Completes VMs whose lifetimes ended.
+3. If running cores exceed the budget, frees cores: degradable VMs can
+   be paused in place (optional), stable/remaining VMs are migrated out
+   round-robin across servers — each eviction moves the VM's allocated
+   memory across the WAN (the paper's traffic estimate).
+4. Admits arrivals while allocation stays under the utilization cap and
+   the power budget; arrivals that cannot start are queued ("rejected"
+   in the paper's wording).
+5. When power allows, launches queued VMs — each launch counts as an
+   in-migration, again moving its memory footprint.
+
+Placement uses a free-core-bucketed server pool so a 700-server,
+3-month simulation runs in seconds rather than hours.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..traces import PowerTrace
+from ..units import TimeGrid, bytes_to_gb
+from ..workload import VMRequest
+from .admission import AdmissionControl
+from .events import EventKind, EventLog
+from .livemigration import LiveMigrationModel, estimate_migration
+from .migration import EvictionOrder, EvictionPlanner
+from .power import LinearCorePower, PowerModel, ServerGranularPower
+from .resources import ClusterSpec
+from .server import Server
+from .vm import VM, VMState
+
+
+@dataclass(frozen=True)
+class DatacenterConfig:
+    """Configuration of a single simulated VB site.
+
+    Attributes:
+        cluster: Hardware shape (paper: 700 x 40 cores x 512 GB).
+        admission_utilization: Allocation cap as a fraction of total
+            cores (paper: 0.70).
+        allocation: Placement policy name: ``bestfit`` (default),
+            ``firstfit``, or ``worstfit``.
+        power_model: ``linear`` (cores scale with power, the paper's
+            model) or ``server`` (server-granular gating with idle
+            draw).
+        eviction_order: Victim choice within a server during round-robin
+            eviction.
+        pause_degradable: Park degradable VMs in place instead of
+            migrating them (the §3.1 co-scheduler behaviour).
+        queue_patience_steps: How long a queued VM waits for power
+            before giving up (and presumably being served elsewhere).
+        power_relative_admission: When True (the paper's behaviour),
+            the utilization cap is measured against *currently powered*
+            capacity, so allocation tracks generation with headroom and
+            minor dips are absorbed by unallocated cores.  When False
+            the cap is static against total cores (ablation variant).
+        migration_model: Optional pre-copy live-migration model (the
+            paper's footnote-2 future work).  When set, migration
+            traffic is the model's wire bytes (pre-copy amplification
+            over the single memory copy the paper assumes) instead of
+            the raw memory size.
+    """
+
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    admission_utilization: float = 0.70
+    allocation: str = "bestfit"
+    power_model: str = "linear"
+    eviction_order: EvictionOrder = EvictionOrder.FIRST_PLACED
+    pause_degradable: bool = False
+    queue_patience_steps: int = 96
+    power_relative_admission: bool = True
+    migration_model: "LiveMigrationModel | None" = None
+
+    def __post_init__(self) -> None:
+        if self.allocation not in ("bestfit", "firstfit", "worstfit"):
+            raise ConfigurationError(
+                f"unknown allocation policy: {self.allocation!r}"
+            )
+        if self.power_model not in ("linear", "server"):
+            raise ConfigurationError(
+                f"unknown power model: {self.power_model!r}"
+            )
+        if self.queue_patience_steps < 0:
+            raise ConfigurationError(
+                f"queue patience must be >= 0: {self.queue_patience_steps}"
+            )
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Everything measured in one simulation step."""
+
+    step: int
+    norm_power: float
+    core_budget: int
+    running_cores: int
+    allocated_cores: int
+    out_bytes: float
+    in_bytes: float
+    n_arrivals: int
+    n_admitted: int
+    n_queued: int
+    n_launched: int
+    n_evicted: int
+    n_paused: int
+    n_resumed: int
+    n_completed: int
+    n_expired: int
+    queue_length: int
+
+
+@dataclass
+class SimulationResult:
+    """Full output of a single-site run."""
+
+    grid: TimeGrid
+    config: DatacenterConfig
+    records: list[StepRecord]
+    events: EventLog
+
+    def out_bytes_series(self) -> np.ndarray:
+        """Out-migration traffic per step, bytes."""
+        return np.array([r.out_bytes for r in self.records])
+
+    def in_bytes_series(self) -> np.ndarray:
+        """In-migration traffic per step, bytes."""
+        return np.array([r.in_bytes for r in self.records])
+
+    def out_gb_series(self) -> np.ndarray:
+        """Out-migration traffic per step, GB (paper's unit)."""
+        return bytes_to_gb(self.out_bytes_series())
+
+    def in_gb_series(self) -> np.ndarray:
+        """In-migration traffic per step, GB (paper's unit)."""
+        return bytes_to_gb(self.in_bytes_series())
+
+    def power_series(self) -> np.ndarray:
+        """Normalized power per step."""
+        return np.array([r.norm_power for r in self.records])
+
+    def utilization_series(self) -> np.ndarray:
+        """Allocated-core fraction per step."""
+        total = self.config.cluster.total_cores
+        return np.array([r.allocated_cores / total for r in self.records])
+
+    def power_changes_without_migration_fraction(
+        self, power_epsilon: float = 1e-9
+    ) -> float:
+        """Fraction of power *changes* that caused no migration traffic.
+
+        The paper reports >80%: at 70% utilization, minor power moves
+        are absorbed by powering (un)allocated cores up or down.
+        """
+        changes = 0
+        silent = 0
+        previous = None
+        for record in self.records:
+            if previous is not None and abs(
+                record.norm_power - previous
+            ) > power_epsilon:
+                changes += 1
+                if record.out_bytes == 0.0 and record.in_bytes == 0.0:
+                    silent += 1
+            previous = record.norm_power
+        if changes == 0:
+            return 1.0
+        return silent / changes
+
+    def migration_active_fraction(self, link_gbps: float = 200.0) -> float:
+        """Fraction of wall-clock time the WAN link carries migrations.
+
+        §5's discussion point: with a 200 Gbps link per site, migration
+        is active only 2-4% of the time.  Each step's traffic occupies
+        the link for ``bytes / link_rate`` seconds out of the step.
+        """
+        step_seconds = self.grid.step_seconds
+        rate = link_gbps * 1e9 / 8.0
+        total = self.out_bytes_series() + self.in_bytes_series()
+        busy = np.minimum(total / rate, step_seconds)
+        return float(np.sum(busy) / (len(self.records) * step_seconds))
+
+
+class _ServerPool:
+    """Servers bucketed by free cores for O(1)-ish placement queries."""
+
+    def __init__(self, cluster: ClusterSpec):
+        self.servers = [
+            Server(i, cluster.server) for i in range(cluster.n_servers)
+        ]
+        self._max_cores = cluster.server.cores
+        # _buckets[f] holds ids of servers with exactly f free cores.
+        self._buckets: list[set[int]] = [
+            set() for _ in range(self._max_cores + 1)
+        ]
+        self._buckets[self._max_cores].update(range(cluster.n_servers))
+
+    def _move(self, server: Server, old_free: int) -> None:
+        self._buckets[old_free].discard(server.server_id)
+        self._buckets[server.free_cores].add(server.server_id)
+
+    def host(self, server: Server, vm: VM) -> None:
+        """Place ``vm`` and update buckets."""
+        old_free = server.free_cores
+        server.host(vm)
+        self._move(server, old_free)
+
+    def release(self, server: Server, vm: VM) -> None:
+        """Remove ``vm`` and update buckets."""
+        old_free = server.free_cores
+        server.release(vm)
+        self._move(server, old_free)
+
+    def find(self, vm: VM, mode: str) -> Server | None:
+        """Find a hosting server under the named policy.
+
+        ``bestfit``: smallest adequate free-core count;
+        ``worstfit``: largest free-core count;
+        ``firstfit``: lowest server id among all that fit.
+        """
+        need = vm.cores
+        if need > self._max_cores:
+            return None
+        if mode == "bestfit":
+            buckets: Iterable[int] = range(need, self._max_cores + 1)
+        elif mode == "worstfit":
+            buckets = range(self._max_cores, need - 1, -1)
+        else:  # firstfit: exact semantics need a full scan.
+            best_id = None
+            for free in range(need, self._max_cores + 1):
+                for server_id in self._buckets[free]:
+                    if best_id is None or server_id < best_id:
+                        candidate = self.servers[server_id]
+                        if candidate.fits(vm):
+                            best_id = server_id
+            return self.servers[best_id] if best_id is not None else None
+        for free in buckets:
+            for server_id in self._buckets[free]:
+                server = self.servers[server_id]
+                if server.fits(vm):
+                    return server
+        return None
+
+
+class Datacenter:
+    """A single VB site: cluster + power trace + workload replay.
+
+    Args:
+        config: Site configuration.
+        power_trace: Normalized generation; the cluster is fully powered
+            at 1.0, matching the paper's scaling of the ELIA trace to
+            the farm's max capacity.
+    """
+
+    def __init__(self, config: DatacenterConfig, power_trace: PowerTrace):
+        self.config = config
+        self.power_trace = power_trace
+        self.pool = _ServerPool(config.cluster)
+        self.admission = AdmissionControl(
+            config.cluster.total_cores, config.admission_utilization
+        )
+        if config.power_model == "linear":
+            self.power_model: PowerModel = LinearCorePower(config.cluster)
+        else:
+            self.power_model = ServerGranularPower(config.cluster)
+        self.planner = EvictionPlanner(
+            config.cluster.n_servers,
+            config.eviction_order,
+            config.pause_degradable,
+        )
+        self.events = EventLog()
+        self._queue: deque[tuple[VM, int]] = deque()
+        self._paused: deque[VM] = deque()
+        self._running_cores = 0
+        self._allocated_cores = 0
+        self._finish_at: dict[int, list[VM]] = {}
+        # Per-memory-size wire-byte cache for the live-migration model.
+        self._wire_cache: dict[float, float] = {}
+
+    def _eviction_wire_bytes(self, vm: VM) -> float:
+        """Bytes a live migration of ``vm`` actually puts on the wire.
+
+        One memory copy (the paper's estimate) without a migration
+        model; the pre-copy model's amplified volume with one.  Only
+        evictions amplify — a queued VM launching into the site is a
+        cold transfer of a single memory image.
+        """
+        if self.config.migration_model is None:
+            return vm.memory_bytes
+        cached = self._wire_cache.get(vm.memory_bytes)
+        if cached is None:
+            cached = estimate_migration(
+                vm.memory_bytes, self.config.migration_model
+            ).total_bytes
+            self._wire_cache[vm.memory_bytes] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Internal state transitions (all bookkeeping goes through these)
+    # ------------------------------------------------------------------
+
+    def _schedule_finish(self, vm: VM, step: int) -> None:
+        finish = step + vm.remaining_steps
+        vm.finish_step = finish
+        self._finish_at.setdefault(finish, []).append(vm)
+
+    def _start(self, vm: VM, server: Server, step: int) -> None:
+        self.pool.host(server, vm)
+        self._running_cores += vm.cores
+        self._allocated_cores += vm.cores
+        self._schedule_finish(vm, step)
+
+    def _complete(self, vm: VM, step: int) -> None:
+        server = self.pool.servers[vm.server_id]
+        vm.state = VMState.COMPLETED
+        vm.remaining_steps = 0
+        vm.finish_step = None
+        self.pool.release(server, vm)
+        vm.server_id = None
+        self._running_cores -= vm.cores
+        self._allocated_cores -= vm.cores
+        self.events.record(step, EventKind.COMPLETE, vm.vm_id)
+
+    def _evict(self, vm: VM, step: int) -> float:
+        server = self.pool.servers[vm.server_id]
+        self.pool.release(server, vm)
+        # Record how much work the VM still owes wherever it lands next.
+        if vm.finish_step is not None:
+            vm.remaining_steps = max(1, vm.finish_step - step)
+        vm.finish_step = None
+        vm.evict()
+        self._running_cores -= vm.cores
+        self._allocated_cores -= vm.cores
+        wire_bytes = self._eviction_wire_bytes(vm)
+        self.events.record(step, EventKind.EVICT, vm.vm_id, wire_bytes)
+        return wire_bytes
+
+    def _pause(self, vm: VM, step: int) -> None:
+        # A paused VM keeps its server reservation (memory stays
+        # resident) but its cores power down; it makes no progress, so
+        # its remaining work freezes until resume.
+        if vm.finish_step is not None:
+            vm.remaining_steps = max(1, vm.finish_step - step)
+        vm.finish_step = None
+        vm.pause()
+        self._running_cores -= vm.cores
+        self._paused.append(vm)
+        self.events.record(step, EventKind.PAUSE, vm.vm_id)
+
+    def _resume(self, vm: VM, step: int) -> None:
+        vm.resume()
+        self._running_cores += vm.cores
+        self._schedule_finish(vm, step)
+        self.events.record(step, EventKind.RESUME, vm.vm_id)
+
+    # ------------------------------------------------------------------
+    # Step phases
+    # ------------------------------------------------------------------
+
+    def _phase_completions(self, step: int) -> int:
+        finished = self._finish_at.pop(step, [])
+        completed = 0
+        for vm in finished:
+            # Skip stale entries: the VM was paused or evicted after
+            # this finish time was scheduled, or was re-scheduled to a
+            # later finish (its authoritative finish_step moved on).
+            if vm.state is not VMState.RUNNING or vm.finish_step != step:
+                continue
+            self._complete(vm, step)
+            completed += 1
+        return completed
+
+    def _phase_power_down(self, step: int, budget: int) -> tuple[float, int, int]:
+        out_bytes = 0.0
+        n_evicted = 0
+        n_paused = 0
+        overflow = self._running_cores - budget
+        if overflow <= 0:
+            return out_bytes, n_evicted, n_paused
+        to_migrate, to_pause = self.planner.plan(
+            self.pool.servers, overflow
+        )
+        for vm in to_pause:
+            self._pause(vm, step)
+            n_paused += 1
+        for vm in to_migrate:
+            out_bytes += self._evict(vm, step)
+            n_evicted += 1
+        return out_bytes, n_evicted, n_paused
+
+    def _phase_resume(self, step: int, budget: int) -> int:
+        n_resumed = 0
+        while self._paused:
+            vm = self._paused[0]
+            if vm.state is not VMState.PAUSED:
+                self._paused.popleft()
+                continue
+            if self._running_cores + vm.cores > budget:
+                break
+            self._paused.popleft()
+            self._resume(vm, step)
+            n_resumed += 1
+        return n_resumed
+
+    def _phase_arrivals(
+        self, step: int, budget: int, arrivals: Sequence[VM]
+    ) -> tuple[int, int]:
+        n_admitted = 0
+        n_queued = 0
+        cap_capacity = budget if self.config.power_relative_admission else None
+        for vm in arrivals:
+            under_cap = self.admission.admits(
+                vm, self._allocated_cores, cap_capacity
+            )
+            under_power = self._running_cores + vm.cores <= budget
+            server = (
+                self.pool.find(vm, self.config.allocation)
+                if under_cap and under_power
+                else None
+            )
+            if server is not None:
+                self._start(vm, server, step)
+                self.events.record(step, EventKind.ADMIT, vm.vm_id)
+                n_admitted += 1
+            else:
+                self._queue.append((vm, step))
+                self.events.record(step, EventKind.QUEUE, vm.vm_id)
+                n_queued += 1
+        return n_admitted, n_queued
+
+    def _phase_launches(self, step: int, budget: int) -> tuple[float, int, int]:
+        in_bytes = 0.0
+        n_launched = 0
+        n_expired = 0
+        patience = self.config.queue_patience_steps
+        survivors: list[tuple[VM, int]] = []
+        pending = len(self._queue)
+        for _ in range(pending):
+            vm, queued_at = self._queue.popleft()
+            if step - queued_at > patience:
+                vm.state = VMState.REJECTED
+                self.events.record(step, EventKind.REJECT, vm.vm_id)
+                n_expired += 1
+                continue
+            cap_capacity = (
+                budget if self.config.power_relative_admission else None
+            )
+            headroom = min(
+                self.admission.headroom_cores(
+                    self._allocated_cores, cap_capacity
+                ),
+                budget - self._running_cores,
+            )
+            if headroom <= 0:
+                # Nothing more can start this step; keep the rest queued.
+                survivors.append((vm, queued_at))
+                survivors.extend(
+                    self._queue.popleft() for _ in range(len(self._queue))
+                )
+                break
+            if vm.cores > headroom:
+                survivors.append((vm, queued_at))
+                continue
+            server = self.pool.find(vm, self.config.allocation)
+            if server is None:
+                survivors.append((vm, queued_at))
+                continue
+            self._start(vm, server, step)
+            in_bytes += vm.memory_bytes
+            self.events.record(
+                step, EventKind.LAUNCH, vm.vm_id, vm.memory_bytes
+            )
+            n_launched += 1
+        self._queue.extend(survivors)
+        return in_bytes, n_launched, n_expired
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self, requests: Sequence[VMRequest]) -> SimulationResult:
+        """Replay ``requests`` against the power trace.
+
+        Returns:
+            Per-step records plus the full event log.
+        """
+        grid = self.power_trace.grid
+        arrivals_by_step: dict[int, list[VM]] = {}
+        for request in requests:
+            if request.arrival_step >= grid.n:
+                continue
+            arrivals_by_step.setdefault(request.arrival_step, []).append(
+                VM(request)
+            )
+
+        records: list[StepRecord] = []
+        for step in range(grid.n):
+            norm_power = float(self.power_trace.values[step])
+            budget = self.power_model.core_budget(norm_power)
+            n_completed = self._phase_completions(step)
+            out_bytes, n_evicted, n_paused = self._phase_power_down(
+                step, budget
+            )
+            n_resumed = self._phase_resume(step, budget)
+            arrivals = arrivals_by_step.get(step, [])
+            n_admitted, n_queued = self._phase_arrivals(
+                step, budget, arrivals
+            )
+            in_bytes, n_launched, n_expired = self._phase_launches(
+                step, budget
+            )
+            records.append(
+                StepRecord(
+                    step=step,
+                    norm_power=norm_power,
+                    core_budget=budget,
+                    running_cores=self._running_cores,
+                    allocated_cores=self._allocated_cores,
+                    out_bytes=out_bytes,
+                    in_bytes=in_bytes,
+                    n_arrivals=len(arrivals),
+                    n_admitted=n_admitted,
+                    n_queued=n_queued,
+                    n_launched=n_launched,
+                    n_evicted=n_evicted,
+                    n_paused=n_paused,
+                    n_resumed=n_resumed,
+                    n_completed=n_completed,
+                    n_expired=n_expired,
+                    queue_length=len(self._queue),
+                )
+            )
+        return SimulationResult(grid, self.config, records, self.events)

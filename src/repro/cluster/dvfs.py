@@ -1,0 +1,180 @@
+"""Frequency scaling (DVFS) as a power-dip absorber.
+
+§4 of the paper lists "frequency scaling, powering down cores" among
+the knobs for matching server power to generation.  Powering cores
+down is the main §3 mechanism; this module adds the other knob:
+because dynamic power scales super-linearly with frequency
+(``P ~ f^3`` for the classic voltage-frequency pairing), slowing all
+cores slightly frees a lot of power at little throughput cost — a 20%
+power cut costs only ~7% speed.  DVFS therefore absorbs *shallow* dips
+that would otherwise displace VMs, and the displacement series it
+cannot absorb is exactly what the migration machinery must handle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..traces import PowerTrace
+
+
+@dataclass(frozen=True)
+class FrequencyScaling:
+    """DVFS envelope of the fleet.
+
+    Attributes:
+        min_frequency: Lowest usable frequency relative to nominal
+            (below this, voltage cannot drop further and efficiency
+            collapses; 0.5-0.7 is typical).
+        power_exponent: Exponent of the power-frequency law; 3.0 for
+            the classic ``P ~ V^2 f`` with voltage tracking frequency,
+            lower for modern near-threshold parts.
+    """
+
+    min_frequency: float = 0.6
+    power_exponent: float = 3.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.min_frequency <= 1.0:
+            raise ConfigurationError(
+                f"min frequency must be in (0,1]: {self.min_frequency}"
+            )
+        if self.power_exponent < 1.0:
+            raise ConfigurationError(
+                f"power exponent must be >= 1: {self.power_exponent}"
+            )
+
+    def power_at(self, frequency: float) -> float:
+        """Relative core power at a relative frequency."""
+        if not 0.0 <= frequency <= 1.0:
+            raise ConfigurationError(
+                f"frequency must be in [0,1]: {frequency}"
+            )
+        return frequency**self.power_exponent
+
+    def frequency_for_power(self, power_fraction: float) -> float:
+        """Frequency whose power draw equals ``power_fraction``.
+
+        Unclamped inverse of :meth:`power_at`; callers clamp to the
+        usable range.
+        """
+        if power_fraction < 0:
+            raise ConfigurationError(
+                f"power fraction must be >= 0: {power_fraction}"
+            )
+        return float(power_fraction ** (1.0 / self.power_exponent))
+
+
+@dataclass(frozen=True)
+class DVFSStep:
+    """DVFS outcome for one step.
+
+    Attributes:
+        frequency: Chosen relative frequency for powered cores.
+        powered_fraction: Share of the load's cores that stay powered.
+        displaced_fraction: Share of total cores that must still be
+            displaced (migrated/paused) despite slowing down.
+        slowdown: Relative execution-time inflation (1/f - 1) paid by
+            the cores that keep running.
+    """
+
+    frequency: float
+    powered_fraction: float
+    displaced_fraction: float
+    slowdown: float
+
+
+def absorb_step(
+    norm_power: float, load_fraction: float, scaling: FrequencyScaling
+) -> DVFSStep:
+    """How much of a power dip DVFS absorbs in one step.
+
+    ``load_fraction`` is the allocated-core share of the cluster;
+    ``norm_power`` the available generation.  All powered cores run at
+    one frequency (fleet-wide DVFS).  Strategy: slow down just enough
+    to keep every allocated core powered; if even ``min_frequency``
+    cannot, run at the floor and displace the remainder.
+    """
+    if not 0.0 <= norm_power <= 1.0:
+        raise ConfigurationError(
+            f"norm power must be in [0,1]: {norm_power}"
+        )
+    if not 0.0 <= load_fraction <= 1.0:
+        raise ConfigurationError(
+            f"load fraction must be in [0,1]: {load_fraction}"
+        )
+    if load_fraction == 0.0:
+        return DVFSStep(1.0, 1.0, 0.0, 0.0)
+    if norm_power >= load_fraction:
+        return DVFSStep(1.0, 1.0, 0.0, 0.0)
+    needed = scaling.frequency_for_power(norm_power / load_fraction)
+    if needed >= scaling.min_frequency:
+        frequency = needed
+        return DVFSStep(frequency, 1.0, 0.0, 1.0 / frequency - 1.0)
+    # Even the floor frequency cannot power everything: run what fits
+    # at the floor and displace the rest.
+    frequency = scaling.min_frequency
+    per_core_power = scaling.power_at(frequency)
+    powered = min(norm_power / per_core_power, load_fraction)
+    return DVFSStep(
+        frequency,
+        powered / load_fraction,
+        load_fraction - powered,
+        1.0 / frequency - 1.0,
+    )
+
+
+def dvfs_displacement_series(
+    trace: PowerTrace,
+    load_fraction: float,
+    scaling: FrequencyScaling | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Displacement with and without DVFS over a whole trace.
+
+    Returns:
+        ``(displaced_without, displaced_with, slowdown)`` arrays, all
+        in units of core-fraction (of the cluster) and relative
+        slowdown per step.  The without-DVFS series is the paper's
+        baseline ``max(0, load - power)``.
+    """
+    scaling = scaling or FrequencyScaling()
+    without = np.clip(load_fraction - trace.values, 0.0, None)
+    with_dvfs = np.empty(len(trace))
+    slowdown = np.empty(len(trace))
+    for i, power in enumerate(trace.values):
+        step = absorb_step(float(min(power, 1.0)), load_fraction, scaling)
+        with_dvfs[i] = step.displaced_fraction
+        slowdown[i] = step.slowdown
+    return without, with_dvfs, slowdown
+
+
+def dvfs_absorption_summary(
+    trace: PowerTrace,
+    load_fraction: float,
+    scaling: FrequencyScaling | None = None,
+) -> dict[str, float]:
+    """Headline numbers for the DVFS ablation.
+
+    Returns a dict with the displaced core-step totals with/without
+    DVFS, the fraction of displacement absorbed, and the mean slowdown
+    paid while absorbing.
+    """
+    without, with_dvfs, slowdown = dvfs_displacement_series(
+        trace, load_fraction, scaling
+    )
+    total_without = float(without.sum())
+    total_with = float(with_dvfs.sum())
+    absorbing = slowdown > 0
+    return {
+        "displaced_core_steps_without": total_without,
+        "displaced_core_steps_with": total_with,
+        "absorbed_fraction": (
+            1.0 - total_with / total_without if total_without > 0 else 1.0
+        ),
+        "mean_slowdown_while_absorbing": (
+            float(slowdown[absorbing].mean()) if absorbing.any() else 0.0
+        ),
+    }

@@ -1,0 +1,79 @@
+"""Typed event log for the datacenter simulator.
+
+Every admission, rejection, launch, eviction, pause, resume, and
+completion is recorded with its step and traffic volume, so tests and
+analyses can audit the simulator's behaviour instead of trusting
+aggregate counters.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class EventKind(enum.Enum):
+    """What happened."""
+
+    ADMIT = "admit"              # VM placed on arrival
+    REJECT = "reject"            # VM refused by admission control
+    QUEUE = "queue"              # VM admitted but waiting for power
+    LAUNCH = "launch"            # queued VM started (in-migration)
+    EVICT = "evict"              # VM migrated out (out-migration)
+    PAUSE = "pause"              # degradable VM parked in place
+    RESUME = "resume"            # paused VM continued
+    COMPLETE = "complete"        # VM lifetime finished
+
+
+@dataclass(frozen=True)
+class Event:
+    """One simulator event.
+
+    Attributes:
+        step: Simulation step at which it happened.
+        kind: Event type.
+        vm_id: Subject VM.
+        bytes_moved: Migration traffic attributed to the event (only
+            LAUNCH and EVICT move bytes).
+    """
+
+    step: int
+    kind: EventKind
+    vm_id: int
+    bytes_moved: float = 0.0
+
+
+class EventLog:
+    """Append-only event record with simple query helpers."""
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def record(
+        self, step: int, kind: EventKind, vm_id: int, bytes_moved: float = 0.0
+    ) -> None:
+        """Append an event."""
+        self._events.append(Event(step, kind, vm_id, bytes_moved))
+
+    def of_kind(self, kind: EventKind) -> list[Event]:
+        """All events of one kind, in order."""
+        return [e for e in self._events if e.kind is kind]
+
+    def count(self, kind: EventKind) -> int:
+        """Number of events of one kind."""
+        return sum(1 for e in self._events if e.kind is kind)
+
+    def bytes_of_kind(self, kind: EventKind) -> float:
+        """Total traffic attributed to events of one kind."""
+        return sum(e.bytes_moved for e in self._events if e.kind is kind)
+
+    def for_vm(self, vm_id: int) -> list[Event]:
+        """Every event touching one VM, in order."""
+        return [e for e in self._events if e.vm_id == vm_id]

@@ -1,0 +1,187 @@
+"""Pre-copy live-migration cost model (the paper's stated future work).
+
+Footnote 2 of the paper: "As future work, we plan to incorporate
+migration latency and impact to application's execution time similar to
+[Akoush et al. 2010]".  This module implements that model: iterative
+pre-copy live migration, where memory is copied while the VM runs and
+dirtied pages are re-sent in rounds until the residual is small enough
+to stop-and-copy.
+
+Outputs per migration: total bytes on the wire (an *amplification* of
+the VM's memory size — the paper's Figure-4 volumes assume exactly one
+memory copy), wall-clock duration, blackout (downtime), and the
+execution-time impact on the migrating VM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import gbps_to_bytes_per_second
+
+
+@dataclass(frozen=True)
+class LiveMigrationModel:
+    """Pre-copy migration parameters.
+
+    Attributes:
+        link_gbps: Bandwidth available to one migration stream.
+        dirty_rate_bytes_per_s: Rate at which the running VM dirties
+            memory during a copy round.  Write-heavy VMs converge
+            slowly (or not at all) and pay higher amplification.
+        downtime_target_bytes: Stop-and-copy once the residual dirty
+            set is at most this size — the final blackout transfers it
+            with the VM paused.
+        max_rounds: Pre-copy round cap; if the dirty set has not
+            converged by then, the VM stops and copies whatever is
+            left (the "non-convergent" case of write-heavy workloads).
+        slowdown_during_copy: Fractional execution slowdown the VM
+            experiences while its memory is being copied (page-tracking
+            and bandwidth contention overhead).
+    """
+
+    link_gbps: float = 10.0
+    dirty_rate_bytes_per_s: float = 100e6
+    downtime_target_bytes: float = 64e6
+    max_rounds: int = 10
+    slowdown_during_copy: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.link_gbps <= 0:
+            raise ConfigurationError(
+                f"link bandwidth must be positive: {self.link_gbps}"
+            )
+        if self.dirty_rate_bytes_per_s < 0:
+            raise ConfigurationError(
+                f"dirty rate must be >= 0: {self.dirty_rate_bytes_per_s}"
+            )
+        if self.downtime_target_bytes <= 0:
+            raise ConfigurationError(
+                "downtime target must be positive:"
+                f" {self.downtime_target_bytes}"
+            )
+        if self.max_rounds < 1:
+            raise ConfigurationError(
+                f"max_rounds must be >= 1: {self.max_rounds}"
+            )
+        if not 0.0 <= self.slowdown_during_copy < 1.0:
+            raise ConfigurationError(
+                "slowdown must be in [0,1):"
+                f" {self.slowdown_during_copy}"
+            )
+
+    @property
+    def link_bytes_per_s(self) -> float:
+        """Link bandwidth in bytes/second."""
+        return gbps_to_bytes_per_second(self.link_gbps)
+
+    @property
+    def dirty_to_link_ratio(self) -> float:
+        """Dirty rate over link rate; < 1 means pre-copy converges."""
+        return self.dirty_rate_bytes_per_s / self.link_bytes_per_s
+
+
+@dataclass(frozen=True)
+class MigrationEstimate:
+    """Predicted cost of one live migration.
+
+    Attributes:
+        memory_bytes: The VM's memory footprint.
+        total_bytes: Bytes actually sent (pre-copy rounds + blackout).
+        duration_s: Wall-clock time from start to completion.
+        downtime_s: Blackout while the final dirty set transfers.
+        rounds: Pre-copy rounds performed (1 = the initial full copy).
+        converged: False when the round cap forced stop-and-copy with a
+            dirty set still above the downtime target.
+        execution_delay_s: Extra VM execution time attributable to the
+            migration (slowdown during copy plus the blackout itself) —
+            the "impact to application's execution time" of footnote 2.
+    """
+
+    memory_bytes: float
+    total_bytes: float
+    duration_s: float
+    downtime_s: float
+    rounds: int
+    converged: bool
+    execution_delay_s: float
+
+    @property
+    def amplification(self) -> float:
+        """Wire bytes relative to a single memory copy."""
+        if self.memory_bytes <= 0:
+            return 1.0
+        return self.total_bytes / self.memory_bytes
+
+
+def estimate_migration(
+    memory_bytes: float, model: LiveMigrationModel | None = None
+) -> MigrationEstimate:
+    """Predict the cost of live-migrating a VM of ``memory_bytes``.
+
+    Pre-copy iteration: round 1 sends all memory; while a round of
+    ``b`` bytes is on the wire (taking ``b / link``) the VM dirties
+    ``dirty_rate * b / link`` bytes, which the next round must resend.
+    With ``rho = dirty_rate / link < 1`` the dirty set shrinks
+    geometrically; rounds stop when it reaches the downtime target or
+    the round cap, and the remainder ships during the blackout.
+    """
+    model = model or LiveMigrationModel()
+    if memory_bytes < 0:
+        raise ConfigurationError(
+            f"memory must be >= 0: {memory_bytes}"
+        )
+    link = model.link_bytes_per_s
+    rho = model.dirty_to_link_ratio
+    sent = 0.0
+    copy_time = 0.0
+    pending = float(memory_bytes)
+    rounds = 0
+    converged = True
+    while True:
+        rounds += 1
+        sent += pending
+        round_time = pending / link
+        copy_time += round_time
+        # Dirty pages accumulated during this round (capped at the
+        # memory size — a page dirtied twice still only needs one send).
+        pending = min(
+            model.dirty_rate_bytes_per_s * round_time, float(memory_bytes)
+        )
+        if pending <= model.downtime_target_bytes:
+            break
+        if rounds >= model.max_rounds:
+            converged = False
+            break
+        if rho >= 1.0:
+            # Dirtying outpaces the link: pre-copy cannot converge, so
+            # stop early rather than loop at the cap for nothing.
+            converged = False
+            break
+    downtime = pending / link
+    sent += pending
+    duration = copy_time + downtime
+    execution_delay = copy_time * model.slowdown_during_copy + downtime
+    return MigrationEstimate(
+        memory_bytes=float(memory_bytes),
+        total_bytes=sent,
+        duration_s=duration,
+        downtime_s=downtime,
+        rounds=rounds,
+        converged=converged,
+        execution_delay_s=execution_delay,
+    )
+
+
+def amplification_factor(
+    memory_bytes: float, model: LiveMigrationModel | None = None
+) -> float:
+    """Wire-bytes amplification for a VM of ``memory_bytes``.
+
+    A convenience for scaling the paper's one-copy traffic estimates
+    into live-migration wire traffic.
+    """
+    if memory_bytes <= 0:
+        return 1.0
+    return estimate_migration(memory_bytes, model).amplification

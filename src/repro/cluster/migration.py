@@ -1,0 +1,125 @@
+"""Eviction planning: which VMs migrate out when power drops.
+
+The paper migrates VMs "from servers in a round-robin order".  The
+planner walks servers round-robin (continuing from where the previous
+power dip left off) and picks one VM per visited server until enough
+cores are freed.  Which VM to take from a server is configurable; the
+paper leaves it unspecified, so the default is the first-placed VM and
+the alternatives feed the eviction-order ablation.
+
+Degradable VMs can optionally be paused in place instead of migrated —
+§3.1's "degradable VMs take most of the hit without needing to migrate
+stable VMs".  Pausing frees cores at zero network cost.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+from ..errors import ConfigurationError
+from .server import Server
+from .vm import VM
+
+
+class EvictionOrder(enum.Enum):
+    """How to pick the victim VM on a visited server."""
+
+    FIRST_PLACED = "first_placed"
+    LARGEST_CORES = "largest_cores"
+    SMALLEST_MEMORY = "smallest_memory"
+
+
+class EvictionPlanner:
+    """Round-robin victim selection across servers.
+
+    Args:
+        n_servers: Cluster size; the rotor position persists across
+            calls, matching a real control loop that keeps cycling.
+        order: Victim choice within a server.
+        pause_degradable: When True, degradable VMs found by the rotor
+            are paused in place (freeing cores, costing no bytes)
+            instead of being migrated out.
+    """
+
+    def __init__(
+        self,
+        n_servers: int,
+        order: EvictionOrder = EvictionOrder.FIRST_PLACED,
+        pause_degradable: bool = False,
+    ):
+        if n_servers <= 0:
+            raise ConfigurationError(
+                f"n_servers must be positive: {n_servers}"
+            )
+        self.n_servers = n_servers
+        self.order = order
+        self.pause_degradable = pause_degradable
+        self._rotor = 0
+
+    def _pick_victim(self, server: Server) -> VM | None:
+        candidates = server.running_vms()
+        if not candidates:
+            return None
+        if self.order is EvictionOrder.FIRST_PLACED:
+            return candidates[0]
+        if self.order is EvictionOrder.LARGEST_CORES:
+            return max(candidates, key=lambda vm: (vm.cores, -vm.vm_id))
+        return min(candidates, key=lambda vm: (vm.memory_bytes, vm.vm_id))
+
+    def plan(
+        self, servers: Sequence[Server], cores_to_free: int
+    ) -> tuple[list[VM], list[VM]]:
+        """Select VMs until at least ``cores_to_free`` cores are freed.
+
+        Walks servers round-robin from the persisted rotor position,
+        taking one victim per visited server per lap.  Returns
+        ``(to_migrate, to_pause)``; the caller performs the actual
+        transitions and bookkeeping.  If the cluster cannot free enough
+        cores (everything already evicted), returns what it could.
+        """
+        if cores_to_free <= 0:
+            return [], []
+        to_migrate: list[VM] = []
+        to_pause: list[VM] = []
+        selected: set[int] = set()
+        freed = 0
+        visited_without_progress = 0
+        while freed < cores_to_free and visited_without_progress < len(servers):
+            server = servers[self._rotor % len(servers)]
+            self._rotor = (self._rotor + 1) % len(servers)
+            victim = None
+            for candidate in self._iter_candidates(server):
+                if candidate.vm_id not in selected:
+                    victim = candidate
+                    break
+            if victim is None:
+                visited_without_progress += 1
+                continue
+            visited_without_progress = 0
+            selected.add(victim.vm_id)
+            freed += victim.cores
+            if self.pause_degradable and not victim.is_stable:
+                to_pause.append(victim)
+            else:
+                to_migrate.append(victim)
+        return to_migrate, to_pause
+
+    def _iter_candidates(self, server: Server):
+        """Victims on ``server`` in preference order for this planner."""
+        candidates = server.running_vms()
+        if self.order is EvictionOrder.FIRST_PLACED:
+            return candidates
+        if self.order is EvictionOrder.LARGEST_CORES:
+            return sorted(candidates, key=lambda vm: (-vm.cores, vm.vm_id))
+        return sorted(candidates, key=lambda vm: (vm.memory_bytes, vm.vm_id))
+
+
+def migration_bytes(vms: Sequence[VM]) -> float:
+    """Total migration traffic for a set of VMs, in bytes.
+
+    The paper estimates migration traffic by the memory allocated to the
+    VM (no disk/memory-utilization data in the trace), so the volume is
+    simply the sum of memory footprints.
+    """
+    return float(sum(vm.memory_bytes for vm in vms))

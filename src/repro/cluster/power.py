@@ -1,0 +1,85 @@
+"""Cluster power models: generation -> powered-core budget.
+
+The paper scales the renewable trace so the cluster is fully powered at
+the farm's max capacity, and absorbs dips by "powering down unallocated
+cores".  The implied model — cluster power proportional to powered
+cores — is :class:`LinearCorePower`, the default.
+:class:`ServerGranularPower` refines it with per-server idle draw, where
+power gates at server granularity (a server must be on, paying idle
+power, for any of its cores to be powered); it exists for the power-
+model ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from ..errors import ConfigurationError
+from .resources import ClusterSpec
+
+
+@runtime_checkable
+class PowerModel(Protocol):
+    """Maps normalized generation to a powered-core budget."""
+
+    def core_budget(self, norm_power: float) -> int:
+        """Cores that may be powered when generation is ``norm_power``."""
+        ...
+
+
+class LinearCorePower:
+    """Power draw proportional to powered cores (the paper's model).
+
+    At ``norm_power = 1.0`` every core can be powered; at 0.25, a
+    quarter of them.  Budgets floor (never round up past generation).
+    """
+
+    def __init__(self, cluster: ClusterSpec):
+        self.cluster = cluster
+
+    def core_budget(self, norm_power: float) -> int:
+        """Cores powerable at ``norm_power`` (floored, linear)."""
+        if not 0.0 <= norm_power <= 1.0 + 1e-9:
+            raise ConfigurationError(
+                f"normalized power out of range: {norm_power}"
+            )
+        return int(min(norm_power, 1.0) * self.cluster.total_cores)
+
+
+class ServerGranularPower:
+    """Server-granular gating with idle overhead.
+
+    Each powered-on server pays ``idle_fraction`` of its max draw before
+    any core is powered; cores then cost the incremental core power.
+    Given a generation budget in watts, the model answers: powering on
+    ``s`` fully-used servers costs ``s * max_power_w``; the usable core
+    budget is the largest count achievable by greedily filling whole
+    servers.  This models why consolidation (few, full servers) beats
+    spreading for a VB site.
+    """
+
+    def __init__(self, cluster: ClusterSpec):
+        self.cluster = cluster
+
+    def core_budget(self, norm_power: float) -> int:
+        """Cores powerable after paying per-server idle overhead."""
+        if not 0.0 <= norm_power <= 1.0 + 1e-9:
+            raise ConfigurationError(
+                f"normalized power out of range: {norm_power}"
+            )
+        spec = self.cluster.server
+        budget_w = min(norm_power, 1.0) * self.cluster.max_power_w
+        idle_w = spec.max_power_w * spec.idle_fraction
+        core_w = spec.core_power_w
+        # Fill whole servers first (each costs idle + all cores), then a
+        # partial server with as many cores as the remainder affords.
+        full_server_w = idle_w + core_w * spec.cores
+        full_servers = min(
+            int(budget_w / full_server_w), self.cluster.n_servers
+        )
+        cores = full_servers * spec.cores
+        remaining_w = budget_w - full_servers * full_server_w
+        if full_servers < self.cluster.n_servers and remaining_w > idle_w:
+            partial = int((remaining_w - idle_w) / core_w)
+            cores += min(partial, spec.cores)
+        return cores

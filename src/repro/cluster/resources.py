@@ -1,0 +1,87 @@
+"""Server and cluster specifications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import gib_to_bytes
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """Hardware shape of one server.
+
+    The paper's setup: 40 cores and 512 GB of memory per server.
+
+    Attributes:
+        cores: Physical cores.
+        memory_gib: Memory in GiB.
+        max_power_w: Server power draw with all cores powered; the
+            power model scales within this.
+        idle_fraction: Share of ``max_power_w`` drawn by a powered-on
+            server with zero powered cores (chassis, fans, RAM refresh).
+    """
+
+    cores: int = 40
+    memory_gib: float = 512.0
+    max_power_w: float = 400.0
+    idle_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigurationError(f"cores must be positive: {self.cores}")
+        if self.memory_gib <= 0:
+            raise ConfigurationError(
+                f"memory must be positive: {self.memory_gib}"
+            )
+        if self.max_power_w <= 0:
+            raise ConfigurationError(
+                f"max power must be positive: {self.max_power_w}"
+            )
+        if not 0.0 <= self.idle_fraction < 1.0:
+            raise ConfigurationError(
+                f"idle fraction must be in [0,1): {self.idle_fraction}"
+            )
+
+    @property
+    def memory_bytes(self) -> float:
+        """Server memory in bytes."""
+        return gib_to_bytes(self.memory_gib)
+
+    @property
+    def core_power_w(self) -> float:
+        """Incremental power per powered core."""
+        return self.max_power_w * (1.0 - self.idle_fraction) / self.cores
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster: ``n_servers`` identical servers.
+
+    The paper instantiates a site with about 700 servers.
+    """
+
+    n_servers: int = 700
+    server: ServerSpec = ServerSpec()
+
+    def __post_init__(self) -> None:
+        if self.n_servers <= 0:
+            raise ConfigurationError(
+                f"n_servers must be positive: {self.n_servers}"
+            )
+
+    @property
+    def total_cores(self) -> int:
+        """Cores across the whole cluster."""
+        return self.n_servers * self.server.cores
+
+    @property
+    def total_memory_bytes(self) -> float:
+        """Memory across the whole cluster, bytes."""
+        return self.n_servers * self.server.memory_bytes
+
+    @property
+    def max_power_w(self) -> float:
+        """Cluster draw with every core powered."""
+        return self.n_servers * self.server.max_power_w

@@ -1,0 +1,115 @@
+"""Server state: core/memory accounting for placed VMs."""
+
+from __future__ import annotations
+
+from ..errors import AllocationError, CapacityError
+from .resources import ServerSpec
+from .vm import VM, VMState
+
+
+class Server:
+    """One server's allocation state.
+
+    Tracks which VMs it hosts and how many cores/bytes they pin.  The
+    server itself has no notion of power — the cluster-level power model
+    decides how many cores may be powered overall; the server just
+    reports what is allocated.
+    """
+
+    def __init__(self, server_id: int, spec: ServerSpec):
+        self.server_id = server_id
+        self.spec = spec
+        self._vms: dict[int, VM] = {}
+        self._allocated_cores = 0
+        self._allocated_memory = 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"Server(id={self.server_id},"
+            f" cores={self._allocated_cores}/{self.spec.cores},"
+            f" vms={len(self._vms)})"
+        )
+
+    @property
+    def allocated_cores(self) -> int:
+        """Cores pinned by hosted VMs."""
+        return self._allocated_cores
+
+    @property
+    def allocated_memory_bytes(self) -> float:
+        """Memory pinned by hosted VMs, bytes."""
+        return self._allocated_memory
+
+    @property
+    def free_cores(self) -> int:
+        """Cores not pinned by any VM."""
+        return self.spec.cores - self._allocated_cores
+
+    @property
+    def free_memory_bytes(self) -> float:
+        """Unpinned memory, bytes."""
+        return self.spec.memory_bytes - self._allocated_memory
+
+    @property
+    def vm_count(self) -> int:
+        """Number of hosted VMs."""
+        return len(self._vms)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no VM is hosted."""
+        return not self._vms
+
+    def vms(self) -> list[VM]:
+        """Hosted VMs in placement order."""
+        return list(self._vms.values())
+
+    def fits(self, vm: VM) -> bool:
+        """True if the VM's cores and memory both fit."""
+        return (
+            vm.cores <= self.free_cores
+            and vm.memory_bytes <= self.free_memory_bytes
+        )
+
+    def host(self, vm: VM) -> None:
+        """Place ``vm`` on this server.
+
+        Raises:
+            CapacityError: if the VM does not fit.
+            AllocationError: if the VM is already hosted here.
+        """
+        if vm.vm_id in self._vms:
+            raise AllocationError(
+                f"VM {vm.vm_id} already on server {self.server_id}"
+            )
+        if not self.fits(vm):
+            raise CapacityError(
+                f"VM {vm.vm_id} ({vm.cores}c/{vm.memory_bytes:.0f}B) does"
+                f" not fit on server {self.server_id}"
+                f" ({self.free_cores}c/{self.free_memory_bytes:.0f}B free)"
+            )
+        vm.place(self.server_id)
+        self._vms[vm.vm_id] = vm
+        self._allocated_cores += vm.cores
+        self._allocated_memory += vm.memory_bytes
+
+    def release(self, vm: VM) -> None:
+        """Remove ``vm`` from this server without changing its state.
+
+        Used for completion (state already COMPLETED) and as the
+        bookkeeping half of eviction (caller transitions the VM).
+
+        Raises:
+            AllocationError: if the VM is not hosted here.
+        """
+        if vm.vm_id not in self._vms:
+            raise AllocationError(
+                f"VM {vm.vm_id} not on server {self.server_id}"
+            )
+        del self._vms[vm.vm_id]
+        self._allocated_cores -= vm.cores
+        self._allocated_memory -= vm.memory_bytes
+
+    def running_vms(self) -> list[VM]:
+        """Hosted VMs currently in the RUNNING state."""
+        return [vm for vm in self._vms.values() if vm.state is VMState.RUNNING]

@@ -1,0 +1,139 @@
+"""Runtime VM objects inside the datacenter simulator."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import AllocationError
+from ..workload import VMClass, VMRequest, VMType
+
+
+class VMState(enum.Enum):
+    """Lifecycle of a VM inside a site.
+
+    PENDING: admitted to the queue but not yet running (no power).
+    RUNNING: placed on a server and consuming cores.
+    PAUSED: degradable VM parked in place during a power dip.
+    MIGRATED_OUT: evicted from this site (running elsewhere).
+    COMPLETED: lifetime exhausted.
+    REJECTED: refused by admission control.
+    """
+
+    PENDING = "pending"
+    RUNNING = "running"
+    PAUSED = "paused"
+    MIGRATED_OUT = "migrated_out"
+    COMPLETED = "completed"
+    REJECTED = "rejected"
+
+
+@dataclass
+class VM:
+    """A VM instance being simulated.
+
+    Lifetime accounting: ``remaining_steps`` counts down only while the
+    VM is RUNNING — a paused or queued VM makes no progress, matching
+    how degradable (spot/harvest) workloads actually behave.
+
+    Attributes:
+        request: The originating workload request.
+        state: Current lifecycle state.
+        server_id: Hosting server index while RUNNING/PAUSED, else None.
+        remaining_steps: Steps of execution still owed.
+        migrations: How many times this VM has been migrated.
+        finish_step: The step the simulator expects the VM to complete,
+            while RUNNING; None otherwise.  Maintained by the simulator's
+            event-driven completion schedule.
+    """
+
+    request: VMRequest
+    state: VMState = VMState.PENDING
+    server_id: int | None = None
+    remaining_steps: int = field(default=-1)
+    migrations: int = 0
+    finish_step: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.remaining_steps < 0:
+            self.remaining_steps = self.request.lifetime_steps
+
+    @property
+    def vm_id(self) -> int:
+        """The workload-assigned VM id."""
+        return self.request.vm_id
+
+    @property
+    def vm_type(self) -> VMType:
+        """The VM's size."""
+        return self.request.vm_type
+
+    @property
+    def vm_class(self) -> VMClass:
+        """Stable or degradable."""
+        return self.request.vm_class
+
+    @property
+    def cores(self) -> int:
+        """Core demand."""
+        return self.request.cores
+
+    @property
+    def memory_bytes(self) -> float:
+        """Memory footprint in bytes (the migration traffic estimate)."""
+        return self.request.memory_bytes
+
+    @property
+    def is_stable(self) -> bool:
+        """True for availability-requiring (stable) VMs."""
+        return self.vm_class is VMClass.STABLE
+
+    def place(self, server_id: int) -> None:
+        """Mark the VM as running on ``server_id``."""
+        if self.state not in (VMState.PENDING, VMState.MIGRATED_OUT):
+            raise AllocationError(
+                f"cannot place VM {self.vm_id} from state {self.state}"
+            )
+        self.state = VMState.RUNNING
+        self.server_id = server_id
+
+    def evict(self) -> None:
+        """Mark the VM as migrated out of this site."""
+        if self.state is not VMState.RUNNING:
+            raise AllocationError(
+                f"cannot evict VM {self.vm_id} from state {self.state}"
+            )
+        self.state = VMState.MIGRATED_OUT
+        self.server_id = None
+        self.migrations += 1
+
+    def pause(self) -> None:
+        """Park a degradable VM in place during a power dip."""
+        if self.state is not VMState.RUNNING:
+            raise AllocationError(
+                f"cannot pause VM {self.vm_id} from state {self.state}"
+            )
+        if self.is_stable:
+            raise AllocationError(
+                f"stable VM {self.vm_id} cannot be paused, only migrated"
+            )
+        self.state = VMState.PAUSED
+
+    def resume(self) -> None:
+        """Resume a paused degradable VM on its original server."""
+        if self.state is not VMState.PAUSED:
+            raise AllocationError(
+                f"cannot resume VM {self.vm_id} from state {self.state}"
+            )
+        self.state = VMState.RUNNING
+
+    def tick(self) -> bool:
+        """Advance one step of execution; return True when finished."""
+        if self.state is not VMState.RUNNING:
+            return False
+        self.remaining_steps -= 1
+        if self.remaining_steps <= 0:
+            self.state = VMState.COMPLETED
+            self.server_id = None
+            return True
+        return False

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro (Virtual Battery) library.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single type at API boundaries.  Subclasses are kept
+deliberately flat: one class per failure domain, not per failure site.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TimeGridError(ReproError):
+    """A time-grid operation was invalid (mismatched grids, bad bounds)."""
+
+
+class TraceError(ReproError):
+    """A power trace was malformed or used inconsistently."""
+
+
+class ForecastError(ReproError):
+    """A forecast was requested or constructed with invalid parameters."""
+
+
+class CapacityError(ReproError):
+    """A resource request exceeded available capacity."""
+
+
+class AllocationError(ReproError):
+    """VM placement onto a server failed or was inconsistent."""
+
+
+class SchedulingError(ReproError):
+    """The co-scheduler could not produce a valid assignment."""
+
+
+class SolverError(SchedulingError):
+    """The MIP/LP solver failed or returned an infeasible status."""
+
+
+class ConfigurationError(ReproError):
+    """A simulation or model was configured with invalid parameters."""

@@ -1,0 +1,48 @@
+"""Power forecasting: the predictability the co-scheduler relies on.
+
+The paper's key enabler (§3.1) is that renewable production is spiky but
+*predictable*: the ELIA dataset's weather-based forecasts achieve a MAPE
+of 8.5-9% at 3 hours ahead, 18-25% a day ahead, and 44-75% a week ahead.
+This subpackage reproduces that structure with:
+
+- :class:`~repro.forecast.base.Forecast` — an issued forecast on a grid.
+- :class:`~repro.forecast.models.NoisyOracleForecaster` — the primary
+  model: the true trace corrupted with horizon-growing noise, calibrated
+  to the paper's MAPE bands.
+- :class:`~repro.forecast.models.PersistenceForecaster` and
+  :class:`~repro.forecast.models.ClimatologyForecaster` — classic
+  baselines for comparison.
+- :mod:`~repro.forecast.metrics` — MAPE/MAE/RMSE and per-horizon
+  evaluation harnesses.
+"""
+
+from .base import Forecast, Forecaster
+from .models import (
+    ClimatologyForecaster,
+    HorizonNoise,
+    NoisyOracleForecaster,
+    PersistenceForecaster,
+    paper_calibrated_noise,
+)
+from .metrics import (
+    mape,
+    mae,
+    rmse,
+    smape,
+    horizon_mape_profile,
+)
+
+__all__ = [
+    "Forecast",
+    "Forecaster",
+    "ClimatologyForecaster",
+    "HorizonNoise",
+    "NoisyOracleForecaster",
+    "PersistenceForecaster",
+    "paper_calibrated_noise",
+    "mape",
+    "mae",
+    "rmse",
+    "smape",
+    "horizon_mape_profile",
+]

@@ -1,0 +1,100 @@
+"""Forecast container and the Forecaster protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..errors import ForecastError
+from ..traces import PowerTrace
+from ..units import TimeGrid
+
+
+@dataclass(frozen=True)
+class Forecast:
+    """A power forecast issued at a specific trace index.
+
+    A forecast covers the half-open index window
+    ``[issue_index, issue_index + len(values))`` of the underlying
+    trace's grid.  Values are normalized power, like the trace itself.
+
+    Attributes:
+        grid: The grid of the *forecasted window* (not the full trace).
+        values: Predicted normalized power per window sample.
+        issue_index: Index into the source trace where the window starts.
+        site_name: Which site this forecast is for.
+    """
+
+    grid: TimeGrid
+    values: np.ndarray
+    issue_index: int
+    site_name: str = "site"
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=float)
+        if values.ndim != 1 or len(values) != self.grid.n:
+            raise ForecastError(
+                f"forecast values shape {values.shape} does not match grid"
+                f" of {self.grid.n}"
+            )
+        if np.any(~np.isfinite(values)) or np.any(values < 0):
+            raise ForecastError("forecast values must be finite and >= 0")
+        if self.issue_index < 0:
+            raise ForecastError(f"negative issue index: {self.issue_index}")
+        object.__setattr__(self, "values", values)
+
+    def __len__(self) -> int:
+        return self.grid.n
+
+    def horizon_steps(self, index: int) -> int:
+        """Lead time, in steps, of window sample ``index``.
+
+        The first forecasted sample has lead time 1 (it describes the
+        interval immediately after issuance).
+        """
+        if not 0 <= index < len(self):
+            raise ForecastError(f"index {index} out of forecast window")
+        return index + 1
+
+    def power_mw(self, capacity_mw: float) -> np.ndarray:
+        """Forecast in absolute MW at a given site capacity."""
+        if capacity_mw <= 0:
+            raise ForecastError(f"capacity must be positive: {capacity_mw}")
+        return self.values * capacity_mw
+
+
+@runtime_checkable
+class Forecaster(Protocol):
+    """Anything that can issue a forecast window for a trace.
+
+    Implementations take the *true* trace (the simulation's ground truth)
+    plus an issue point and return predicted values for the next
+    ``window`` samples.  How much of the truth leaks into the prediction
+    is the model's choice — a noisy oracle leaks everything but blurred,
+    persistence leaks one sample, climatology leaks nothing site-specific.
+    """
+
+    def forecast(
+        self, trace: PowerTrace, issue_index: int, window: int
+    ) -> Forecast:
+        """Issue a forecast of ``window`` samples from ``issue_index``."""
+        ...
+
+
+def check_window(trace: PowerTrace, issue_index: int, window: int) -> None:
+    """Validate a forecast request against the trace bounds.
+
+    Raises:
+        ForecastError: if the window does not fit inside the trace.
+    """
+    if window <= 0:
+        raise ForecastError(f"window must be positive, got {window}")
+    if issue_index < 0:
+        raise ForecastError(f"negative issue index: {issue_index}")
+    if issue_index + window > len(trace):
+        raise ForecastError(
+            f"forecast window [{issue_index}, {issue_index + window})"
+            f" exceeds trace of length {len(trace)}"
+        )

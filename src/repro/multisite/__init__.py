@@ -1,0 +1,57 @@
+"""Multi-VB analysis: site groups, latency graphs, and variability.
+
+Implements §2.3 (aggregating complementary sites to mask variability,
+stable/variable energy accounting, small grid purchases) and the site
+graph the §3.1 co-scheduler searches (latency-thresholded edges,
+k-clique enumeration ranked by combined coefficient of variation).
+"""
+
+from .site import VBSite, build_vb_sites
+from .latency import latency_ms, latency_matrix_ms, DEFAULT_LATENCY_THRESHOLD_MS
+from .graph import SiteGraph, CliqueCandidate
+from .variability import (
+    AggregationReport,
+    combination_report,
+    cov_improvement,
+    pairwise_cov_improvements,
+    stable_energy_split,
+    windowed_stable_energy,
+)
+from .battery import GridPurchase, PurchaseOutcome, stabilize_with_purchase
+from .physical_battery import (
+    BatterySimulation,
+    BatterySpec,
+    battery_capacity_for_stable_parity,
+    smooth_with_battery,
+)
+from .economics import CarbonModel, CostBreakdown, EconomicModel
+from .market import MarketModel, RevenueComparison, compare_revenue
+
+__all__ = [
+    "VBSite",
+    "build_vb_sites",
+    "latency_ms",
+    "latency_matrix_ms",
+    "DEFAULT_LATENCY_THRESHOLD_MS",
+    "SiteGraph",
+    "CliqueCandidate",
+    "AggregationReport",
+    "combination_report",
+    "cov_improvement",
+    "pairwise_cov_improvements",
+    "stable_energy_split",
+    "windowed_stable_energy",
+    "GridPurchase",
+    "PurchaseOutcome",
+    "stabilize_with_purchase",
+    "BatterySimulation",
+    "BatterySpec",
+    "battery_capacity_for_stable_parity",
+    "smooth_with_battery",
+    "EconomicModel",
+    "CostBreakdown",
+    "CarbonModel",
+    "MarketModel",
+    "RevenueComparison",
+    "compare_revenue",
+]

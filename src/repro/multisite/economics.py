@@ -1,0 +1,190 @@
+"""§2.1's economic argument as a small quantitative model.
+
+The paper's numbers: power is ~20% of datacenter operating cost, and
+~50% of the power expense is transmission & distribution — so
+co-locating compute with generation saves ~10% (= 20% x 50%) of total
+operating cost.  On top of that, VB sites can monetize energy that the
+grid would otherwise curtail (up to ~6% of renewable generation and
+rising) or sell at depressed/negative prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..traces import PowerTrace
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Annual operating cost split for one deployment option.
+
+    Attributes:
+        total_cost: Total annual operating cost (currency units).
+        power_cost: Share of ``total_cost`` spent on power.
+        transmission_cost: Share of ``power_cost`` spent on T&D.
+        curtailment_value: Value recovered from otherwise-curtailed
+            energy (zero for grid-fed deployments).
+    """
+
+    total_cost: float
+    power_cost: float
+    transmission_cost: float
+    curtailment_value: float = 0.0
+
+    @property
+    def effective_cost(self) -> float:
+        """Cost after netting out curtailment recovery."""
+        return self.total_cost - self.curtailment_value
+
+
+@dataclass(frozen=True)
+class EconomicModel:
+    """The paper's §2.1 cost parameters.
+
+    Attributes:
+        power_cost_fraction: Power's share of operating cost (0.20).
+        transmission_fraction: T&D's share of the power bill (0.50).
+        curtailment_rate: Fraction of renewable generation the grid
+            would curtail (paper cites up to 0.06 and growing).
+        energy_price_per_mwh: Value of a delivered MWh.
+    """
+
+    power_cost_fraction: float = 0.20
+    transmission_fraction: float = 0.50
+    curtailment_rate: float = 0.06
+    energy_price_per_mwh: float = 40.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "power_cost_fraction",
+            "transmission_fraction",
+            "curtailment_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0,1]: {value}")
+        if self.energy_price_per_mwh < 0:
+            raise ConfigurationError(
+                f"price must be >= 0: {self.energy_price_per_mwh}"
+            )
+
+    def grid_fed(self, annual_operating_cost: float) -> CostBreakdown:
+        """Cost breakdown of a conventional grid-fed datacenter."""
+        if annual_operating_cost < 0:
+            raise ConfigurationError(
+                f"cost must be >= 0: {annual_operating_cost}"
+            )
+        power = annual_operating_cost * self.power_cost_fraction
+        return CostBreakdown(
+            annual_operating_cost,
+            power,
+            power * self.transmission_fraction,
+        )
+
+    def virtual_battery(
+        self,
+        annual_operating_cost: float,
+        generation: PowerTrace | None = None,
+    ) -> CostBreakdown:
+        """Cost breakdown of a co-located VB deployment.
+
+        The transmission share of the power bill disappears; if a
+        generation trace is supplied, the curtailment fraction of its
+        energy is credited at the configured price.
+        """
+        grid = self.grid_fed(annual_operating_cost)
+        saved = grid.transmission_cost
+        curtailment_value = 0.0
+        if generation is not None:
+            curtailment_value = (
+                generation.energy_mwh()
+                * self.curtailment_rate
+                * self.energy_price_per_mwh
+            )
+        return CostBreakdown(
+            annual_operating_cost - saved,
+            grid.power_cost - saved,
+            0.0,
+            curtailment_value,
+        )
+
+    def savings_fraction(self) -> float:
+        """Headline §2.1 figure: fraction of total cost saved (~10%)."""
+        return self.power_cost_fraction * self.transmission_fraction
+
+
+@dataclass(frozen=True)
+class CarbonModel:
+    """Carbon accounting behind §1's motivation.
+
+    Cloud computing's emissions "surpass the aviation industry"; the
+    cloud providers' pledges are about the *grid mix* powering their
+    datacenters.  A VB site consumes its renewable generation directly
+    (lifecycle emissions only) and skips transmission losses, while a
+    grid-fed site pays the grid's average intensity plus the extra
+    generation burnt in transit.
+
+    Attributes:
+        grid_intensity_kg_per_mwh: Average grid carbon intensity
+            (EU mix ~300-400 kgCO2/MWh).
+        renewable_intensity_kg_per_mwh: Lifecycle intensity of wind/
+            solar (~10-40 kgCO2/MWh).
+        transmission_loss_fraction: Share of generated energy lost in
+            T&D before reaching a grid-fed datacenter.
+    """
+
+    grid_intensity_kg_per_mwh: float = 380.0
+    renewable_intensity_kg_per_mwh: float = 15.0
+    transmission_loss_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.grid_intensity_kg_per_mwh < 0:
+            raise ConfigurationError(
+                "grid intensity must be >= 0:"
+                f" {self.grid_intensity_kg_per_mwh}"
+            )
+        if self.renewable_intensity_kg_per_mwh < 0:
+            raise ConfigurationError(
+                "renewable intensity must be >= 0:"
+                f" {self.renewable_intensity_kg_per_mwh}"
+            )
+        if not 0.0 <= self.transmission_loss_fraction < 1.0:
+            raise ConfigurationError(
+                "transmission loss must be in [0,1):"
+                f" {self.transmission_loss_fraction}"
+            )
+
+    def grid_fed_emissions_kg(self, consumed_mwh: float) -> float:
+        """Emissions of serving ``consumed_mwh`` from the grid.
+
+        Losses mean more than ``consumed_mwh`` must be generated.
+        """
+        if consumed_mwh < 0:
+            raise ConfigurationError(
+                f"consumption must be >= 0: {consumed_mwh}"
+            )
+        generated = consumed_mwh / (1.0 - self.transmission_loss_fraction)
+        return generated * self.grid_intensity_kg_per_mwh
+
+    def vb_emissions_kg(self, consumed_mwh: float) -> float:
+        """Emissions of serving ``consumed_mwh`` at a co-located VB."""
+        if consumed_mwh < 0:
+            raise ConfigurationError(
+                f"consumption must be >= 0: {consumed_mwh}"
+            )
+        return consumed_mwh * self.renewable_intensity_kg_per_mwh
+
+    def savings_kg(self, consumed_mwh: float) -> float:
+        """Emissions avoided by VB vs a grid-fed deployment."""
+        return self.grid_fed_emissions_kg(
+            consumed_mwh
+        ) - self.vb_emissions_kg(consumed_mwh)
+
+    def savings_fraction(self) -> float:
+        """Relative emissions reduction of VB vs grid-fed."""
+        grid = self.grid_fed_emissions_kg(1.0)
+        if grid <= 0:
+            return 0.0
+        return 1.0 - self.vb_emissions_kg(1.0) / grid

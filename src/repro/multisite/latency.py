@@ -1,0 +1,66 @@
+"""Geographic latency estimation between VB sites.
+
+The paper connects two sites in the scheduling graph when their ping
+latency is under 50 ms.  We estimate RTT from great-circle distance:
+light in fibre covers ~200 km/ms one way, real paths detour (routing
+inflation ~1.5x is the long-standing empirical figure), plus a fixed
+per-hop processing overhead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..traces.sites import Site, SiteCatalog
+
+#: The paper's edge threshold for the VB site graph (§3.1).
+DEFAULT_LATENCY_THRESHOLD_MS = 50.0
+
+#: Speed of light in fibre, km per millisecond (one way).
+FIBRE_KM_PER_MS = 200.0
+
+#: Path-stretch factor: fibre routes are not great circles.
+ROUTE_INFLATION = 1.5
+
+#: Fixed RTT overhead (last-mile, queuing, processing), milliseconds.
+FIXED_OVERHEAD_MS = 4.0
+
+
+def latency_ms(
+    site_a: Site,
+    site_b: Site,
+    inflation: float = ROUTE_INFLATION,
+    overhead_ms: float = FIXED_OVERHEAD_MS,
+) -> float:
+    """Estimated round-trip latency between two sites, milliseconds."""
+    if inflation < 1.0:
+        raise ConfigurationError(
+            f"route inflation must be >= 1: {inflation}"
+        )
+    if overhead_ms < 0:
+        raise ConfigurationError(
+            f"overhead must be >= 0: {overhead_ms}"
+        )
+    distance = site_a.distance_km(site_b)
+    one_way_ms = distance * inflation / FIBRE_KM_PER_MS
+    return 2.0 * one_way_ms + overhead_ms
+
+
+def latency_matrix_ms(
+    catalog: SiteCatalog,
+    inflation: float = ROUTE_INFLATION,
+    overhead_ms: float = FIXED_OVERHEAD_MS,
+) -> np.ndarray:
+    """Pairwise RTT matrix for a catalog, milliseconds.
+
+    The diagonal is zero (a site to itself).
+    """
+    sites = list(catalog)
+    n = len(sites)
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            rtt = latency_ms(sites[i], sites[j], inflation, overhead_ms)
+            matrix[i, j] = matrix[j, i] = rtt
+    return matrix

@@ -1,0 +1,204 @@
+"""Physical (chemical) battery model — the alternative VB replaces.
+
+§1's motivation: grid-scale batteries are minuscule relative to
+renewable capacity (~0.4% in the US) and lose energy round-trip, which
+is why the paper shifts *computation* instead of electrons.  This
+module makes that comparison quantitative: a battery of a given energy
+capacity and power rating smooths a generation trace (charge on
+surplus, discharge on deficit against a target floor), and the smoothed
+trace's stable energy can be compared against what the same site gains
+from joining a multi-VB group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..traces import PowerTrace
+
+
+@dataclass(frozen=True)
+class BatterySpec:
+    """A stationary battery attached to one site.
+
+    Attributes:
+        capacity_mwh: Usable energy capacity.
+        max_power_mw: Charge and discharge power limit.
+        round_trip_efficiency: Fraction of charged energy recoverable
+            on discharge (applied on discharge; ~0.85 for Li-ion).
+        initial_charge_fraction: State of charge at the start.
+    """
+
+    capacity_mwh: float
+    max_power_mw: float
+    round_trip_efficiency: float = 0.85
+    initial_charge_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.capacity_mwh < 0:
+            raise ConfigurationError(
+                f"capacity must be >= 0: {self.capacity_mwh}"
+            )
+        if self.max_power_mw <= 0:
+            raise ConfigurationError(
+                f"power rating must be positive: {self.max_power_mw}"
+            )
+        if not 0.0 < self.round_trip_efficiency <= 1.0:
+            raise ConfigurationError(
+                "round-trip efficiency must be in (0,1]:"
+                f" {self.round_trip_efficiency}"
+            )
+        if not 0.0 <= self.initial_charge_fraction <= 1.0:
+            raise ConfigurationError(
+                "initial charge must be in [0,1]:"
+                f" {self.initial_charge_fraction}"
+            )
+
+
+@dataclass(frozen=True)
+class BatterySimulation:
+    """Result of smoothing a trace through a battery.
+
+    Attributes:
+        output: The delivered power trace (generation +/- battery).
+        state_of_charge_mwh: Stored energy after each step.
+        charged_mwh: Total energy sent into the battery.
+        discharged_mwh: Total energy delivered from it.
+        losses_mwh: Round-trip losses (charged minus recoverable).
+    """
+
+    output: PowerTrace
+    state_of_charge_mwh: np.ndarray
+    charged_mwh: float
+    discharged_mwh: float
+    losses_mwh: float
+
+
+def smooth_with_battery(
+    trace: PowerTrace,
+    battery: BatterySpec,
+    target_fraction: float = 0.5,
+) -> BatterySimulation:
+    """Run a greedy target-tracking battery policy over a trace.
+
+    The controller tries to hold delivered power at
+    ``target_fraction x mean generation``: above the target it charges
+    the surplus (up to power and capacity limits) and below it it
+    discharges (up to power and stored-energy limits).  Greedy
+    target-tracking is the standard firming baseline; it needs no
+    forecast, which keeps the comparison with the forecast-using
+    co-scheduler honest about where VB's advantage comes from.
+
+    Args:
+        trace: Site generation.
+        battery: Battery parameters.
+        target_fraction: Delivery target relative to mean generation.
+
+    Returns:
+        The smoothed trace and the battery's energy accounting.
+    """
+    if not 0.0 < target_fraction <= 2.0:
+        raise ConfigurationError(
+            f"target fraction must be in (0,2]: {target_fraction}"
+        )
+    step_hours = trace.grid.step_hours
+    generation = trace.power_mw()
+    target = target_fraction * float(generation.mean())
+    efficiency = battery.round_trip_efficiency
+
+    stored = battery.initial_charge_fraction * battery.capacity_mwh
+    output = np.empty(len(generation))
+    soc = np.empty(len(generation))
+    charged = 0.0
+    discharged = 0.0
+    for i, gen in enumerate(generation):
+        if gen >= target:
+            # Charge the surplus within power and headroom limits.
+            surplus_mw = min(gen - target, battery.max_power_mw)
+            headroom_mwh = battery.capacity_mwh - stored
+            charge_mwh = min(surplus_mw * step_hours, headroom_mwh)
+            stored += charge_mwh
+            charged += charge_mwh
+            output[i] = gen - charge_mwh / step_hours
+        else:
+            # Discharge toward the target within limits; stored energy
+            # delivers at round-trip efficiency.
+            deficit_mw = min(target - gen, battery.max_power_mw)
+            deliverable_mwh = stored * efficiency
+            discharge_mwh = min(deficit_mw * step_hours, deliverable_mwh)
+            stored -= discharge_mwh / efficiency if efficiency else 0.0
+            discharged += discharge_mwh
+            output[i] = gen + discharge_mwh / step_hours
+        soc[i] = stored
+    # Delivering `discharged` MWh drew `discharged / efficiency` from
+    # storage; the difference is the realized round-trip loss.
+    losses = discharged * (1.0 / efficiency - 1.0) if efficiency else 0.0
+    smoothed = PowerTrace(
+        trace.grid,
+        np.clip(output / trace.capacity_mw, 0.0, 1.0),
+        f"{trace.name}+battery",
+        trace.kind,
+        trace.capacity_mw,
+    )
+    return BatterySimulation(
+        output=smoothed,
+        state_of_charge_mwh=soc,
+        charged_mwh=charged,
+        discharged_mwh=discharged,
+        losses_mwh=max(losses, 0.0),
+    )
+
+
+def battery_capacity_for_stable_parity(
+    site_trace: PowerTrace,
+    group_trace: PowerTrace,
+    window_days: float = 3.0,
+    max_capacity_mwh: float = 50_000.0,
+    tolerance_mwh: float = 50.0,
+) -> float | None:
+    """Battery size matching a multi-VB group's stable-energy share.
+
+    Binary-searches the battery capacity (power rating scaled as C/4,
+    a typical 4-hour system) at which the battery-smoothed single site
+    reaches the *stable energy fraction* of the multi-VB aggregate.
+    Returns None when even ``max_capacity_mwh`` falls short — the
+    paper's point that batteries cannot economically match site
+    aggregation.
+    """
+    from .variability import windowed_stable_energy
+
+    group_stable, group_variable = windowed_stable_energy(
+        group_trace, window_days
+    )
+    group_total = group_stable + group_variable
+    if group_total <= 0:
+        return 0.0
+    target_fraction = group_stable / group_total
+
+    def stable_fraction(capacity: float) -> float:
+        if capacity == 0.0:
+            stable, variable = windowed_stable_energy(
+                site_trace, window_days
+            )
+        else:
+            battery = BatterySpec(capacity, max(capacity / 4.0, 1e-6))
+            smoothed = smooth_with_battery(site_trace, battery).output
+            stable, variable = windowed_stable_energy(
+                smoothed, window_days
+            )
+        total = stable + variable
+        return stable / total if total > 0 else 0.0
+
+    if stable_fraction(max_capacity_mwh) < target_fraction:
+        return None
+    low, high = 0.0, max_capacity_mwh
+    while high - low > tolerance_mwh:
+        mid = (low + high) / 2.0
+        if stable_fraction(mid) >= target_fraction:
+            high = mid
+        else:
+            low = mid
+    return high

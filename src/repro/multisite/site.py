@@ -1,0 +1,78 @@
+"""VBSite: a site's metadata, trace, and compute capacity in one object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..cluster import ClusterSpec
+from ..errors import ConfigurationError
+from ..traces import PowerTrace
+from ..traces.sites import Site, SiteCatalog
+
+
+@dataclass(frozen=True)
+class VBSite:
+    """One Virtual Battery site: renewable farm + co-located mini-DC.
+
+    Attributes:
+        site: Catalog entry (name, kind, coordinates, capacity).
+        trace: The site's (actual) generation trace; the scheduler never
+            reads this directly — it sees forecasts.
+        cluster: The co-located cluster, sized so full generation powers
+            every core (the paper's sizing rule).
+    """
+
+    site: Site
+    trace: PowerTrace
+    cluster: ClusterSpec
+
+    def __post_init__(self) -> None:
+        if self.trace.name != self.site.name:
+            raise ConfigurationError(
+                f"trace {self.trace.name!r} does not belong to site"
+                f" {self.site.name!r}"
+            )
+
+    @property
+    def name(self) -> str:
+        """The site's catalog name."""
+        return self.site.name
+
+    @property
+    def total_cores(self) -> int:
+        """Core capacity of the co-located cluster."""
+        return self.cluster.total_cores
+
+    def core_budget_series(self) -> "list[int]":
+        """Powered-core budget per step under the linear power model."""
+        total = self.total_cores
+        return [int(v * total) for v in self.trace.values]
+
+
+def build_vb_sites(
+    catalog: SiteCatalog,
+    traces: Mapping[str, PowerTrace],
+    cluster: ClusterSpec | None = None,
+) -> list[VBSite]:
+    """Assemble :class:`VBSite` objects from a catalog and its traces.
+
+    Args:
+        catalog: Site metadata.
+        traces: Per-site generation traces (from
+            :func:`repro.traces.synthesize_catalog_traces`).
+        cluster: Cluster shape per site; defaults to the paper's
+            700 x 40-core configuration.
+
+    Raises:
+        ConfigurationError: if any catalog site lacks a trace.
+    """
+    cluster = cluster or ClusterSpec()
+    sites: list[VBSite] = []
+    for site in catalog:
+        if site.name not in traces:
+            raise ConfigurationError(
+                f"no trace supplied for site {site.name!r}"
+            )
+        sites.append(VBSite(site, traces[site.name], cluster))
+    return sites

@@ -1,0 +1,63 @@
+"""The power & network aware co-scheduler (§3.1) and its baselines.
+
+The paper breaks scheduling into four steps: (1) subgraph identification
+(k-cliques of the latency graph, ranked by aggregate cov — see
+:mod:`repro.multisite.graph`), (2) subgraph selection, (3) site
+selection, and (4) VM placement.  Steps 2-3 are a mixed-integer program
+with two objectives: O1 minimizes total predicted migration bytes, O2
+minimizes the peak.
+
+The MIP's core model (:mod:`repro.sched.overhead`): displaced stable
+cores at a site are ``max(0, stable_load - capacity)``; migration
+traffic is the *change* in displacement times bytes-per-core (rising
+displacement migrates VMs out, falling displacement brings them back).
+Degradable VMs pause in place and absorb the first ``degradable_load``
+cores of any deficit for free — which is why the MIP keeping a good
+stable/degradable mix per site reduces traffic.
+
+Schedulers:
+
+- :class:`~repro.sched.greedy.GreedyScheduler` — the paper's baseline:
+  each app goes whole to the site with the most available power at its
+  arrival.
+- :class:`~repro.sched.mip.MIPScheduler` — O1 over the full horizon
+  (the paper's *MIP*), optional O2 term (*MIP-peak*).
+- :class:`~repro.sched.mip.RollingMIPScheduler` — O1 re-solved daily
+  with day-ahead forecasts (*MIP-24h*).
+- :class:`~repro.sched.coscheduler.CoScheduler` — the full 4-step
+  pipeline over a site graph.
+"""
+
+from .problem import (
+    Placement,
+    SchedulingProblem,
+    SiteCapacity,
+    problem_from_forecasts,
+)
+from .overhead import (
+    displaced_stable_cores,
+    migration_series_from_displacement,
+    placement_load_series,
+    evaluate_placement_overhead,
+)
+from .greedy import GreedyScheduler
+from .mip import MIPScheduler, RollingMIPScheduler
+from .coscheduler import CoScheduler, CoScheduleOutcome
+from .placement import consolidate_vms_onto_servers
+
+__all__ = [
+    "Placement",
+    "SchedulingProblem",
+    "SiteCapacity",
+    "problem_from_forecasts",
+    "displaced_stable_cores",
+    "migration_series_from_displacement",
+    "placement_load_series",
+    "evaluate_placement_overhead",
+    "GreedyScheduler",
+    "MIPScheduler",
+    "RollingMIPScheduler",
+    "CoScheduler",
+    "CoScheduleOutcome",
+    "consolidate_vms_onto_servers",
+]

@@ -1,0 +1,328 @@
+"""The full 4-step co-scheduling pipeline of §3.1.
+
+Ties the pieces together for one batch of applications:
+
+1. **Subgraph identification** — k-cliques of the latency graph ranked
+   by aggregate cov (:meth:`repro.multisite.graph.SiteGraph.candidates`).
+2. **Subgraph selection** — candidates are scored by predicted stable
+   power per core of demand and current load balance; the best few
+   proceed.
+3. **Site selection** — the MIP places the batch across the chosen
+   subgraph's sites, minimizing predicted total (and optionally peak)
+   migration traffic.
+4. **VM placement** — within each site, VMs consolidate onto servers
+   (:func:`repro.sched.placement.consolidate_vms_onto_servers`).
+
+The co-scheduler re-runs as the environment changes (new forecasts,
+app completions); each call plans one batch against the current state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import SchedulingError
+from ..forecast import Forecaster
+from ..multisite.graph import CliqueCandidate, SiteGraph
+from ..workload import Application
+from .greedy import GreedyScheduler
+from .mip import MIPScheduler
+from .problem import (
+    Placement,
+    SchedulingProblem,
+    SiteCapacity,
+    default_bytes_per_core,
+)
+
+
+@dataclass(frozen=True)
+class CoScheduleOutcome:
+    """Result of one co-scheduling run.
+
+    Attributes:
+        subgraph: The chosen site group.
+        placement: VM counts per (app, site) from the MIP.
+        problem: The problem instance the MIP solved (forecast
+            capacities), kept for evaluation.
+    """
+
+    subgraph: CliqueCandidate
+    placement: Placement
+    problem: SchedulingProblem
+
+
+class CoScheduler:
+    """Plan application batches over a VB site graph.
+
+    Args:
+        graph: The latency/variability site graph.
+        total_cores: Cluster core capacity per site name.
+        forecaster: Power forecaster used to build planning capacity.
+        k_range: Clique sizes to consider (paper: 2..5).
+        candidates_per_k: How many top-cov cliques to keep per k.
+        scheduler: Site-selection solver; defaults to the O1 MIP.
+        utilization_cap: Per-site allocation cap in the MIP.
+    """
+
+    def __init__(
+        self,
+        graph: SiteGraph,
+        total_cores: Mapping[str, int],
+        forecaster: Forecaster,
+        k_range: tuple[int, int] = (2, 5),
+        candidates_per_k: int = 5,
+        scheduler: MIPScheduler | GreedyScheduler | None = None,
+        utilization_cap: float = 0.9,
+        subgraph_selection: str = "score",
+        mip_shortlist: int = 3,
+    ):
+        if k_range[0] < 2 or k_range[1] < k_range[0]:
+            raise SchedulingError(f"bad k range: {k_range}")
+        missing = [
+            name for name in graph.catalog.names if name not in total_cores
+        ]
+        if missing:
+            raise SchedulingError(f"sites without core counts: {missing}")
+        if subgraph_selection not in ("score", "mip"):
+            raise SchedulingError(
+                "subgraph_selection must be 'score' or 'mip':"
+                f" {subgraph_selection!r}"
+            )
+        if mip_shortlist < 1:
+            raise SchedulingError(
+                f"mip_shortlist must be >= 1: {mip_shortlist}"
+            )
+        self.graph = graph
+        self.total_cores = dict(total_cores)
+        self.forecaster = forecaster
+        self.k_range = k_range
+        self.candidates_per_k = candidates_per_k
+        self.scheduler = scheduler or MIPScheduler()
+        self.utilization_cap = utilization_cap
+        self.subgraph_selection = subgraph_selection
+        self.mip_shortlist = mip_shortlist
+        # Load committed by previous batches, per site (cores x steps).
+        self._committed: dict[str, np.ndarray] = {}
+
+    # -- step 1 --------------------------------------------------------
+
+    def identify_subgraphs(self) -> list[CliqueCandidate]:
+        """Step 1: ranked k-clique candidates for every k in range."""
+        candidates: list[CliqueCandidate] = []
+        for k in range(self.k_range[0], self.k_range[1] + 1):
+            candidates.extend(
+                self.graph.candidates(k, self.candidates_per_k)
+            )
+        if not candidates:
+            raise SchedulingError(
+                "site graph has no cliques in the requested k range;"
+                " loosen the latency threshold"
+            )
+        return candidates
+
+    # -- step 2 --------------------------------------------------------
+
+    def rank_subgraphs(
+        self,
+        candidates: Sequence[CliqueCandidate],
+        apps: Sequence[Application],
+        issue_index: int,
+        horizon: int,
+    ) -> list[CliqueCandidate]:
+        """Step 2 (scoring): order candidates, best first.
+
+        The score prefers groups whose *predicted stable power* (the
+        forecast aggregate's windowed minimum) covers the batch's
+        stable-core demand, breaking ties toward lightly-loaded groups
+        — the paper's "maintain good power levels" and "balance load"
+        criteria.
+        """
+        demand = sum(app.stable_cores for app in apps)
+        scored: list[tuple[float, int, CliqueCandidate]] = []
+        for order, candidate in enumerate(candidates):
+            predicted_floor = 0.0
+            committed = 0.0
+            for name in candidate.names:
+                trace = self.graph.traces[name]
+                forecast = self.forecaster.forecast(
+                    trace, issue_index, horizon
+                )
+                cores = self.total_cores[name]
+                predicted_floor += float(np.min(forecast.values)) * cores
+                if name in self._committed:
+                    committed += float(
+                        np.mean(self._committed[name])
+                    )
+            coverage = (predicted_floor - committed) / max(demand, 1)
+            score = min(coverage, 2.0) - 0.05 * candidate.cov
+            scored.append((-score, order, candidate))
+        scored.sort()
+        return [candidate for _, _, candidate in scored]
+
+    def select_subgraph(
+        self,
+        candidates: Sequence[CliqueCandidate],
+        apps: Sequence[Application],
+        issue_index: int,
+        horizon: int,
+    ) -> CliqueCandidate:
+        """Step 2: pick the best candidate for this batch (by score)."""
+        ranked = self.rank_subgraphs(
+            candidates, apps, issue_index, horizon
+        )
+        return ranked[0]
+
+    # -- steps 3 + entry point ------------------------------------------
+
+    def schedule_batch(
+        self,
+        apps: Sequence[Application],
+        issue_index: int = 0,
+        horizon: int | None = None,
+    ) -> CoScheduleOutcome:
+        """Run steps 1-3 for a batch of applications.
+
+        Args:
+            apps: Applications (their steps are relative to the
+                planning horizon's start).
+            issue_index: Trace index at which forecasts are issued.
+            horizon: Planning horizon in steps; defaults to the longest
+                app end.
+
+        Returns:
+            The chosen subgraph, the MIP placement, and the problem.
+        """
+        if not apps:
+            raise SchedulingError("empty application batch")
+        if horizon is None:
+            horizon = max(app.end_step for app in apps)
+        candidates = self.identify_subgraphs()
+        ranked = self.rank_subgraphs(candidates, apps, issue_index, horizon)
+        if self.subgraph_selection == "score":
+            subgraph = ranked[0]
+            problem, caps, backgrounds = self._problem_for_subgraph(
+                subgraph, apps, issue_index, horizon
+            )
+            placement = self._solve(problem, caps, backgrounds)
+        else:
+            # The paper's step-2 semantics: "for each candidate
+            # subgraph find the optimal site placement schedule" and
+            # keep the best.  Solve the site-selection MIP for a
+            # shortlist of score-ranked candidates and take the one
+            # with the lowest predicted migration overhead.
+            subgraph, placement, problem = self._select_by_mip(
+                ranked[: self.mip_shortlist], apps, issue_index, horizon
+            )
+        self._commit(placement, problem, horizon)
+        return CoScheduleOutcome(subgraph, placement, problem)
+
+    def _problem_for_subgraph(
+        self,
+        subgraph: CliqueCandidate,
+        apps: Sequence[Application],
+        issue_index: int,
+        horizon: int,
+    ) -> tuple[SchedulingProblem, dict, dict]:
+        """Build the site-selection problem for one candidate group."""
+        sites = []
+        caps: dict[str, np.ndarray] = {}
+        backgrounds: dict[str, np.ndarray] = {}
+        for name in subgraph.names:
+            trace = self.graph.traces[name]
+            forecast = self.forecaster.forecast(trace, issue_index, horizon)
+            cores = self.total_cores[name]
+            capacity = np.floor(forecast.values * cores)
+            sites.append(SiteCapacity(name, cores, capacity))
+            committed = self._committed.get(name)
+            if committed is None:
+                committed = np.zeros(horizon)
+            backgrounds[name] = committed[:horizon]
+            caps[name] = np.clip(
+                self.utilization_cap * cores - committed[:horizon],
+                0.0,
+                None,
+            )
+        grid = self.graph.traces[subgraph.names[0]].grid.subgrid(
+            issue_index, horizon
+        )
+        problem = SchedulingProblem(
+            grid,
+            tuple(sites),
+            tuple(apps),
+            default_bytes_per_core(apps),
+            self.utilization_cap,
+        )
+        return problem, caps, backgrounds
+
+    def _solve(
+        self,
+        problem: SchedulingProblem,
+        caps: Mapping[str, np.ndarray],
+        backgrounds: Mapping[str, np.ndarray],
+    ) -> Placement:
+        """Run the configured site-selection solver."""
+        if isinstance(self.scheduler, MIPScheduler):
+            return self.scheduler.schedule(
+                problem,
+                allocation_cap=caps,
+                stable_background=backgrounds,
+            )
+        return self.scheduler.schedule(problem)
+
+    def _select_by_mip(
+        self,
+        shortlist: Sequence[CliqueCandidate],
+        apps: Sequence[Application],
+        issue_index: int,
+        horizon: int,
+    ) -> tuple[CliqueCandidate, Placement, SchedulingProblem]:
+        """Solve the MIP per shortlisted candidate; keep the cheapest."""
+        from .overhead import evaluate_placement_overhead
+
+        best: tuple[float, CliqueCandidate, Placement, SchedulingProblem]
+        best = None  # type: ignore[assignment]
+        last_error: Exception | None = None
+        for candidate in shortlist:
+            problem, caps, backgrounds = self._problem_for_subgraph(
+                candidate, apps, issue_index, horizon
+            )
+            try:
+                placement = self._solve(problem, caps, backgrounds)
+            except SchedulingError as exc:
+                last_error = exc
+                continue
+            per_site = evaluate_placement_overhead(problem, placement)
+            cost = float(sum(s.sum() for s in per_site.values()))
+            if best is None or cost < best[0]:
+                best = (cost, candidate, placement, problem)
+        if best is None:
+            raise SchedulingError(
+                "no shortlisted subgraph admitted a feasible placement"
+            ) from last_error
+        return best[1], best[2], best[3]
+
+    def _commit(
+        self,
+        placement: Placement,
+        problem: SchedulingProblem,
+        horizon: int,
+    ) -> None:
+        """Record the batch's load so later batches see it."""
+        for app in problem.apps:
+            per_site = placement.assignment.get(app.app_id, {})
+            for name, count in per_site.items():
+                if name not in self._committed:
+                    self._committed[name] = np.zeros(horizon)
+                elif len(self._committed[name]) < horizon:
+                    grown = np.zeros(horizon)
+                    grown[: len(self._committed[name])] = self._committed[
+                        name
+                    ]
+                    self._committed[name] = grown
+                window = slice(app.arrival_step, app.end_step)
+                self._committed[name][window] += (
+                    count * app.vm_type.cores
+                )

@@ -1,0 +1,74 @@
+"""The paper's baseline: greedy most-available-power placement.
+
+"A baseline greedy policy that always assigns VMs to the site with the
+most available power."  Each application, in arrival order, goes to the
+site with the largest spare capacity *at its arrival step* — no
+lookahead, no knowledge of forecasts beyond the present.  If the best
+site cannot hold the whole app under the utilization cap, the remainder
+spills to the next-best site, and so on (a pure single-site greedy
+would simply be infeasible once sites fill).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SchedulingError
+from .problem import Placement, SchedulingProblem
+
+
+class GreedyScheduler:
+    """Most-available-power-first placement (no lookahead)."""
+
+    def schedule(self, problem: SchedulingProblem) -> Placement:
+        """Place every app on the currently-least-loaded-for-power site.
+
+        Raises:
+            SchedulingError: if an app cannot fit anywhere even after
+                spilling across all sites.
+        """
+        n = problem.grid.n
+        load = {name: np.zeros(n) for name in problem.site_names}
+        caps = {
+            site.name: problem.utilization_cap * site.total_cores
+            for site in problem.sites
+        }
+        capacity = {
+            site.name: site.capacity_cores for site in problem.sites
+        }
+        assignment: dict[int, dict[str, int]] = {}
+
+        for app in sorted(
+            problem.apps, key=lambda a: (a.arrival_step, a.app_id)
+        ):
+            window = slice(app.arrival_step, app.end_step)
+            arrival = app.arrival_step
+            remaining = app.vm_count
+            per_site: dict[str, int] = {}
+            # Sites by available power now: powered capacity minus load.
+            ranked = sorted(
+                problem.site_names,
+                key=lambda name: capacity[name][arrival]
+                - load[name][arrival],
+                reverse=True,
+            )
+            for name in ranked:
+                if remaining == 0:
+                    break
+                # Fit limit over the app's whole window under the cap.
+                peak_load = float(np.max(load[name][window]))
+                spare_cores = caps[name] - peak_load
+                fit = int(spare_cores // app.vm_type.cores)
+                count = min(remaining, max(fit, 0))
+                if count == 0:
+                    continue
+                per_site[name] = count
+                load[name][window] += count * app.vm_type.cores
+                remaining -= count
+            if remaining:
+                raise SchedulingError(
+                    f"app {app.app_id} does not fit: {remaining} VMs"
+                    " unplaced after spilling across all sites"
+                )
+            assignment[app.app_id] = per_site
+        return Placement(assignment)

@@ -1,0 +1,512 @@
+"""Mixed-integer site selection (§3.1 steps 2-3).
+
+Decision variables place each application's VMs across the candidate
+sites; the objective is the paper's O1 (total predicted migration
+bytes) with an optional O2 term (peak migration bytes).  Migration
+bytes come from the displaced-stable-cores model of
+:mod:`repro.sched.overhead`, which is linear in the placement:
+
+    minimize  sum_{s,t} (d+[s,t] + d-[s,t]) * bpc            (O1)
+            + peak_weight * M                                 (O2)
+            + epsilon * sum u[s,t]                            (anchor)
+
+    s.t.  sum_s y[a,s] = vm_count_a                           (place all)
+          u[s,t] >= stable_load(y, s, t) - capacity[s,t]      (displace)
+          d+[s,t] - d-[s,t] = u[s,t] - u[s,t-1]               (traffic)
+          total_load(y, s, t) <= allocation_cap[s,t]          (capacity)
+          M >= (d+[s,t] + d-[s,t]) * bpc                      (peak, O2)
+
+The epsilon anchor pins ``u`` to the displacement lower bound wherever
+that is slack — except when the peak objective makes it *profitable* to
+raise ``u`` early, which is exactly the paper's observation that
+MIP-peak "migrates VMs preemptively, spreading out migrations over
+time".  Solved with HiGHS via :func:`scipy.optimize.milp`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from ..errors import SolverError
+from .problem import Placement, SchedulingProblem
+
+
+@dataclass(frozen=True)
+class _Layout:
+    """Flat variable layout of one MIP instance."""
+
+    n_apps: int
+    n_sites: int
+    n_steps: int
+    peak: bool
+    reassign: bool = False
+
+    @property
+    def o_u(self) -> int:
+        return self.n_apps * self.n_sites
+
+    @property
+    def o_dp(self) -> int:
+        return self.o_u + self.n_sites * self.n_steps
+
+    @property
+    def o_dn(self) -> int:
+        return self.o_dp + self.n_sites * self.n_steps
+
+    @property
+    def o_m(self) -> int:
+        return self.o_dn + self.n_sites * self.n_steps
+
+    @property
+    def o_mp(self) -> int:
+        """Reassignment move-in variables (replanning only)."""
+        return self.o_m + (1 if self.peak else 0)
+
+    @property
+    def n_vars(self) -> int:
+        base = self.o_mp
+        if self.reassign:
+            base += 2 * self.n_apps * self.n_sites
+        return base
+
+    def y(self, a: int, s: int) -> int:
+        return a * self.n_sites + s
+
+    def u(self, s: int, t: int) -> int:
+        return self.o_u + s * self.n_steps + t
+
+    def dp(self, s: int, t: int) -> int:
+        return self.o_dp + s * self.n_steps + t
+
+    def dn(self, s: int, t: int) -> int:
+        return self.o_dn + s * self.n_steps + t
+
+    def mp(self, a: int, s: int) -> int:
+        return self.o_mp + a * self.n_sites + s
+
+    def mn(self, a: int, s: int) -> int:
+        return self.o_mp + self.n_apps * self.n_sites + (
+            a * self.n_sites + s
+        )
+
+
+class MIPScheduler:
+    """O1 (total) site selection, with optional O2 (peak) term.
+
+    Args:
+        peak_weight: Weight of the peak-overhead objective O2.  Zero
+            gives the paper's *MIP*; a positive weight gives *MIP-peak*.
+        integer_vms: Solve VM counts as integers (True, default) or
+            relax to continuous and round (faster, near-identical
+            results at the paper's scales).
+        time_limit_s: HiGHS wall-clock limit; a feasible incumbent is
+            accepted when the limit strikes.
+        mip_rel_gap: Relative optimality gap at which HiGHS may stop.
+        epsilon: Anchor weight pinning u to its lower bound.
+    """
+
+    def __init__(
+        self,
+        peak_weight: float = 0.0,
+        integer_vms: bool = True,
+        time_limit_s: float = 120.0,
+        mip_rel_gap: float = 1e-3,
+        epsilon: float = 1e-6,
+    ):
+        if peak_weight < 0:
+            raise SolverError(f"peak weight must be >= 0: {peak_weight}")
+        if time_limit_s <= 0:
+            raise SolverError(f"time limit must be positive: {time_limit_s}")
+        self.peak_weight = peak_weight
+        self.integer_vms = integer_vms
+        self.time_limit_s = time_limit_s
+        self.mip_rel_gap = mip_rel_gap
+        self.epsilon = epsilon
+
+    # ------------------------------------------------------------------
+
+    def schedule(
+        self,
+        problem: SchedulingProblem,
+        allocation_cap: Mapping[str, np.ndarray] | None = None,
+        stable_background: Mapping[str, np.ndarray] | None = None,
+        previous_assignment: Mapping[int, Mapping[str, int]]
+        | None = None,
+        switch_weight: float = 1.0,
+    ) -> Placement:
+        """Solve the site-selection MIP.
+
+        Args:
+            problem: Sites (with forecast capacity), apps, bytes/core.
+            allocation_cap: Optional per-site *per-step* allocated-core
+                caps (defaults to ``utilization_cap * total_cores``);
+                used by the rolling scheduler to reserve already-placed
+                load.
+            stable_background: Optional per-site stable-core load
+                already committed by earlier solves; shifts the
+                displacement bound.
+            previous_assignment: Optional prior placement (app id ->
+                site -> VM count) for *replanning* — the paper's "as
+                the environment changes ... we need to rerun the
+                optimization".  Moving a VM away from its previous site
+                costs its memory once, weighted by ``switch_weight``,
+                so re-solves only shuffle placements when the predicted
+                migration savings exceed the cost of moving.
+            switch_weight: Relative weight of reassignment traffic in
+                the objective (1.0 = a planned move costs the same as a
+                forced migration of the same VM).
+
+        Returns:
+            A complete placement with the planned per-site displacement
+            series attached (used for preemptive execution).
+        """
+        if switch_weight < 0:
+            raise SolverError(
+                f"switch weight must be >= 0: {switch_weight}"
+            )
+        apps = problem.apps
+        sites = problem.sites
+        layout = _Layout(
+            len(apps),
+            len(sites),
+            problem.grid.n,
+            self.peak_weight > 0,
+            reassign=previous_assignment is not None,
+        )
+        n_steps = problem.grid.n
+        bpc_gb = problem.bytes_per_core / 1e9
+
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        lb: list[float] = []
+        ub: list[float] = []
+        row = 0
+
+        def add_entry(r: int, c: int, v: float) -> None:
+            rows.append(r)
+            cols.append(c)
+            vals.append(v)
+
+        # (C1) every app fully placed.
+        for a, app in enumerate(apps):
+            for s in range(len(sites)):
+                add_entry(row, layout.y(a, s), 1.0)
+            lb.append(float(app.vm_count))
+            ub.append(float(app.vm_count))
+            row += 1
+
+        # Active app lists per step (shared by C2 and C4).
+        active_at: list[list[int]] = [[] for _ in range(n_steps)]
+        for a, app in enumerate(apps):
+            for t in range(app.arrival_step, app.end_step):
+                active_at[t].append(a)
+
+        stable_cpv = [
+            app.vm_type.cores * app.stable_fraction for app in apps
+        ]
+        total_cpv = [float(app.vm_type.cores) for app in apps]
+
+        # (C2) displacement lower bound:
+        #   u[s,t] - sum_a stable_cpv*y[a,s] >= -capacity + background.
+        for s, site in enumerate(sites):
+            background = None
+            if stable_background is not None:
+                background = np.asarray(stable_background[site.name])
+            for t in range(n_steps):
+                add_entry(row, layout.u(s, t), 1.0)
+                for a in active_at[t]:
+                    if stable_cpv[a] > 0:
+                        add_entry(row, layout.y(a, s), -stable_cpv[a])
+                bound = -float(site.capacity_cores[t])
+                if background is not None:
+                    bound += float(background[t])
+                lb.append(bound)
+                ub.append(np.inf)
+                row += 1
+
+        # (C3) traffic decomposition: dp - dn - u_t + u_{t-1} = 0.
+        for s in range(len(sites)):
+            for t in range(n_steps):
+                add_entry(row, layout.dp(s, t), 1.0)
+                add_entry(row, layout.dn(s, t), -1.0)
+                add_entry(row, layout.u(s, t), -1.0)
+                if t > 0:
+                    add_entry(row, layout.u(s, t - 1), 1.0)
+                lb.append(0.0)
+                ub.append(0.0)
+                row += 1
+
+        # (C4) allocated cores within the cap.
+        for s, site in enumerate(sites):
+            if allocation_cap is not None:
+                caps = np.asarray(allocation_cap[site.name], dtype=float)
+            else:
+                caps = np.full(
+                    n_steps, problem.utilization_cap * site.total_cores
+                )
+            for t in range(n_steps):
+                if not active_at[t]:
+                    continue
+                for a in active_at[t]:
+                    add_entry(row, layout.y(a, s), total_cpv[a])
+                lb.append(-np.inf)
+                ub.append(float(caps[t]))
+                row += 1
+
+        # (C5) peak bound.
+        if layout.peak:
+            for s in range(len(sites)):
+                for t in range(n_steps):
+                    add_entry(row, layout.dp(s, t), bpc_gb)
+                    add_entry(row, layout.dn(s, t), bpc_gb)
+                    add_entry(row, layout.o_m, -1.0)
+                    lb.append(-np.inf)
+                    ub.append(0.0)
+                    row += 1
+
+        # (C6) reassignment decomposition for replanning:
+        #   y[a,s] - m+[a,s] + m-[a,s] = prev[a,s].
+        if layout.reassign:
+            names = [site.name for site in sites]
+            for a, app in enumerate(apps):
+                prev = previous_assignment.get(app.app_id, {})
+                for s, name in enumerate(names):
+                    add_entry(row, layout.y(a, s), 1.0)
+                    add_entry(row, layout.mp(a, s), -1.0)
+                    add_entry(row, layout.mn(a, s), 1.0)
+                    previous = float(prev.get(name, 0))
+                    lb.append(previous)
+                    ub.append(previous)
+                    row += 1
+
+        matrix = sparse.csr_matrix(
+            (vals, (rows, cols)), shape=(row, layout.n_vars)
+        )
+
+        # Objective.
+        c = np.zeros(layout.n_vars)
+        c[layout.o_dp : layout.o_dn] = bpc_gb
+        c[layout.o_dn : layout.o_dn + len(sites) * n_steps] = bpc_gb
+        c[layout.o_u : layout.o_dp] = self.epsilon * bpc_gb
+        if layout.peak:
+            c[layout.o_m] = self.peak_weight
+        if layout.reassign:
+            # Moving a VM into a site it wasn't at costs its memory
+            # once (m+ counts arrivals; counting one side avoids
+            # double-charging the same move).
+            for a, app in enumerate(apps):
+                move_gb = app.vm_type.memory_bytes / 1e9
+                for s in range(len(sites)):
+                    c[layout.mp(a, s)] = switch_weight * move_gb
+
+        # Bounds and integrality.
+        lower = np.zeros(layout.n_vars)
+        upper = np.full(layout.n_vars, np.inf)
+        for a, app in enumerate(apps):
+            for s in range(len(sites)):
+                upper[layout.y(a, s)] = float(app.vm_count)
+        integrality = np.zeros(layout.n_vars)
+        if self.integer_vms:
+            integrality[: layout.o_u] = 1
+
+        result = milp(
+            c,
+            constraints=LinearConstraint(matrix, np.array(lb), np.array(ub)),
+            integrality=integrality,
+            bounds=Bounds(lower, upper),
+            options={
+                "time_limit": self.time_limit_s,
+                "mip_rel_gap": self.mip_rel_gap,
+            },
+        )
+        if result.x is None:
+            raise SolverError(
+                f"MIP failed (status {result.status}): {result.message}"
+            )
+
+        return self._extract(problem, layout, result.x)
+
+    def _extract(
+        self, problem: SchedulingProblem, layout: _Layout, x: np.ndarray
+    ) -> Placement:
+        """Turn a solution vector into a validated Placement."""
+        assignment: dict[int, dict[str, int]] = {}
+        names = problem.site_names
+        for a, app in enumerate(problem.apps):
+            raw = np.array(
+                [x[layout.y(a, s)] for s in range(len(names))]
+            )
+            counts = _round_preserving_sum(raw, app.vm_count)
+            assignment[app.app_id] = {
+                name: int(count)
+                for name, count in zip(names, counts)
+                if count > 0
+            }
+        planned: dict[str, np.ndarray] = {}
+        for s, name in enumerate(names):
+            series = np.array(
+                [x[layout.u(s, t)] for t in range(layout.n_steps)]
+            )
+            planned[name] = np.clip(series, 0.0, None)
+        placement = Placement(
+            assignment, planned, preemptive=self.peak_weight > 0
+        )
+        placement.validate_complete(problem)
+        return placement
+
+
+def _round_preserving_sum(raw: np.ndarray, target: int) -> np.ndarray:
+    """Round non-negative floats to integers summing exactly to target.
+
+    Floors everything, then hands out the remaining units to the
+    largest fractional parts (largest-remainder rounding).  Needed both
+    for relaxed solves and to clean up solver tolerance noise.
+    """
+    raw = np.clip(np.asarray(raw, dtype=float), 0.0, None)
+    floors = np.floor(raw + 1e-9).astype(int)
+    remainder = int(target - floors.sum())
+    if remainder < 0:
+        # Solver noise pushed a floor too high; trim from smallest
+        # fractional parts.
+        order = np.argsort(raw - floors)
+        for index in order:
+            if remainder == 0:
+                break
+            take = min(floors[index], -remainder)
+            floors[index] -= take
+            remainder += take
+    elif remainder > 0:
+        order = np.argsort(-(raw - floors))
+        for index in order[:remainder]:
+            floors[index] += 1
+        remainder = 0
+    return floors
+
+
+class RollingMIPScheduler:
+    """The paper's *MIP-24h*: re-solve O1 daily with fresh forecasts.
+
+    Each day, the apps arriving that day are placed by a MIP whose
+    horizon is the next ``window_steps`` and whose capacity comes from
+    a forecast issued that morning; earlier placements are frozen and
+    enter as background load.
+
+    Args:
+        window_steps: Lookahead horizon per solve (one day in paper).
+        capacity_provider: Optional callable
+            ``(site_name, issue_step, horizon) -> cores array`` giving
+            refreshed forecasts; defaults to slicing the problem's own
+            capacity series.
+        **mip_kwargs: Passed to the per-day :class:`MIPScheduler`.
+    """
+
+    def __init__(
+        self,
+        window_steps: int,
+        capacity_provider: Callable[[str, int, int], np.ndarray]
+        | None = None,
+        **mip_kwargs,
+    ):
+        if window_steps <= 0:
+            raise SolverError(
+                f"window must be positive: {window_steps}"
+            )
+        self.window_steps = window_steps
+        self.capacity_provider = capacity_provider
+        self.mip_kwargs = mip_kwargs
+
+    def schedule(self, problem: SchedulingProblem) -> Placement:
+        """Run the rolling solves and merge the placements."""
+        from dataclasses import replace
+
+        from ..workload import Application
+        from .problem import SchedulingProblem as SP, SiteCapacity
+
+        n = problem.grid.n
+        assignment: dict[int, dict[str, int]] = {}
+        stable_bg = {name: np.zeros(n) for name in problem.site_names}
+        total_bg = {name: np.zeros(n) for name in problem.site_names}
+
+        chunk = self.window_steps
+        for start in range(0, n, chunk):
+            batch = [
+                app
+                for app in problem.apps
+                if start <= app.arrival_step < min(start + chunk, n)
+            ]
+            if not batch:
+                continue
+            horizon = min(self.window_steps, n - start)
+            # Make sure every batched app's window fits the horizon by
+            # truncating durations to the lookahead (the solver only
+            # reasons about what it can see).
+            shifted: list[Application] = []
+            for app in batch:
+                duration = min(
+                    app.duration_steps, start + horizon - app.arrival_step
+                )
+                shifted.append(
+                    replace(
+                        app,
+                        arrival_step=app.arrival_step - start,
+                        duration_steps=duration,
+                    )
+                )
+            sub_sites = []
+            caps: dict[str, np.ndarray] = {}
+            backgrounds: dict[str, np.ndarray] = {}
+            window = slice(start, start + horizon)
+            for site in problem.sites:
+                if self.capacity_provider is not None:
+                    capacity = np.asarray(
+                        self.capacity_provider(site.name, start, horizon),
+                        dtype=float,
+                    )
+                else:
+                    capacity = site.capacity_cores[window]
+                capacity = np.clip(capacity, 0, site.total_cores)
+                sub_sites.append(
+                    SiteCapacity(site.name, site.total_cores, capacity)
+                )
+                caps[site.name] = np.clip(
+                    problem.utilization_cap * site.total_cores
+                    - total_bg[site.name][window],
+                    0.0,
+                    None,
+                )
+                backgrounds[site.name] = stable_bg[site.name][window]
+            sub_problem = SP(
+                problem.grid.subgrid(start, horizon),
+                tuple(sub_sites),
+                tuple(shifted),
+                problem.bytes_per_core,
+                problem.utilization_cap,
+            )
+            solver = MIPScheduler(**self.mip_kwargs)
+            sub_placement = solver.schedule(
+                sub_problem,
+                allocation_cap=caps,
+                stable_background=backgrounds,
+            )
+            # Merge results and extend the background with the *full*
+            # (untruncated) app windows.
+            for app, sub_app in zip(batch, shifted):
+                per_site = sub_placement.assignment.get(sub_app.app_id, {})
+                assignment[app.app_id] = dict(per_site)
+                for name, count in per_site.items():
+                    window_full = slice(app.arrival_step, app.end_step)
+                    stable_bg[name][window_full] += (
+                        count * app.vm_type.cores * app.stable_fraction
+                    )
+                    total_bg[name][window_full] += (
+                        count * app.vm_type.cores
+                    )
+        placement = Placement(assignment)
+        placement.validate_complete(problem)
+        return placement

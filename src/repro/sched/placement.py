@@ -1,0 +1,59 @@
+"""Step 4: VM placement onto servers inside the chosen site.
+
+The paper delegates this to "any state-of-the-art approach" and asks
+only that it *consolidate* — pack VMs onto as few servers as possible so
+idle servers (and unallocated cores) can be powered down.  This module
+provides that consolidation as a standalone function over the cluster
+substrate, so the co-scheduler's output can be realized on servers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..cluster import Server, ServerSpec
+from ..cluster.vm import VM
+from ..errors import CapacityError
+from ..workload import VMRequest
+
+
+def consolidate_vms_onto_servers(
+    requests: Sequence[VMRequest],
+    n_servers: int,
+    spec: ServerSpec | None = None,
+) -> tuple[list[Server], dict[int, int]]:
+    """Pack VMs onto servers best-fit-decreasing.
+
+    Classic BFD bin packing: VMs in decreasing core order, each onto
+    the fullest server that still fits it.  Returns the servers and a
+    vm_id -> server_id map.
+
+    Raises:
+        CapacityError: if the VMs cannot all be packed.
+    """
+    spec = spec or ServerSpec()
+    servers = [Server(i, spec) for i in range(n_servers)]
+    mapping: dict[int, int] = {}
+    for request in sorted(
+        requests, key=lambda r: (-r.cores, r.vm_id)
+    ):
+        vm = VM(request)
+        best: Server | None = None
+        for server in servers:
+            if not server.fits(vm):
+                continue
+            if best is None or server.free_cores < best.free_cores:
+                best = server
+        if best is None:
+            raise CapacityError(
+                f"VM {request.vm_id} ({request.cores} cores) does not fit"
+                f" on any of {n_servers} servers"
+            )
+        best.host(vm)
+        mapping[request.vm_id] = best.server_id
+    return servers, mapping
+
+
+def powered_server_count(servers: Sequence[Server]) -> int:
+    """Servers that must stay powered (those hosting at least one VM)."""
+    return sum(1 for server in servers if not server.is_empty)

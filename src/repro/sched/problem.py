@@ -1,0 +1,217 @@
+"""Scheduling problem and placement containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import SchedulingError
+from ..forecast import Forecaster
+from ..traces import PowerTrace
+from ..units import TimeGrid
+from ..workload import Application
+
+
+@dataclass(frozen=True)
+class SiteCapacity:
+    """One site's compute capacity series as the scheduler sees it.
+
+    Attributes:
+        name: Site name.
+        total_cores: Physical core capacity of the co-located cluster.
+        capacity_cores: Usable powered cores per scheduler step — built
+            from a *forecast* when planning, from the actual trace when
+            executing.
+    """
+
+    name: str
+    total_cores: int
+    capacity_cores: np.ndarray
+
+    def __post_init__(self) -> None:
+        capacity = np.asarray(self.capacity_cores, dtype=float)
+        if capacity.ndim != 1:
+            raise SchedulingError(
+                f"capacity series must be 1-D, got {capacity.shape}"
+            )
+        if self.total_cores <= 0:
+            raise SchedulingError(
+                f"total cores must be positive: {self.total_cores}"
+            )
+        if np.any(capacity < 0) or np.any(capacity > self.total_cores):
+            raise SchedulingError(
+                f"capacity for {self.name} outside [0, {self.total_cores}]"
+            )
+        object.__setattr__(self, "capacity_cores", capacity)
+
+
+@dataclass(frozen=True)
+class SchedulingProblem:
+    """Everything a scheduler needs to place a batch of applications.
+
+    Attributes:
+        grid: The scheduler's time grid (capacity series length).
+        sites: Candidate sites with (forecast) capacity series.
+        apps: Applications to place.
+        bytes_per_core: Migration traffic per displaced stable core.
+            Defaults derived via :func:`default_bytes_per_core`.
+        utilization_cap: Maximum allocated fraction of a site's total
+            cores (leaves the paper's headroom for local absorption).
+    """
+
+    grid: TimeGrid
+    sites: tuple[SiteCapacity, ...]
+    apps: tuple[Application, ...]
+    bytes_per_core: float
+    utilization_cap: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not self.sites:
+            raise SchedulingError("problem needs at least one site")
+        if not self.apps:
+            raise SchedulingError("problem needs at least one application")
+        for site in self.sites:
+            if len(site.capacity_cores) != self.grid.n:
+                raise SchedulingError(
+                    f"site {site.name} capacity length"
+                    f" {len(site.capacity_cores)} != grid {self.grid.n}"
+                )
+        names = [s.name for s in self.sites]
+        if len(set(names)) != len(names):
+            raise SchedulingError(f"duplicate site names: {names}")
+        if self.bytes_per_core <= 0:
+            raise SchedulingError(
+                f"bytes_per_core must be positive: {self.bytes_per_core}"
+            )
+        if not 0.0 < self.utilization_cap <= 1.0:
+            raise SchedulingError(
+                f"utilization cap must be in (0,1]: {self.utilization_cap}"
+            )
+        for app in self.apps:
+            if app.end_step > self.grid.n:
+                raise SchedulingError(
+                    f"app {app.app_id} runs past the horizon"
+                    f" ({app.end_step} > {self.grid.n})"
+                )
+
+    @property
+    def site_names(self) -> list[str]:
+        """Site names in problem order."""
+        return [s.name for s in self.sites]
+
+    def activity_matrix(self) -> np.ndarray:
+        """Boolean (n_apps, n_steps): app active at step."""
+        active = np.zeros((len(self.apps), self.grid.n), dtype=bool)
+        for i, app in enumerate(self.apps):
+            active[i, app.arrival_step : app.end_step] = True
+        return active
+
+    def total_demand_cores(self) -> int:
+        """Sum of all apps' core demands (ignoring time)."""
+        return sum(app.total_cores for app in self.apps)
+
+
+def default_bytes_per_core(apps: Sequence[Application]) -> float:
+    """Mean memory per core across the apps' VM types.
+
+    Migration moves a VM's full memory; displacement is tracked in
+    cores, so traffic per displaced core is the demand-weighted memory
+    per core.
+    """
+    total_memory = sum(app.total_memory_bytes for app in apps)
+    total_cores = sum(app.total_cores for app in apps)
+    if total_cores == 0:
+        raise SchedulingError("apps request zero cores in total")
+    return total_memory / total_cores
+
+
+@dataclass
+class Placement:
+    """A scheduler's output: VM counts per (app, site) plus plan data.
+
+    Attributes:
+        assignment: ``assignment[app_id][site_name]`` = VMs placed there.
+        planned_displacement: Optional per-site displaced-stable-core
+            series the scheduler *intends*; keyed by site name.
+        preemptive: True when the planned displacement is *deliberate*
+            smoothing (MIP-peak migrates VMs early to flatten spikes)
+            and execution should follow it.  Plans without a peak
+            objective also carry a displacement series, but it is just
+            the forecast-implied minimum — following it would replay
+            forecast noise as real migrations, so it stays advisory.
+    """
+
+    assignment: dict[int, dict[str, int]]
+    planned_displacement: dict[str, np.ndarray] = field(
+        default_factory=dict
+    )
+    preemptive: bool = False
+
+    def vms_at(self, app_id: int, site_name: str) -> int:
+        """VMs of ``app_id`` placed at ``site_name``."""
+        return self.assignment.get(app_id, {}).get(site_name, 0)
+
+    def validate_complete(self, problem: SchedulingProblem) -> None:
+        """Check every app's VMs are fully assigned to known sites.
+
+        Raises:
+            SchedulingError: when any app is under/over-assigned or
+                placed on an unknown site.
+        """
+        known = set(problem.site_names)
+        for app in problem.apps:
+            per_site = self.assignment.get(app.app_id, {})
+            unknown = set(per_site) - known
+            if unknown:
+                raise SchedulingError(
+                    f"app {app.app_id} placed on unknown sites {unknown}"
+                )
+            if any(count < 0 for count in per_site.values()):
+                raise SchedulingError(
+                    f"app {app.app_id} has negative VM counts"
+                )
+            placed = sum(per_site.values())
+            if placed != app.vm_count:
+                raise SchedulingError(
+                    f"app {app.app_id} has {placed} VMs placed,"
+                    f" expected {app.vm_count}"
+                )
+
+
+def problem_from_forecasts(
+    grid: TimeGrid,
+    traces: Mapping[str, PowerTrace],
+    total_cores: Mapping[str, int],
+    apps: Sequence[Application],
+    forecaster: Forecaster,
+    issue_index: int = 0,
+    bytes_per_core: float | None = None,
+    utilization_cap: float = 0.9,
+) -> SchedulingProblem:
+    """Build a problem whose site capacities come from forecasts.
+
+    Args:
+        grid: Scheduler grid; must be a prefix-aligned window of the
+            traces' grid starting at ``issue_index``.
+        traces: Actual per-site traces (the forecaster blurs them).
+        total_cores: Cluster core capacity per site.
+        apps: Applications to place.
+        forecaster: Model used to predict each site's generation.
+        issue_index: Trace index at which forecasts are issued.
+        bytes_per_core: Traffic per displaced core; derived from the
+            apps when omitted.
+        utilization_cap: Per-site allocation cap.
+    """
+    sites = []
+    for name, trace in traces.items():
+        forecast = forecaster.forecast(trace, issue_index, grid.n)
+        cores = total_cores[name]
+        capacity = np.floor(forecast.values * cores)
+        sites.append(SiteCapacity(name, cores, capacity))
+    if bytes_per_core is None:
+        bytes_per_core = default_bytes_per_core(apps)
+    return SchedulingProblem(
+        grid, tuple(sites), tuple(apps), bytes_per_core, utilization_cap
+    )

@@ -1,0 +1,29 @@
+"""Multi-site execution: run placements against *actual* generation.
+
+Schedulers plan on forecasts; this package replays their placements
+against the true traces, producing the realized migration traffic that
+Table 1 and Figure 7 report.  Execution follows the displaced-stable-
+cores semantics of :mod:`repro.sched.overhead`, optionally honouring a
+plan's preemptive displacement trajectory (MIP-peak moves VMs early to
+flatten spikes).
+"""
+
+from .engine import ExecutionResult, SiteExecution, execute_placement
+from .detailed import (
+    DetailedResult,
+    DetailedSiteRecord,
+    execute_placement_detailed,
+)
+from .results import PolicyComparison, TransferSummary, summarize_transfers
+
+__all__ = [
+    "ExecutionResult",
+    "SiteExecution",
+    "execute_placement",
+    "DetailedResult",
+    "DetailedSiteRecord",
+    "execute_placement_detailed",
+    "PolicyComparison",
+    "TransferSummary",
+    "summarize_transfers",
+]

@@ -1,0 +1,347 @@
+"""Per-VM multi-site execution: the detailed counterpart to the fluid
+displacement model of :mod:`repro.sim.engine`.
+
+Every site runs a real :class:`~repro.cluster.datacenter.Datacenter`
+(servers, packing, round-robin eviction), all advancing in lock-step.
+A VM evicted from its site hands off to the group member with the most
+free powered cores and re-enters there as an in-migration; if nowhere
+has room it waits in a displaced pool and retries each step.  Stable
+VMs follow that migrate path; degradable VMs pause in place, exactly as
+the paper prescribes.
+
+The fluid engine answers "how many bytes"; this one also answers
+"which VM, onto which server, after how many hops" — and running both
+on the same placement quantifies the fluid approximation's error
+(see tests/test_detailed_sim.py).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..cluster import ClusterSpec, Datacenter, DatacenterConfig
+from ..cluster.datacenter import _ServerPool
+from ..cluster.migration import EvictionPlanner
+from ..cluster.vm import VM, VMState
+from ..errors import SchedulingError
+from ..sched.problem import Placement, SchedulingProblem
+from ..traces import PowerTrace
+from ..units import TimeGrid
+from ..workload import VMClass, VMRequest, VMType
+
+
+@dataclass(frozen=True)
+class DetailedSiteRecord:
+    """Per-step accounting for one site in the detailed run."""
+
+    step: int
+    budget: int
+    running_cores: int
+    out_bytes: float
+    in_bytes: float
+    n_evicted: int
+    n_landed: int
+    n_paused: int
+    n_resumed: int
+
+
+@dataclass
+class DetailedResult:
+    """Output of a detailed multi-site execution."""
+
+    site_names: tuple[str, ...]
+    records: dict[str, list[DetailedSiteRecord]]
+    homeless_vm_steps: int
+
+    def out_bytes_series(self, name: str) -> np.ndarray:
+        """Out-migration bytes per step at one site."""
+        return np.array([r.out_bytes for r in self.records[name]])
+
+    def in_bytes_series(self, name: str) -> np.ndarray:
+        """In-migration (landing) bytes per step at one site."""
+        return np.array([r.in_bytes for r in self.records[name]])
+
+    def total_transfer_series(self) -> np.ndarray:
+        """Per-step migration bytes over all sites (out side counted).
+
+        Each migration is one transfer; counting the out side only
+        avoids double-counting the same bytes on landing.
+        """
+        return np.sum(
+            [self.out_bytes_series(name) for name in self.site_names],
+            axis=0,
+        )
+
+    def total_transfer_gb(self) -> float:
+        """Total realized migration traffic in GB."""
+        return float(self.total_transfer_series().sum()) / 1e9
+
+
+class _SiteState:
+    """One site's cluster state inside the detailed executor."""
+
+    def __init__(self, name: str, cluster: ClusterSpec):
+        self.name = name
+        self.cluster = cluster
+        self.pool = _ServerPool(cluster)
+        self.planner = EvictionPlanner(
+            cluster.n_servers, pause_degradable=True
+        )
+        self.running_cores = 0
+        self.paused: list[VM] = []
+
+    def free_powered_cores(self, budget: int) -> int:
+        """Cores available for new VMs under the current budget."""
+        return max(0, budget - self.running_cores)
+
+    def place(self, vm: VM) -> bool:
+        """Try to place ``vm``; True on success."""
+        server = self.pool.find(vm, "bestfit")
+        if server is None:
+            return False
+        self.pool.host(server, vm)
+        self.running_cores += vm.cores
+        return True
+
+    def evict(self, vm: VM) -> None:
+        """Remove a running VM from this site."""
+        server = self.pool.servers[vm.server_id]
+        self.pool.release(server, vm)
+        vm.evict()
+        self.running_cores -= vm.cores
+
+    def pause(self, vm: VM) -> None:
+        """Pause a degradable VM in place."""
+        vm.pause()
+        self.running_cores -= vm.cores
+        self.paused.append(vm)
+
+    def resume_paused(self, budget: int) -> int:
+        """Resume paused VMs while the budget allows; returns count."""
+        resumed = 0
+        still_paused: list[VM] = []
+        for vm in self.paused:
+            if (
+                vm.state is VMState.PAUSED
+                and self.running_cores + vm.cores <= budget
+            ):
+                vm.resume()
+                self.running_cores += vm.cores
+                resumed += 1
+            else:
+                still_paused.append(vm)
+        self.paused = still_paused
+        return resumed
+
+
+def _build_vms(
+    problem: SchedulingProblem, placement: Placement
+) -> dict[str, dict[int, list[VM]]]:
+    """Materialize per-site, per-arrival-step VM objects."""
+    arrivals: dict[str, dict[int, list[VM]]] = {
+        name: {} for name in problem.site_names
+    }
+    vm_id = 0
+    for app in problem.apps:
+        per_site = placement.assignment.get(app.app_id, {})
+        stable_count = round(app.stable_fraction * app.vm_count)
+        built = 0
+        for name, count in per_site.items():
+            for _ in range(count):
+                vm_class = (
+                    VMClass.STABLE
+                    if built < stable_count
+                    else VMClass.DEGRADABLE
+                )
+                request = VMRequest(
+                    vm_id, app.arrival_step, app.duration_steps,
+                    app.vm_type, vm_class,
+                )
+                arrivals[name].setdefault(app.arrival_step, []).append(
+                    VM(request)
+                )
+                vm_id += 1
+                built += 1
+    return arrivals
+
+
+def execute_placement_detailed(
+    problem: SchedulingProblem,
+    placement: Placement,
+    actual_traces: Mapping[str, PowerTrace],
+    cluster: ClusterSpec | None = None,
+) -> DetailedResult:
+    """Run a placement through per-VM site simulators.
+
+    Args:
+        problem: The planning problem (grid, apps, bytes/core unused
+            here — real VM memory sizes drive traffic).
+        placement: VM counts per (app, site).
+        actual_traces: True generation per site, on the problem grid.
+        cluster: Per-site cluster shape; sized to each site's
+            total_cores with the paper's 40-core servers when omitted.
+
+    Returns:
+        Per-site records plus cross-site handoff accounting.
+    """
+    placement.validate_complete(problem)
+    grid = problem.grid
+    states: dict[str, _SiteState] = {}
+    budgets: dict[str, np.ndarray] = {}
+    for site in problem.sites:
+        trace = actual_traces.get(site.name)
+        if trace is None:
+            raise SchedulingError(
+                f"no actual trace for site {site.name!r}"
+            )
+        if len(trace) != grid.n:
+            raise SchedulingError(
+                f"trace for {site.name} has {len(trace)} steps,"
+                f" expected {grid.n}"
+            )
+        shape = cluster or ClusterSpec(
+            n_servers=max(1, site.total_cores // 40)
+        )
+        states[site.name] = _SiteState(site.name, shape)
+        budgets[site.name] = np.floor(
+            trace.values * shape.total_cores
+        ).astype(int)
+
+    arrivals = _build_vms(problem, placement)
+    records: dict[str, list[DetailedSiteRecord]] = {
+        name: [] for name in states
+    }
+    # VMs displaced and not yet landed anywhere.
+    displaced_pool: list[VM] = []
+    finish_at: dict[int, list[tuple[VM, str]]] = {}
+    vm_site: dict[int, str] = {}
+    homeless_vm_steps = 0
+
+    def schedule_finish(vm: VM, site_name: str, step: int) -> None:
+        finish = step + vm.remaining_steps
+        vm.finish_step = finish
+        finish_at.setdefault(finish, []).append((vm, site_name))
+        vm_site[vm.vm_id] = site_name
+
+    for step in range(grid.n):
+        step_stats = {
+            name: dict(out_b=0.0, in_b=0.0, ev=0, land=0, pa=0, re=0)
+            for name in states
+        }
+        # 1. Completions.  The bucket's site name can be stale when a
+        # VM was evicted and re-landed with an unchanged finish step
+        # (same-step handoff); vm_site holds the authoritative host.
+        for vm, _bucket_site in finish_at.pop(step, []):
+            if vm.state is not VMState.RUNNING or vm.finish_step != step:
+                continue
+            state = states[vm_site[vm.vm_id]]
+            server = state.pool.servers[vm.server_id]
+            vm.state = VMState.COMPLETED
+            vm.finish_step = None
+            state.pool.release(server, vm)
+            vm.server_id = None
+            state.running_cores -= vm.cores
+
+        # 2. Power down: pause degradable, evict stable.
+        for name, state in states.items():
+            budget = int(budgets[name][step])
+            overflow = state.running_cores - budget
+            if overflow > 0:
+                to_migrate, to_pause = state.planner.plan(
+                    state.pool.servers, overflow
+                )
+                for vm in to_pause:
+                    if vm.finish_step is not None:
+                        vm.remaining_steps = max(
+                            1, vm.finish_step - step
+                        )
+                    vm.finish_step = None
+                    state.pause(vm)
+                    step_stats[name]["pa"] += 1
+                for vm in to_migrate:
+                    if vm.finish_step is not None:
+                        vm.remaining_steps = max(
+                            1, vm.finish_step - step
+                        )
+                    vm.finish_step = None
+                    state.evict(vm)
+                    displaced_pool.append(vm)
+                    step_stats[name]["out_b"] += vm.memory_bytes
+                    step_stats[name]["ev"] += 1
+
+        # 3. Resume paused VMs where power recovered, then re-schedule
+        # finishes for anything RUNNING without one (the resumed VMs).
+        for name, state in states.items():
+            budget = int(budgets[name][step])
+            resumed = state.resume_paused(budget)
+            step_stats[name]["re"] += resumed
+        for name, state in states.items():
+            for server in state.pool.servers:
+                for vm in server.running_vms():
+                    if vm.finish_step is None:
+                        schedule_finish(vm, name, step)
+
+        # 4. Fresh arrivals at their assigned sites.
+        for name, state in states.items():
+            budget = int(budgets[name][step])
+            for vm in arrivals[name].get(step, []):
+                if (
+                    state.running_cores + vm.cores <= budget
+                    and state.place(vm)
+                ):
+                    schedule_finish(vm, name, step)
+                else:
+                    displaced_pool.append(vm)
+
+        # 5. Displaced VMs land at the group member with most headroom.
+        still_displaced: list[VM] = []
+        for vm in displaced_pool:
+            candidates = sorted(
+                states.values(),
+                key=lambda s: s.free_powered_cores(
+                    int(budgets[s.name][step])
+                ),
+                reverse=True,
+            )
+            landed = False
+            for state in candidates:
+                budget = int(budgets[state.name][step])
+                if state.running_cores + vm.cores > budget:
+                    continue
+                if state.place(vm):
+                    schedule_finish(vm, state.name, step)
+                    was_migrated = vm.state is VMState.RUNNING and (
+                        vm.migrations > 0
+                    )
+                    if was_migrated:
+                        step_stats[state.name]["in_b"] += vm.memory_bytes
+                        step_stats[state.name]["land"] += 1
+                    landed = True
+                    break
+            if not landed:
+                still_displaced.append(vm)
+                homeless_vm_steps += 1
+        displaced_pool = still_displaced
+
+        for name in states:
+            stats = step_stats[name]
+            records[name].append(
+                DetailedSiteRecord(
+                    step=step,
+                    budget=int(budgets[name][step]),
+                    running_cores=states[name].running_cores,
+                    out_bytes=stats["out_b"],
+                    in_bytes=stats["in_b"],
+                    n_evicted=stats["ev"],
+                    n_landed=stats["land"],
+                    n_paused=stats["pa"],
+                    n_resumed=stats["re"],
+                )
+            )
+
+    return DetailedResult(
+        tuple(problem.site_names), records, homeless_vm_steps
+    )

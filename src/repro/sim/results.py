@@ -1,0 +1,109 @@
+"""Summary statistics for realized migration traffic (Table 1, Fig 7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class TransferSummary:
+    """Table 1's row for one policy.
+
+    All values in GB over per-step total transfer (out + in, summed
+    across sites), matching the paper's reporting.
+
+    Attributes:
+        policy: Policy label, e.g. ``"Greedy"`` or ``"MIP-peak"``.
+        total_gb: Sum over the horizon.
+        p99_gb: 99th percentile of per-step transfer.
+        peak_gb: Maximum per-step transfer.
+        std_gb: Standard deviation of per-step transfer.
+        zero_fraction: Share of steps with no transfer (Fig 7's CDF
+            left edge: greedy ~81%, MIP ~94%, MIP-peak ~74%).
+    """
+
+    policy: str
+    total_gb: float
+    p99_gb: float
+    peak_gb: float
+    std_gb: float
+    zero_fraction: float
+
+
+def summarize_transfers(
+    policy: str, transfer_bytes: np.ndarray
+) -> TransferSummary:
+    """Build a :class:`TransferSummary` from a per-step byte series."""
+    transfer_bytes = np.asarray(transfer_bytes, dtype=float)
+    if transfer_bytes.ndim != 1 or len(transfer_bytes) == 0:
+        raise SchedulingError(
+            f"transfer series must be 1-D non-empty, got shape"
+            f" {transfer_bytes.shape}"
+        )
+    gb = transfer_bytes / 1e9
+    return TransferSummary(
+        policy=policy,
+        total_gb=float(gb.sum()),
+        p99_gb=float(np.percentile(gb, 99)),
+        peak_gb=float(gb.max()),
+        std_gb=float(gb.std()),
+        zero_fraction=float(np.mean(gb <= 1e-12)),
+    )
+
+
+@dataclass
+class PolicyComparison:
+    """A set of policy summaries with the paper's headline ratios."""
+
+    summaries: list[TransferSummary]
+
+    def by_policy(self, policy: str) -> TransferSummary:
+        """Summary for one named policy."""
+        for summary in self.summaries:
+            if summary.policy == policy:
+                return summary
+        raise KeyError(f"no summary for policy {policy!r}")
+
+    def improvement_total(self, better: str, baseline: str) -> float:
+        """Fractional total-overhead reduction of ``better`` vs baseline.
+
+        The paper reports MIP improving total overhead by >30% over
+        greedy: ``1 - total(MIP) / total(greedy)``.
+        """
+        base = self.by_policy(baseline).total_gb
+        if base <= 0:
+            return 0.0
+        return 1.0 - self.by_policy(better).total_gb / base
+
+    def improvement_p99(self, better: str, baseline: str) -> float:
+        """p99 ratio baseline/better (paper: MIP-peak >4.2x vs greedy)."""
+        improved = self.by_policy(better).p99_gb
+        if improved <= 0:
+            return float("inf")
+        return self.by_policy(baseline).p99_gb / improved
+
+    def improvement_std(self, better: str, baseline: str) -> float:
+        """Std ratio baseline/better (paper: MIP-peak 2.7x less bursty)."""
+        improved = self.by_policy(better).std_gb
+        if improved <= 0:
+            return float("inf")
+        return self.by_policy(baseline).std_gb / improved
+
+    def as_table(self) -> str:
+        """Fixed-width text rendition of Table 1."""
+        header = (
+            f"{'Policy':<10} {'Total':>12} {'99%ile':>10} {'Peak':>10}"
+            f" {'Std':>10} {'Zero%':>7}"
+        )
+        lines = [header, "-" * len(header)]
+        for s in self.summaries:
+            lines.append(
+                f"{s.policy:<10} {s.total_gb:>12,.0f} {s.p99_gb:>10,.0f}"
+                f" {s.peak_gb:>10,.0f} {s.std_gb:>10,.0f}"
+                f" {100 * s.zero_fraction:>6.1f}%"
+            )
+        return "\n".join(lines)

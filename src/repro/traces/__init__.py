@@ -1,0 +1,60 @@
+"""Synthetic renewable power traces (solar, wind) and the EU site catalog.
+
+This subpackage stands in for the ELIA and EMHIRES datasets the paper
+analyzes (see DESIGN.md §2 for the substitution argument).  The public
+surface is:
+
+- :class:`~repro.traces.base.PowerTrace` — a normalized power time series
+  on a :class:`~repro.units.TimeGrid`.
+- :func:`~repro.traces.solar.synthesize_solar` and
+  :func:`~repro.traces.wind.synthesize_wind` — single-site generators.
+- :class:`~repro.traces.sites.SiteCatalog` and
+  :func:`~repro.traces.sites.synthesize_catalog_traces` — many sites with
+  distance-decaying weather correlation.
+"""
+
+from .base import PowerTrace
+from .weather import WeatherRegime, RegimeModel, sample_regime_sequence
+from .solar import SolarConfig, clear_sky_profile, synthesize_solar
+from .wind import WindConfig, turbine_power_curve, synthesize_wind
+from .sites import (
+    Site,
+    SiteCatalog,
+    default_european_catalog,
+    synthesize_catalog_traces,
+)
+from .io import trace_to_csv, trace_from_csv, catalog_traces_to_csv
+from .calibration import (
+    CalibrationResult,
+    CalibrationTarget,
+    calibration_report,
+    is_calibrated,
+    solar_targets,
+    wind_targets,
+)
+
+__all__ = [
+    "PowerTrace",
+    "WeatherRegime",
+    "RegimeModel",
+    "sample_regime_sequence",
+    "SolarConfig",
+    "clear_sky_profile",
+    "synthesize_solar",
+    "WindConfig",
+    "turbine_power_curve",
+    "synthesize_wind",
+    "Site",
+    "SiteCatalog",
+    "default_european_catalog",
+    "synthesize_catalog_traces",
+    "trace_to_csv",
+    "trace_from_csv",
+    "catalog_traces_to_csv",
+    "CalibrationResult",
+    "CalibrationTarget",
+    "calibration_report",
+    "is_calibrated",
+    "solar_targets",
+    "wind_targets",
+]

@@ -1,0 +1,155 @@
+"""Calibration targets: does a trace behave like the paper's data?
+
+DESIGN.md's substitution argument rests on the synthetic traces
+matching the *statistics the experiments consume*.  This module makes
+that checkable: each target is a named statistic with the band the
+paper (or its figures) implies, and :func:`calibration_report` scores
+any trace against the bands — useful both for regression-testing the
+built-in generators and for users who swap in real ELIA/EMHIRES data
+and want to confirm the library's assumptions hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import ConfigurationError
+from .base import PowerTrace
+
+
+@dataclass(frozen=True)
+class CalibrationTarget:
+    """One statistic and its acceptable band.
+
+    Attributes:
+        name: Statistic label, e.g. ``"zero_fraction"``.
+        low: Inclusive lower bound.
+        high: Inclusive upper bound.
+        source: Where the band comes from in the paper.
+    """
+
+    name: str
+    low: float
+    high: float
+    source: str
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ConfigurationError(
+                f"target {self.name}: low {self.low} > high {self.high}"
+            )
+
+    def contains(self, value: float) -> bool:
+        """True when ``value`` falls inside the band."""
+        return self.low <= value <= self.high
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of one target check."""
+
+    target: CalibrationTarget
+    value: float
+
+    @property
+    def passed(self) -> bool:
+        """True when the measured value is in band."""
+        return self.target.contains(self.value)
+
+
+#: Statistic extractors shared by both target sets.
+_STATISTICS: dict[str, Callable[[PowerTrace], float]] = {
+    "zero_fraction": lambda t: t.zero_fraction(),
+    "median": lambda t: t.percentile(50),
+    "tail_ratio_p99_p75": lambda t: t.tail_ratio(99, 75),
+    "cov": lambda t: t.cov(),
+    "mean": lambda t: float(t.values.mean()),
+}
+
+
+def solar_targets() -> list[CalibrationTarget]:
+    """Figure-2b solar bands (a year of data at one site)."""
+    return [
+        CalibrationTarget(
+            "zero_fraction", 0.40, 0.65,
+            "Fig 2b: over 50% zero values for solar (nights)",
+        ),
+        CalibrationTarget(
+            "median", 0.0, 0.05,
+            "Fig 2b: solar median at zero (CDF crosses 0.5 at ~0)",
+        ),
+        CalibrationTarget(
+            "tail_ratio_p99_p75", 2.5, 7.0,
+            "Fig 2b: p99/p75 ratio of ~4x for solar",
+        ),
+        CalibrationTarget(
+            "mean", 0.05, 0.30,
+            "typical European solar capacity factor (EMHIRES)",
+        ),
+    ]
+
+
+def wind_targets() -> list[CalibrationTarget]:
+    """Figure-2b wind bands (a year of data at one site)."""
+    return [
+        CalibrationTarget(
+            "zero_fraction", 0.0, 0.10,
+            "Fig 2a: wind rarely goes down to zero",
+        ),
+        CalibrationTarget(
+            "median", 0.05, 0.30,
+            "Fig 2b: wind median at most ~20% of peak capacity",
+        ),
+        CalibrationTarget(
+            "tail_ratio_p99_p75", 1.5, 3.5,
+            "Fig 2b: p99/p75 ratio of ~2x for wind",
+        ),
+        CalibrationTarget(
+            "mean", 0.15, 0.45,
+            "typical European wind capacity factor (EMHIRES)",
+        ),
+    ]
+
+
+def calibration_report(
+    trace: PowerTrace, targets: list[CalibrationTarget] | None = None
+) -> list[CalibrationResult]:
+    """Score a trace against calibration targets.
+
+    Args:
+        trace: The trace under test; a full year gives the bands their
+            intended meaning.
+        targets: Bands to check; inferred from ``trace.kind`` when
+            omitted (solar/wind), otherwise an error.
+
+    Returns:
+        One :class:`CalibrationResult` per target.
+    """
+    if targets is None:
+        if trace.kind == "solar":
+            targets = solar_targets()
+        elif trace.kind == "wind":
+            targets = wind_targets()
+        else:
+            raise ConfigurationError(
+                f"no default targets for trace kind {trace.kind!r};"
+                " pass targets explicitly"
+            )
+    results = []
+    for target in targets:
+        if target.name not in _STATISTICS:
+            raise ConfigurationError(
+                f"unknown statistic {target.name!r}; known:"
+                f" {sorted(_STATISTICS)}"
+            )
+        value = _STATISTICS[target.name](trace)
+        results.append(CalibrationResult(target, value))
+    return results
+
+
+def is_calibrated(
+    trace: PowerTrace, targets: list[CalibrationTarget] | None = None
+) -> bool:
+    """True when every target band holds for the trace."""
+    return all(r.passed for r in calibration_report(trace, targets))

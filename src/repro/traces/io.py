@@ -1,0 +1,110 @@
+"""CSV persistence for traces.
+
+Traces serialize to a simple two-column CSV (ISO timestamp, normalized
+power) with a ``#``-prefixed metadata header carrying the name, kind,
+capacity, and step.  This is deliberately close to how ELIA publishes
+its generation data, and keeps the files diffable and editable.
+"""
+
+from __future__ import annotations
+
+import csv
+from datetime import datetime, timedelta
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import TraceError
+from ..units import TimeGrid
+from .base import PowerTrace
+
+_HEADER_PREFIX = "#"
+_TIMESTAMP_FORMAT = "%Y-%m-%dT%H:%M:%S"
+
+
+def trace_to_csv(trace: PowerTrace, path: str | Path) -> None:
+    """Write ``trace`` to ``path`` as CSV with a metadata header."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        handle.write(f"{_HEADER_PREFIX} name={trace.name}\n")
+        handle.write(f"{_HEADER_PREFIX} kind={trace.kind}\n")
+        handle.write(f"{_HEADER_PREFIX} capacity_mw={trace.capacity_mw!r}\n")
+        handle.write(
+            f"{_HEADER_PREFIX} step_seconds={trace.grid.step_seconds!r}\n"
+        )
+        writer = csv.writer(handle)
+        writer.writerow(["timestamp", "normalized_power"])
+        for when, value in zip(trace.grid.times(), trace.values):
+            writer.writerow([when.strftime(_TIMESTAMP_FORMAT), f"{value:.6f}"])
+
+
+def _parse_metadata(lines: list[str]) -> dict[str, str]:
+    metadata: dict[str, str] = {}
+    for line in lines:
+        body = line[len(_HEADER_PREFIX):].strip()
+        if "=" not in body:
+            raise TraceError(f"malformed metadata line: {line!r}")
+        key, _, value = body.partition("=")
+        metadata[key.strip()] = value.strip()
+    return metadata
+
+
+def trace_from_csv(path: str | Path) -> PowerTrace:
+    """Read a trace previously written by :func:`trace_to_csv`.
+
+    Raises:
+        TraceError: on malformed metadata, timestamps, or values.
+    """
+    path = Path(path)
+    metadata_lines: list[str] = []
+    rows: list[tuple[str, str]] = []
+    with path.open() as handle:
+        reader = csv.reader(handle)
+        for row in reader:
+            if not row:
+                continue
+            if row[0].startswith(_HEADER_PREFIX):
+                metadata_lines.append(",".join(row))
+                continue
+            if row[0] == "timestamp":
+                continue
+            if len(row) != 2:
+                raise TraceError(f"expected 2 columns, got {row!r}")
+            rows.append((row[0], row[1]))
+    metadata = _parse_metadata(metadata_lines)
+    if not rows:
+        raise TraceError(f"no samples in {path}")
+    try:
+        start = datetime.strptime(rows[0][0], _TIMESTAMP_FORMAT)
+        step = timedelta(seconds=float(metadata["step_seconds"]))
+        values = np.array([float(value) for _, value in rows])
+        capacity = float(metadata["capacity_mw"])
+    except (KeyError, ValueError) as exc:
+        raise TraceError(f"malformed trace file {path}: {exc}") from exc
+    grid = TimeGrid(start, step, len(values))
+    return PowerTrace(
+        grid,
+        values,
+        metadata.get("name", path.stem),
+        metadata.get("kind", "generic"),
+        capacity,
+    )
+
+
+def catalog_traces_to_csv(
+    traces: Mapping[str, PowerTrace], directory: str | Path
+) -> list[Path]:
+    """Write one CSV per site trace into ``directory``.
+
+    Returns the written paths in catalog order.  The directory is
+    created if missing.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for name, trace in traces.items():
+        path = directory / f"{name}.csv"
+        trace_to_csv(trace, path)
+        written.append(path)
+    return written

@@ -1,0 +1,159 @@
+"""Synthetic solar production traces.
+
+The generator composes two processes:
+
+1. A deterministic **clear-sky profile** from standard solar geometry
+   (declination + hour angle -> solar elevation at the site's latitude),
+   which yields the diurnal zero-at-night shape and the winter/summer
+   seasonality the paper observes (peak winter production ~75% below
+   summer).
+2. A stochastic **weather modulation** from the regime model in
+   :mod:`repro.traces.weather`: sunny days pass the clear-sky profile
+   through nearly unattenuated, overcast days crush it to a few percent,
+   and variable days multiply it by a spiky AR(1) cloud process —
+   reproducing the three day types of Figure 2a.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError, TraceError
+from ..units import TimeGrid
+from .base import PowerTrace
+from .weather import (
+    RegimeModel,
+    default_solar_regimes,
+    regime_modulation,
+    sample_regime_sequence,
+)
+
+
+@dataclass(frozen=True)
+class SolarConfig:
+    """Parameters of the solar synthesis model.
+
+    Attributes:
+        latitude_deg: Site latitude; drives day length and seasonality.
+        capacity_mw: Peak plant capacity (paper assumes 400 MW).
+        panel_efficiency_exponent: Shaping exponent applied to solar
+            elevation; >1 narrows the midday peak slightly, matching
+            fixed-tilt panel behaviour.
+        regime_model: Day-scale weather Markov chain; defaults to the
+            three-regime model of Figure 2a.
+    """
+
+    latitude_deg: float = 51.0
+    capacity_mw: float = 400.0
+    panel_efficiency_exponent: float = 1.15
+    regime_model: RegimeModel | None = None
+
+    def __post_init__(self) -> None:
+        if not -85.0 <= self.latitude_deg <= 85.0:
+            raise ConfigurationError(
+                f"latitude out of range: {self.latitude_deg}"
+            )
+        if self.capacity_mw <= 0:
+            raise ConfigurationError(
+                f"capacity must be positive: {self.capacity_mw}"
+            )
+        if self.panel_efficiency_exponent <= 0:
+            raise ConfigurationError("efficiency exponent must be positive")
+
+    @property
+    def regimes(self) -> RegimeModel:
+        """The active regime model (default solar regimes if unset)."""
+        return self.regime_model or default_solar_regimes()
+
+
+def solar_declination_rad(day_of_year: np.ndarray) -> np.ndarray:
+    """Solar declination (radians) by fractional day of year.
+
+    Cooper's formula: delta = 23.45 deg * sin(2*pi*(284 + n)/365).
+    """
+    return np.deg2rad(23.45) * np.sin(2.0 * np.pi * (284.0 + day_of_year) / 365.0)
+
+
+def solar_elevation_sin(
+    latitude_deg: float, day_of_year: np.ndarray, hour_of_day: np.ndarray
+) -> np.ndarray:
+    """Sine of solar elevation for each (day, hour) sample.
+
+    Negative values (sun below horizon) are clipped to zero by callers.
+    Solar noon is taken at 12:00 local time — adequate for synthetic
+    traces where absolute clock alignment is irrelevant.
+    """
+    lat = np.deg2rad(latitude_deg)
+    decl = solar_declination_rad(day_of_year)
+    hour_angle = np.deg2rad(15.0) * (hour_of_day - 12.0)
+    return np.sin(lat) * np.sin(decl) + np.cos(lat) * np.cos(decl) * np.cos(
+        hour_angle
+    )
+
+
+def clear_sky_profile(grid: TimeGrid, config: SolarConfig) -> np.ndarray:
+    """Normalized clear-sky output in [0, 1] for every grid sample.
+
+    Normalized against the *annual* clear-sky maximum at the site's
+    latitude so that a mid-summer noon on a sunny day reaches ~1.0 and
+    winter peaks sit well below — the seasonality of §2.2.
+    """
+    elevation = solar_elevation_sin(
+        config.latitude_deg, grid.day_of_year(), grid.hour_of_day()
+    )
+    profile = np.clip(elevation, 0.0, None) ** config.panel_efficiency_exponent
+    # Annual maximum of sin(elevation) occurs at the summer solstice noon.
+    lat = np.deg2rad(config.latitude_deg)
+    solstice_decl = np.deg2rad(23.45) if config.latitude_deg >= 0 else -np.deg2rad(23.45)
+    annual_peak = np.sin(lat) * np.sin(solstice_decl) + np.cos(lat) * np.cos(
+        solstice_decl
+    )
+    annual_peak = max(annual_peak, 1e-6) ** config.panel_efficiency_exponent
+    return profile / annual_peak
+
+
+def synthesize_solar(
+    grid: TimeGrid,
+    config: SolarConfig | None = None,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+    name: str = "solar",
+    regime_indices: np.ndarray | None = None,
+) -> PowerTrace:
+    """Generate a synthetic solar :class:`PowerTrace`.
+
+    Args:
+        grid: Sampling grid; its step must divide one day evenly.
+        config: Model parameters; defaults to a Belgium-like site.
+        rng: Random generator; if omitted, built from ``seed``.
+        seed: Convenience seed when ``rng`` is not supplied.
+        name: Label for the resulting trace.
+        regime_indices: Optional externally-sampled per-day regime
+            indices (used by the correlated multi-site synthesizer);
+            if omitted, regimes are drawn from the config's Markov chain.
+
+    Returns:
+        A normalized solar trace on ``grid``.
+    """
+    config = config or SolarConfig()
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    steps_per_day = grid.steps_per_day()
+    if grid.n % steps_per_day:
+        raise TraceError(
+            f"grid length {grid.n} is not a whole number of days"
+            f" ({steps_per_day} steps/day)"
+        )
+    days = grid.n // steps_per_day
+    model = config.regimes
+    if regime_indices is None:
+        regime_indices = sample_regime_sequence(model, days, rng)
+    elif len(regime_indices) != days:
+        raise TraceError(
+            f"got {len(regime_indices)} regime indices for {days} days"
+        )
+    modulation = regime_modulation(model.regimes, regime_indices, steps_per_day, rng)
+    values = np.clip(clear_sky_profile(grid, config) * modulation, 0.0, 1.0)
+    return PowerTrace(grid, values, name, "solar", config.capacity_mw)

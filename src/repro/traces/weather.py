@@ -1,0 +1,301 @@
+"""Weather regime processes driving the synthetic traces.
+
+The paper's Figure 2a highlights three qualitative solar-day types —
+sunny, variable (spiky clouds), and overcast — and wind days that swing
+between calm and stormy.  We model day-scale weather as a first-order
+Markov chain over named regimes, and intra-day fluctuation as an AR(1)
+process whose parameters depend on the active regime.
+
+Spatial structure matters for §2.3 (complementary nearby sites): regimes
+at different sites are drawn from a shared latent Gaussian field whose
+correlation decays with distance, so close sites see similar weather and
+distant ones are nearly independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WeatherRegime:
+    """One day-scale weather state.
+
+    Attributes:
+        name: Label, e.g. ``"sunny"`` or ``"stormy"``.
+        level: Mean modulation applied to the clear-sky / base process
+            (1.0 = unattenuated, 0.05 = heavy overcast).
+        volatility: Standard deviation of intra-day AR(1) fluctuation.
+        persistence: AR(1) coefficient of the intra-day fluctuation in
+            (0, 1); high values give slow drifts, low values give spiky
+            sample-to-sample variation.
+    """
+
+    name: str
+    level: float
+    volatility: float
+    persistence: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.level <= 1.5:
+            raise ConfigurationError(f"regime level out of range: {self.level}")
+        if self.volatility < 0:
+            raise ConfigurationError(f"negative volatility: {self.volatility}")
+        if not 0.0 < self.persistence < 1.0:
+            raise ConfigurationError(
+                f"persistence must be in (0,1): {self.persistence}"
+            )
+
+
+@dataclass(frozen=True)
+class RegimeModel:
+    """A Markov chain over :class:`WeatherRegime` states.
+
+    Attributes:
+        regimes: The states, in a fixed order.
+        transition: Row-stochastic matrix; ``transition[i][j]`` is the
+            probability of moving from regime ``i`` today to ``j``
+            tomorrow.
+        initial: Initial distribution over regimes.
+    """
+
+    regimes: tuple[WeatherRegime, ...]
+    transition: np.ndarray
+    initial: np.ndarray
+
+    def __post_init__(self) -> None:
+        k = len(self.regimes)
+        transition = np.asarray(self.transition, dtype=float)
+        initial = np.asarray(self.initial, dtype=float)
+        if transition.shape != (k, k):
+            raise ConfigurationError(
+                f"transition matrix shape {transition.shape} != ({k}, {k})"
+            )
+        if initial.shape != (k,):
+            raise ConfigurationError(f"initial shape {initial.shape} != ({k},)")
+        if np.any(transition < 0) or np.any(initial < 0):
+            raise ConfigurationError("probabilities must be non-negative")
+        if not np.allclose(transition.sum(axis=1), 1.0, atol=1e-9):
+            raise ConfigurationError("transition rows must each sum to 1")
+        if not np.isclose(initial.sum(), 1.0, atol=1e-9):
+            raise ConfigurationError("initial distribution must sum to 1")
+        object.__setattr__(self, "transition", transition)
+        object.__setattr__(self, "initial", initial)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Regime names in state order."""
+        return tuple(r.name for r in self.regimes)
+
+    def by_name(self, name: str) -> WeatherRegime:
+        """Look up a regime by its name."""
+        for regime in self.regimes:
+            if regime.name == name:
+                return regime
+        raise KeyError(f"no regime named {name!r}")
+
+
+def default_solar_regimes() -> RegimeModel:
+    """The three solar day types of Figure 2a with plausible persistence.
+
+    Sunny days dominate and persist; overcast days can depress peak
+    production to a few percent of capacity (the paper observes 3.5%
+    vs. 77% on consecutive days); variable days produce spiky output.
+    """
+    sunny = WeatherRegime("sunny", level=1.0, volatility=0.03, persistence=0.85)
+    variable = WeatherRegime("variable", level=0.6, volatility=0.28, persistence=0.45)
+    overcast = WeatherRegime("overcast", level=0.07, volatility=0.04, persistence=0.80)
+    transition = np.array(
+        [
+            [0.62, 0.25, 0.13],
+            [0.40, 0.35, 0.25],
+            [0.30, 0.30, 0.40],
+        ]
+    )
+    initial = np.array([0.5, 0.3, 0.2])
+    return RegimeModel((sunny, variable, overcast), transition, initial)
+
+
+def default_wind_regimes() -> RegimeModel:
+    """Wind day types: calm, breezy, stormy.
+
+    ``level`` here modulates the *mean wind speed* target of the OU
+    process (see :mod:`repro.traces.wind`), not the power directly.
+    """
+    calm = WeatherRegime("calm", level=0.48, volatility=0.10, persistence=0.90)
+    breezy = WeatherRegime("breezy", level=0.70, volatility=0.18, persistence=0.80)
+    stormy = WeatherRegime("stormy", level=1.10, volatility=0.30, persistence=0.70)
+    transition = np.array(
+        [
+            [0.55, 0.35, 0.10],
+            [0.30, 0.45, 0.25],
+            [0.15, 0.45, 0.40],
+        ]
+    )
+    initial = np.array([0.4, 0.4, 0.2])
+    return RegimeModel((calm, breezy, stormy), transition, initial)
+
+
+def sample_regime_sequence(
+    model: RegimeModel, days: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample ``days`` regime indices from the Markov chain.
+
+    Returns:
+        Integer array of regime indices into ``model.regimes``.
+    """
+    if days < 0:
+        raise ConfigurationError(f"days must be >= 0, got {days}")
+    states = np.empty(days, dtype=int)
+    if days == 0:
+        return states
+    k = len(model.regimes)
+    states[0] = rng.choice(k, p=model.initial)
+    for day in range(1, days):
+        states[day] = rng.choice(k, p=model.transition[states[day - 1]])
+    return states
+
+
+def regime_sequence_from_latent(
+    model: RegimeModel, latent: np.ndarray
+) -> np.ndarray:
+    """Map latent standard-normal draws to regime indices.
+
+    Used for spatially-correlated multi-site synthesis: each site gets a
+    latent normal per day (correlated across sites), and the normal's CDF
+    quantile selects the regime according to the chain's stationary
+    distribution.  Persistence across days comes from blending with the
+    previous day's latent before calling this (see
+    :func:`correlated_daily_latents`).
+    """
+    stationary = stationary_distribution(model)
+    # Map quantiles to regimes through the stationary CDF.
+    edges = np.cumsum(stationary)
+    # scipy-free standard normal CDF via erf.
+    from math import erf, sqrt
+
+    quantiles = np.array([0.5 * (1 + erf(z / sqrt(2))) for z in latent])
+    return np.searchsorted(edges, quantiles, side="right").clip(
+        0, len(model.regimes) - 1
+    )
+
+
+def stationary_distribution(model: RegimeModel) -> np.ndarray:
+    """Stationary distribution of the regime Markov chain."""
+    k = len(model.regimes)
+    # Solve pi P = pi, sum(pi) = 1 via the standard augmented system.
+    a = np.vstack([model.transition.T - np.eye(k), np.ones(k)])
+    b = np.concatenate([np.zeros(k), [1.0]])
+    pi, *_ = np.linalg.lstsq(a, b, rcond=None)
+    pi = np.clip(pi, 0, None)
+    return pi / pi.sum()
+
+
+def distance_correlation_matrix(
+    distances_km: np.ndarray, length_scale_km: float = 600.0
+) -> np.ndarray:
+    """Exponential-decay spatial correlation from a distance matrix.
+
+    ``corr[i, j] = exp(-d_ij / length_scale)``: sites a few hundred km
+    apart share most of their weather, sites across the continent are
+    nearly independent — the property §2.3 exploits for complementarity.
+    """
+    distances = np.asarray(distances_km, dtype=float)
+    if distances.ndim != 2 or distances.shape[0] != distances.shape[1]:
+        raise ConfigurationError(
+            f"distance matrix must be square, got {distances.shape}"
+        )
+    if length_scale_km <= 0:
+        raise ConfigurationError(
+            f"length scale must be positive, got {length_scale_km}"
+        )
+    corr = np.exp(-distances / length_scale_km)
+    np.fill_diagonal(corr, 1.0)
+    return corr
+
+
+def correlated_daily_latents(
+    correlation: np.ndarray,
+    days: int,
+    rng: np.random.Generator,
+    day_persistence: float = 0.55,
+) -> np.ndarray:
+    """Latent standard-normal field: shape ``(days, n_sites)``.
+
+    Spatially correlated via the Cholesky factor of ``correlation`` and
+    temporally AR(1)-persistent across days, so weather systems both span
+    nearby sites and linger for multiple days.
+    """
+    if not 0.0 <= day_persistence < 1.0:
+        raise ConfigurationError(
+            f"day persistence must be in [0,1): {day_persistence}"
+        )
+    n_sites = correlation.shape[0]
+    # Jitter the diagonal so nearly-singular matrices (duplicate sites)
+    # still factor.
+    chol = np.linalg.cholesky(correlation + 1e-9 * np.eye(n_sites))
+    latents = np.empty((days, n_sites))
+    innovation_scale = np.sqrt(1.0 - day_persistence**2)
+    state = chol @ rng.standard_normal(n_sites)
+    for day in range(days):
+        if day:
+            noise = chol @ rng.standard_normal(n_sites)
+            state = day_persistence * state + innovation_scale * noise
+        latents[day] = state
+    return latents
+
+
+def intraday_ar1(
+    n_steps: int,
+    volatility: float,
+    persistence: float,
+    rng: np.random.Generator,
+    initial: float = 0.0,
+) -> np.ndarray:
+    """Zero-mean AR(1) fluctuation path with stationary std ``volatility``."""
+    if n_steps <= 0:
+        return np.empty(0)
+    innovation = volatility * np.sqrt(1.0 - persistence**2)
+    path = np.empty(n_steps)
+    state = initial
+    draws = rng.standard_normal(n_steps)
+    for i in range(n_steps):
+        state = persistence * state + innovation * draws[i]
+        path[i] = state
+    return path
+
+
+def regime_modulation(
+    regimes: Sequence[WeatherRegime],
+    day_indices: np.ndarray,
+    steps_per_day: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Per-step multiplicative weather modulation in [0, ~1.2].
+
+    For each day, the active regime supplies a base level and an AR(1)
+    fluctuation; the result is ``clip(level + fluctuation, 0, 1.25)``
+    evaluated at every step of the day.  AR(1) state carries across day
+    boundaries so regime changes do not produce artificial jumps.
+    """
+    levels = np.array([r.level for r in regimes])
+    total = len(day_indices) * steps_per_day
+    modulation = np.empty(total)
+    state = 0.0
+    for day, regime_index in enumerate(day_indices):
+        regime = regimes[regime_index]
+        fluct = intraday_ar1(
+            steps_per_day, regime.volatility, regime.persistence, rng, state
+        )
+        if steps_per_day:
+            state = fluct[-1]
+        start = day * steps_per_day
+        modulation[start : start + steps_per_day] = (
+            levels[regime_index] + fluct
+        )
+    return np.clip(modulation, 0.0, 1.25)

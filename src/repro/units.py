@@ -1,0 +1,211 @@
+"""Time grids and unit conversions shared across the library.
+
+The paper's traces are uniform time series (ELIA: 15-minute resolution,
+EMHIRES: hourly).  :class:`TimeGrid` pins down the convention once: a
+grid is ``n`` samples starting at ``start`` (a timezone-naive
+``datetime``), spaced ``step`` apart.  Sample ``i`` covers the half-open
+interval ``[start + i*step, start + (i+1)*step)``.
+
+Unit helpers convert between the paper's reporting units (MW, MWh, GB,
+Gbps) and the internal ones (watts, joules, bytes) so that magic
+constants appear in exactly one module.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+from typing import Iterator
+
+import numpy as np
+
+from .errors import TimeGridError
+
+#: Seconds per hour, used in energy integration.
+SECONDS_PER_HOUR = 3600.0
+
+#: Bytes in a gigabyte as the paper reports transfers (decimal GB).
+BYTES_PER_GB = 1e9
+
+#: Bytes in a gibibyte (used for VM memory sizes, which are powers of two).
+BYTES_PER_GIB = float(2**30)
+
+
+def mw_to_watts(mw: float) -> float:
+    """Convert megawatts to watts."""
+    return mw * 1e6
+
+
+def watts_to_mw(watts: float) -> float:
+    """Convert watts to megawatts."""
+    return watts / 1e6
+
+
+def mwh_to_joules(mwh: float) -> float:
+    """Convert megawatt-hours to joules."""
+    return mwh * 1e6 * SECONDS_PER_HOUR
+
+
+def joules_to_mwh(joules: float) -> float:
+    """Convert joules to megawatt-hours."""
+    return joules / (1e6 * SECONDS_PER_HOUR)
+
+
+def bytes_to_gb(n_bytes: float) -> float:
+    """Convert bytes to decimal gigabytes (the paper's transfer unit)."""
+    return n_bytes / BYTES_PER_GB
+
+
+def gb_to_bytes(gb: float) -> float:
+    """Convert decimal gigabytes to bytes."""
+    return gb * BYTES_PER_GB
+
+
+def gib_to_bytes(gib: float) -> float:
+    """Convert gibibytes (binary GB, VM memory unit) to bytes."""
+    return gib * BYTES_PER_GIB
+
+
+def gbps_to_bytes_per_second(gbps: float) -> float:
+    """Convert gigabits/second (link capacity unit) to bytes/second."""
+    return gbps * 1e9 / 8.0
+
+
+def transfer_seconds(n_bytes: float, link_gbps: float) -> float:
+    """Time to move ``n_bytes`` over a ``link_gbps`` link, in seconds."""
+    if link_gbps <= 0:
+        raise ValueError(f"link capacity must be positive, got {link_gbps}")
+    return n_bytes / gbps_to_bytes_per_second(link_gbps)
+
+
+@dataclass(frozen=True)
+class TimeGrid:
+    """A uniform sampling grid: ``n`` samples of width ``step`` from ``start``.
+
+    Attributes:
+        start: Timestamp of the first sample's left edge.
+        step: Width of each sample interval.
+        n: Number of samples.
+    """
+
+    start: datetime
+    step: timedelta
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise TimeGridError(f"grid length must be >= 0, got {self.n}")
+        if self.step <= timedelta(0):
+            raise TimeGridError(f"grid step must be positive, got {self.step}")
+
+    @property
+    def step_seconds(self) -> float:
+        """Sample width in seconds."""
+        return self.step.total_seconds()
+
+    @property
+    def step_hours(self) -> float:
+        """Sample width in hours (energy integration uses MWh = MW * h)."""
+        return self.step_seconds / SECONDS_PER_HOUR
+
+    @property
+    def end(self) -> datetime:
+        """Right edge of the final sample (exclusive)."""
+        return self.start + self.n * self.step
+
+    @property
+    def duration(self) -> timedelta:
+        """Total span covered by the grid."""
+        return self.n * self.step
+
+    def time_at(self, index: int) -> datetime:
+        """Timestamp of sample ``index``'s left edge.
+
+        Negative indices count from the end, as with sequences.
+        """
+        if index < 0:
+            index += self.n
+        if not 0 <= index < self.n:
+            raise TimeGridError(f"index {index} out of range for grid of {self.n}")
+        return self.start + index * self.step
+
+    def index_at(self, when: datetime) -> int:
+        """Index of the sample interval containing ``when``.
+
+        Raises:
+            TimeGridError: if ``when`` falls outside ``[start, end)``.
+        """
+        offset = (when - self.start).total_seconds()
+        index = math.floor(offset / self.step_seconds)
+        if not 0 <= index < self.n:
+            raise TimeGridError(f"{when} outside grid [{self.start}, {self.end})")
+        return index
+
+    def times(self) -> Iterator[datetime]:
+        """Iterate over all sample timestamps (left edges)."""
+        for i in range(self.n):
+            yield self.start + i * self.step
+
+    def hours_elapsed(self) -> np.ndarray:
+        """Array of hours since ``start`` for each sample's left edge."""
+        return np.arange(self.n, dtype=float) * self.step_hours
+
+    def hour_of_day(self) -> np.ndarray:
+        """Fractional hour-of-day (0..24) for each sample's left edge."""
+        base = self.start.hour + self.start.minute / 60 + self.start.second / 3600
+        return (base + self.hours_elapsed()) % 24.0
+
+    def day_of_year(self) -> np.ndarray:
+        """Fractional day-of-year (0-based) for each sample's left edge."""
+        base = float(self.start.timetuple().tm_yday - 1)
+        base += (self.start.hour + self.start.minute / 60) / 24.0
+        return (base + self.hours_elapsed() / 24.0) % 365.0
+
+    def subgrid(self, start_index: int, length: int) -> "TimeGrid":
+        """A contiguous slice of this grid as a new :class:`TimeGrid`."""
+        if start_index < 0 or length < 0 or start_index + length > self.n:
+            raise TimeGridError(
+                f"subgrid [{start_index}, {start_index + length}) out of"
+                f" range for grid of {self.n}"
+            )
+        return TimeGrid(self.start + start_index * self.step, self.step, length)
+
+    def compatible_with(self, other: "TimeGrid") -> bool:
+        """True if both grids have identical start, step, and length."""
+        return (
+            self.start == other.start
+            and self.step == other.step
+            and self.n == other.n
+        )
+
+    def require_compatible(self, other: "TimeGrid") -> None:
+        """Raise :class:`TimeGridError` unless grids match exactly."""
+        if not self.compatible_with(other):
+            raise TimeGridError(
+                f"incompatible grids: ({self.start}, {self.step}, {self.n})"
+                f" vs ({other.start}, {other.step}, {other.n})"
+            )
+
+    def steps_per_day(self) -> int:
+        """Number of whole samples per 24 hours.
+
+        Raises:
+            TimeGridError: if a day is not an integer number of steps.
+        """
+        per_day = timedelta(days=1) / self.step
+        rounded = round(per_day)
+        if abs(per_day - rounded) > 1e-9:
+            raise TimeGridError(f"step {self.step} does not divide one day")
+        return int(rounded)
+
+
+def grid_days(start: datetime, days: float, step_minutes: float = 15.0) -> TimeGrid:
+    """Convenience constructor: a grid spanning ``days`` at ``step_minutes``.
+
+    The default 15-minute step matches the ELIA dataset resolution the
+    paper uses for its fine-grained analysis.
+    """
+    step = timedelta(minutes=step_minutes)
+    n = int(round(days * 24 * 60 / step_minutes))
+    return TimeGrid(start, step, n)

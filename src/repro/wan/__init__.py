@@ -1,0 +1,29 @@
+"""The wide-area network substrate (§3's "new networking challenge").
+
+The paper sizes migration bursts against WAN capacity: a 10 TB spike
+must finish within ~5 minutes, needing ~200 Gbps — roughly 40% of a
+site's share of a 50 Tbps aggregate WAN split across ~100 sites.  This
+subpackage makes those back-of-envelope numbers simulable:
+
+- :class:`~repro.wan.topology.WanTopology` — per-site access links plus
+  a shared backbone.
+- :class:`~repro.wan.flows.MigrationFlow` — one VM-group transfer.
+- :class:`~repro.wan.simulator.WanSimulator` — fluid max-min fair
+  bandwidth sharing, producing completion times, link utilization, and
+  deadline violations.
+- :func:`~repro.wan.simulator.flows_from_execution` — turns a
+  co-scheduler execution's per-site migration series into flows between
+  group members.
+"""
+
+from .topology import WanTopology
+from .flows import FlowResult, MigrationFlow
+from .simulator import WanSimulator, flows_from_execution
+
+__all__ = [
+    "WanTopology",
+    "MigrationFlow",
+    "FlowResult",
+    "WanSimulator",
+    "flows_from_execution",
+]

@@ -1,0 +1,68 @@
+"""Migration flows and their completion records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MigrationFlow:
+    """One bulk transfer between two sites.
+
+    Attributes:
+        flow_id: Unique id.
+        src: Source site name.
+        dst: Destination site name.
+        size_bytes: Bytes to move.
+        release_step: Scheduler step at which the flow becomes ready
+            (migrations triggered at step t start transferring at t).
+    """
+
+    flow_id: int
+    src: str
+    dst: str
+    size_bytes: float
+    release_step: int
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ConfigurationError(
+                f"flow {self.flow_id} has identical endpoints {self.src!r}"
+            )
+        if self.size_bytes <= 0:
+            raise ConfigurationError(
+                f"flow size must be positive: {self.size_bytes}"
+            )
+        if self.release_step < 0:
+            raise ConfigurationError(
+                f"negative release step: {self.release_step}"
+            )
+
+
+@dataclass(frozen=True)
+class FlowResult:
+    """Completion record of one flow.
+
+    Attributes:
+        flow: The transferred flow.
+        start_seconds: Simulation time the first byte moved.
+        finish_seconds: Simulation time the last byte arrived; ``inf``
+            when the horizon ended first.
+        completed: True if all bytes arrived within the horizon.
+    """
+
+    flow: MigrationFlow
+    start_seconds: float
+    finish_seconds: float
+    completed: bool
+
+    @property
+    def duration_seconds(self) -> float:
+        """Transfer latency from release to completion."""
+        return self.finish_seconds - self.start_seconds
+
+    def meets_deadline(self, deadline_seconds: float) -> bool:
+        """True if the flow finished within ``deadline_seconds``."""
+        return self.completed and self.duration_seconds <= deadline_seconds

@@ -1,0 +1,64 @@
+"""WAN topology: site access links and a shared backbone."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..errors import ConfigurationError
+from ..units import gbps_to_bytes_per_second
+
+
+@dataclass(frozen=True)
+class WanTopology:
+    """A hub-style WAN: every site hangs off a shared backbone.
+
+    A flow from site A to site B is constrained by A's uplink, B's
+    downlink (both ``access_gbps``, full-duplex), and the backbone's
+    aggregate capacity shared by *all* flows — the paper's "100 sites
+    share an aggregate WAN link with 50 terabits/sec capacity" model.
+
+    Attributes:
+        site_names: The participating sites.
+        access_gbps: Per-site access link capacity (paper: ~200 Gbps
+            share per site).
+        backbone_gbps: Aggregate backbone capacity across all flows.
+        per_site_access: Optional per-site overrides of ``access_gbps``.
+    """
+
+    site_names: tuple[str, ...]
+    access_gbps: float = 200.0
+    backbone_gbps: float = 50_000.0
+    per_site_access: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.site_names:
+            raise ConfigurationError("topology needs at least one site")
+        if len(set(self.site_names)) != len(self.site_names):
+            raise ConfigurationError(
+                f"duplicate site names: {self.site_names}"
+            )
+        if self.access_gbps <= 0 or self.backbone_gbps <= 0:
+            raise ConfigurationError("link capacities must be positive")
+        unknown = set(self.per_site_access) - set(self.site_names)
+        if unknown:
+            raise ConfigurationError(
+                f"access overrides for unknown sites: {sorted(unknown)}"
+            )
+        for name, gbps in self.per_site_access.items():
+            if gbps <= 0:
+                raise ConfigurationError(
+                    f"access capacity for {name} must be positive: {gbps}"
+                )
+
+    def access_bytes_per_second(self, site: str) -> float:
+        """Access-link rate of ``site``, bytes/second."""
+        if site not in self.site_names:
+            raise ConfigurationError(f"unknown site: {site!r}")
+        gbps = self.per_site_access.get(site, self.access_gbps)
+        return gbps_to_bytes_per_second(gbps)
+
+    @property
+    def backbone_bytes_per_second(self) -> float:
+        """Backbone aggregate rate, bytes/second."""
+        return gbps_to_bytes_per_second(self.backbone_gbps)

@@ -1,0 +1,30 @@
+"""Synthetic cloud workloads.
+
+Stands in for the Azure production VM arrival trace the paper replays
+(§3).  The generator reproduces the statistics the experiment actually
+consumes: arrival times, VM core/memory sizes (skewed heavily toward
+small VMs, as in the public Azure 2019 trace), heavy-tailed lifetimes,
+and the stable/degradable class split of §2.3.
+"""
+
+from .vmtypes import VMClass, VMType, VMRequest, default_vm_catalog
+from .azure import (
+    AzureWorkloadConfig,
+    arrival_rate_for_utilization,
+    generate_vm_requests,
+    workload_matched_to_power,
+)
+from .apps import Application, generate_applications
+
+__all__ = [
+    "VMClass",
+    "VMType",
+    "VMRequest",
+    "default_vm_catalog",
+    "AzureWorkloadConfig",
+    "generate_vm_requests",
+    "arrival_rate_for_utilization",
+    "workload_matched_to_power",
+    "Application",
+    "generate_applications",
+]

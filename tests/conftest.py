@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.units import TimeGrid, grid_days
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for reproducible tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def day_grid() -> TimeGrid:
+    """One day at 15-minute resolution (96 samples)."""
+    return grid_days(datetime(2020, 5, 3), 1)
+
+
+@pytest.fixture
+def week_grid() -> TimeGrid:
+    """One week at 15-minute resolution."""
+    return grid_days(datetime(2020, 5, 3), 7)
+
+
+@pytest.fixture
+def month_grid() -> TimeGrid:
+    """Thirty days at 15-minute resolution."""
+    return grid_days(datetime(2020, 5, 1), 30)
+
+
+@pytest.fixture
+def hourly_week_grid() -> TimeGrid:
+    """One week at hourly resolution (EMHIRES-like)."""
+    return TimeGrid(datetime(2020, 5, 3), timedelta(hours=1), 7 * 24)

@@ -1,0 +1,108 @@
+"""Tests for analysis stats and report formatting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    empirical_cdf,
+    format_cdf_points,
+    format_series_sample,
+    format_table,
+    nonzero_cdf,
+    percentile_ratio,
+    rolling_min,
+    series_cov,
+)
+from repro.errors import ConfigurationError
+
+
+class TestStats:
+    def test_empirical_cdf_basics(self):
+        values, probabilities = empirical_cdf(np.array([3.0, 1.0, 2.0]))
+        np.testing.assert_allclose(values, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(probabilities, [1 / 3, 2 / 3, 1.0])
+
+    def test_empirical_cdf_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            empirical_cdf(np.array([]))
+
+    def test_nonzero_cdf_filters(self):
+        values, _ = nonzero_cdf(np.array([0.0, 0.0, 5.0, 2.0]))
+        np.testing.assert_allclose(values, [2.0, 5.0])
+
+    def test_nonzero_cdf_all_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            nonzero_cdf(np.zeros(5))
+
+    def test_percentile_ratio(self):
+        values = np.concatenate([np.full(99, 1.0), [10.0]])
+        assert percentile_ratio(values, 99, 50) > 1.0
+
+    def test_percentile_ratio_zero_cases(self):
+        assert percentile_ratio(np.zeros(10)) == 1.0
+        values = np.concatenate([np.zeros(90), np.full(10, 5.0)])
+        assert percentile_ratio(values, 99, 50) == float("inf")
+
+    def test_rolling_min(self):
+        values = np.array([3.0, 1.0, 4.0, 1.0, 5.0])
+        np.testing.assert_allclose(rolling_min(values, 2), [1.0, 1.0, 5.0])
+
+    def test_rolling_min_validation(self):
+        with pytest.raises(ConfigurationError):
+            rolling_min(np.ones(3), 0)
+
+    def test_series_cov(self):
+        assert series_cov(np.full(10, 2.0)) == 0.0
+        assert series_cov(np.zeros(3)) == float("inf")
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0),
+            min_size=1, max_size=100,
+        )
+    )
+    @settings(max_examples=30)
+    def test_cdf_is_monotone(self, values):
+        ordered, probabilities = empirical_cdf(np.array(values))
+        assert np.all(np.diff(ordered) >= 0)
+        assert np.all(np.diff(probabilities) > 0)
+        assert probabilities[-1] == pytest.approx(1.0)
+
+
+class TestReport:
+    def test_format_table(self):
+        table = format_table(
+            ["Policy", "Total"],
+            [["Greedy", 306966], ["MIP", 209961.5]],
+            title="Table 1",
+        )
+        assert "Table 1" in table
+        assert "306,966" in table
+        assert "209,961.50" in table
+
+    def test_format_table_validation(self):
+        with pytest.raises(ConfigurationError):
+            format_table([], [])
+        with pytest.raises(ConfigurationError):
+            format_table(["A"], [["x", "y"]])
+
+    def test_format_cdf_points(self):
+        text = format_cdf_points(np.arange(100.0), unit="GB")
+        assert "p50" in text and "GB" in text
+
+    def test_format_cdf_points_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_cdf_points(np.array([]))
+
+    def test_format_series_sample(self):
+        text = format_series_sample(np.arange(1000.0), n_points=5)
+        assert text.count("\n") == 4
+
+    def test_format_series_validation(self):
+        with pytest.raises(ConfigurationError):
+            format_series_sample(np.array([]))
+        with pytest.raises(ConfigurationError):
+            format_series_sample(np.ones(3), n_points=0)

@@ -1,0 +1,188 @@
+"""Tests for the availability strategies (hot/cold standby, migration)."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.availability import (
+    AppProfile,
+    ColdStandby,
+    HotStandby,
+    MigrationOnDemand,
+    compare_strategies,
+    displacement_events,
+)
+from repro.errors import ConfigurationError
+from repro.traces import PowerTrace, synthesize_solar
+from repro.units import TimeGrid, grid_days
+
+START = datetime(2020, 5, 1)
+GIB = 2**30
+
+
+def make_trace(values):
+    grid = TimeGrid(START, timedelta(minutes=15), len(values))
+    return PowerTrace(grid, np.array(values, float), "t", "wind")
+
+
+def make_app(**overrides):
+    defaults = dict(
+        memory_bytes=16 * GIB,
+        write_rate_bytes_per_s=50e6,
+        cores=4,
+    )
+    defaults.update(overrides)
+    return AppProfile(**defaults)
+
+
+class TestAppProfile:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_app(memory_bytes=0)
+        with pytest.raises(ConfigurationError):
+            make_app(write_rate_bytes_per_s=-1)
+        with pytest.raises(ConfigurationError):
+            make_app(cores=0)
+        with pytest.raises(ConfigurationError):
+            make_app(boot_seconds=-1)
+
+
+class TestDisplacementEvents:
+    def test_no_events_when_power_high(self):
+        trace = make_trace([0.9] * 10)
+        assert displacement_events(trace, 0.5) == []
+
+    def test_single_event(self):
+        trace = make_trace([0.9, 0.9, 0.1, 0.1, 0.9])
+        events = displacement_events(trace, 0.5)
+        assert len(events) == 1
+        assert events[0].start_step == 2
+        assert events[0].end_step == 4
+        assert events[0].duration_steps == 2
+
+    def test_event_running_to_end(self):
+        trace = make_trace([0.9, 0.1, 0.1])
+        events = displacement_events(trace, 0.5)
+        assert events[0].end_step == 3
+
+    def test_multiple_events(self):
+        trace = make_trace([0.1, 0.9, 0.1, 0.9, 0.1])
+        assert len(displacement_events(trace, 0.5)) == 3
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            displacement_events(make_trace([0.5]), 1.5)
+
+    def test_solar_has_daily_events(self):
+        grid = grid_days(START, 5)
+        trace = synthesize_solar(grid, seed=4)
+        events = displacement_events(trace, 0.3)
+        # At least one displacement (night) per day.
+        assert len(events) >= 5
+
+
+class TestStrategyCosts:
+    def test_hot_standby_scales_with_time(self):
+        app = make_app()
+        short = HotStandby().cost(app, 3600.0, 1, 600.0)
+        long = HotStandby().cost(app, 7200.0, 1, 600.0)
+        assert long.network_bytes > short.network_bytes
+        assert long.standby_core_seconds == 2 * short.standby_core_seconds
+
+    def test_hot_standby_validation(self):
+        with pytest.raises(ConfigurationError):
+            HotStandby(sync_overhead=0.5)
+        with pytest.raises(ConfigurationError):
+            HotStandby().cost(make_app(), -1.0, 0, 0.0)
+
+    def test_cold_standby_scales_with_snapshots(self):
+        app = make_app()
+        frequent = ColdStandby(snapshot_interval_s=600.0)
+        rare = ColdStandby(snapshot_interval_s=7200.0)
+        horizon = 24 * 3600.0
+        assert (
+            frequent.cost(app, horizon, 1, 0.0).network_bytes
+            > rare.cost(app, horizon, 1, 0.0).network_bytes
+        )
+        # But rare snapshots mean more lost work on failover.
+        assert (
+            rare.cost(app, horizon, 1, 0.0).downtime_seconds
+            > frequent.cost(app, horizon, 1, 0.0).downtime_seconds
+        )
+
+    def test_cold_standby_validation(self):
+        with pytest.raises(ConfigurationError):
+            ColdStandby(snapshot_interval_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ColdStandby(incremental_fraction=0.0)
+
+    def test_migration_scales_with_events(self):
+        app = make_app()
+        one = MigrationOnDemand().cost(app, 86400.0, 1, 600.0)
+        five = MigrationOnDemand().cost(app, 86400.0, 5, 3000.0)
+        assert five.network_bytes == pytest.approx(5 * one.network_bytes)
+        assert five.downtime_seconds == pytest.approx(
+            5 * one.downtime_seconds
+        )
+
+    def test_migration_no_events_no_cost(self):
+        cost = MigrationOnDemand().cost(make_app(), 86400.0, 0, 0.0)
+        assert cost.network_bytes == 0.0
+        assert cost.downtime_seconds == 0.0
+
+    def test_migration_uses_app_write_rate_as_dirty_rate(self):
+        quiet = MigrationOnDemand().cost(
+            make_app(write_rate_bytes_per_s=0.0), 86400.0, 1, 600.0
+        )
+        busy = MigrationOnDemand().cost(
+            make_app(write_rate_bytes_per_s=400e6), 86400.0, 1, 600.0
+        )
+        assert busy.network_bytes > quiet.network_bytes
+
+
+class TestComparison:
+    def test_compare_returns_all_strategies(self):
+        trace = make_trace([0.9, 0.1, 0.9, 0.1] * 24)
+        costs = compare_strategies(trace, make_app())
+        assert set(costs) == {"hot-standby", "cold-standby", "migration"}
+
+    def test_steady_site_favours_migration(self):
+        # No dips at all: migration costs nothing on the wire, while
+        # hot standby streams continuously.
+        trace = make_trace([0.9] * 96 * 7)
+        costs = compare_strategies(trace, make_app())
+        assert costs["migration"].network_bytes == 0.0
+        assert costs["hot-standby"].network_bytes > 0.0
+
+    def test_choppy_site_favours_replication(self):
+        # A site that dips every other step: two migrations per dip
+        # dwarf the steady write stream for a write-light app.
+        values = [0.9, 0.1] * (96 * 7)
+        trace = make_trace(values)
+        app = make_app(write_rate_bytes_per_s=1e6)  # write-light
+        costs = compare_strategies(trace, app)
+        assert (
+            costs["hot-standby"].network_bytes
+            < costs["migration"].network_bytes
+        )
+
+    def test_cold_standby_highest_downtime(self):
+        # Cold standby pays boot + lost-work (RPO) per event — the
+        # worst downtime of the three mechanisms.  Hot-standby failover
+        # and converged pre-copy blackouts are both sub-second-scale.
+        trace = make_trace([0.9, 0.1] * 96)
+        costs = compare_strategies(trace, make_app())
+        assert costs["cold-standby"].downtime_seconds > max(
+            costs["hot-standby"].downtime_seconds,
+            costs["migration"].downtime_seconds,
+        )
+
+    def test_only_hot_standby_pins_cores(self):
+        trace = make_trace([0.9, 0.1] * 96)
+        costs = compare_strategies(trace, make_app())
+        assert costs["hot-standby"].standby_core_seconds > 0
+        assert costs["cold-standby"].standby_core_seconds == 0
+        assert costs["migration"].standby_core_seconds == 0

@@ -1,0 +1,93 @@
+"""Tests for the trace calibration targets."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traces import (
+    CalibrationTarget,
+    PowerTrace,
+    calibration_report,
+    is_calibrated,
+    solar_targets,
+    synthesize_solar,
+    synthesize_wind,
+    wind_targets,
+)
+from repro.units import TimeGrid, grid_days
+
+START = datetime(2015, 1, 1)
+
+
+@pytest.fixture(scope="module")
+def year_solar():
+    return synthesize_solar(grid_days(START, 365), seed=41)
+
+
+@pytest.fixture(scope="module")
+def year_wind():
+    return synthesize_wind(grid_days(START, 365), seed=42)
+
+
+class TestTargets:
+    def test_target_validation(self):
+        with pytest.raises(ConfigurationError):
+            CalibrationTarget("x", 1.0, 0.0, "inverted")
+
+    def test_contains(self):
+        target = CalibrationTarget("x", 0.2, 0.8, "test")
+        assert target.contains(0.5)
+        assert target.contains(0.2)
+        assert not target.contains(0.1)
+
+    def test_default_target_sets_nonempty(self):
+        assert len(solar_targets()) >= 3
+        assert len(wind_targets()) >= 3
+
+
+class TestReport:
+    def test_builtin_solar_is_calibrated(self, year_solar):
+        report = calibration_report(year_solar)
+        failed = [r for r in report if not r.passed]
+        assert not failed, [
+            (r.target.name, r.value, r.target.low, r.target.high)
+            for r in failed
+        ]
+        assert is_calibrated(year_solar)
+
+    def test_builtin_wind_is_calibrated(self, year_wind):
+        assert is_calibrated(year_wind)
+
+    def test_flat_trace_fails_solar_targets(self):
+        grid = TimeGrid(START, timedelta(minutes=15), 96)
+        flat = PowerTrace(grid, np.full(96, 0.5), "flat", "solar")
+        assert not is_calibrated(flat)
+
+    def test_unknown_kind_requires_explicit_targets(self):
+        grid = TimeGrid(START, timedelta(minutes=15), 96)
+        generic = PowerTrace(grid, np.full(96, 0.5), "x", "generic")
+        with pytest.raises(ConfigurationError):
+            calibration_report(generic)
+        # But explicit targets work for any kind.
+        target = CalibrationTarget("mean", 0.4, 0.6, "custom")
+        report = calibration_report(generic, [target])
+        assert report[0].passed
+
+    def test_unknown_statistic_rejected(self, year_wind):
+        bad = CalibrationTarget("entropy", 0.0, 1.0, "nope")
+        with pytest.raises(ConfigurationError):
+            calibration_report(year_wind, [bad])
+
+    def test_report_values_match_trace(self, year_wind):
+        report = calibration_report(year_wind)
+        by_name = {r.target.name: r.value for r in report}
+        assert by_name["zero_fraction"] == pytest.approx(
+            year_wind.zero_fraction()
+        )
+        assert by_name["median"] == pytest.approx(
+            year_wind.percentile(50)
+        )

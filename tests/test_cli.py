@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def test_sites_lists_catalog(capsys):
+    assert main(["sites"]) == 0
+    out = capsys.readouterr().out
+    assert "NO-solar" in out
+    assert "UK-wind" in out
+
+
+def test_synthesize_writes_csv(tmp_path, capsys):
+    code = main(
+        [
+            "synthesize", "--sites", "UK-wind", "BE-solar",
+            "--days", "2", "--out", str(tmp_path), "--seed", "3",
+        ]
+    )
+    assert code == 0
+    assert (tmp_path / "UK-wind.csv").exists()
+    assert (tmp_path / "BE-solar.csv").exists()
+    from repro.traces import trace_from_csv
+
+    trace = trace_from_csv(tmp_path / "UK-wind.csv")
+    assert len(trace) == 2 * 96
+
+
+def test_variability_report(capsys):
+    code = main(
+        [
+            "variability", "--sites", "NO-solar", "UK-wind",
+            "--days", "6", "--seed", "3",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "NO-solar+UK-wind" in out
+    assert "Stable energy" in out
+
+
+def test_simulate_report(capsys):
+    code = main(
+        ["simulate", "--kind", "wind", "--days", "3", "--seed", "5"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "out-migration GB" in out
+    assert "silent power changes" in out
+
+
+def test_forecast_report(capsys):
+    code = main(
+        ["forecast", "--kind", "solar", "--days", "20", "--seed", "5"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "3h" in out and "MAPE" in out
+
+
+@pytest.mark.slow
+def test_schedule_report(capsys):
+    code = main(
+        ["schedule", "--days", "3", "--apps", "40", "--seed", "5"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Greedy" in out and "MIP-peak" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["warp-drive"])
+
+
+def test_missing_required_argument():
+    with pytest.raises(SystemExit):
+        main(["synthesize", "--out", "/tmp/x"])  # --sites missing

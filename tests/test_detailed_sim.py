@@ -1,0 +1,209 @@
+"""Tests for the per-VM detailed multi-site executor, including its
+agreement with the fluid displacement model."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, ServerSpec
+from repro.errors import SchedulingError
+from repro.forecast import NoisyOracleForecaster
+from repro.sched import (
+    MIPScheduler,
+    Placement,
+    SchedulingProblem,
+    SiteCapacity,
+    problem_from_forecasts,
+)
+from repro.sim import execute_placement, execute_placement_detailed
+from repro.traces import PowerTrace, synthesize_catalog_traces
+from repro.traces import default_european_catalog
+from repro.units import TimeGrid
+from repro.workload import Application, VMType, generate_applications
+
+START = datetime(2020, 5, 1)
+
+
+def make_grid(n):
+    return TimeGrid(START, timedelta(hours=1), n)
+
+
+def trace_from(values, name, total_capacity_mw=400.0):
+    grid = make_grid(len(values))
+    return PowerTrace(
+        grid, np.array(values, float), name, "wind", total_capacity_mw
+    )
+
+
+def two_site_setup(values_a, values_b, apps, total=400):
+    n = len(values_a)
+    problem = SchedulingProblem(
+        make_grid(n),
+        (
+            SiteCapacity(
+                "a", total, np.floor(np.array(values_a) * total)
+            ),
+            SiteCapacity(
+                "b", total, np.floor(np.array(values_b) * total)
+            ),
+        ),
+        tuple(apps),
+        bytes_per_core=4 * 2**30,
+    )
+    traces = {
+        "a": trace_from(values_a, "a"),
+        "b": trace_from(values_b, "b"),
+    }
+    return problem, traces
+
+
+def make_app(app_id=0, arrival=0, duration=6, vms=10, cores=2,
+             stable=1.0):
+    return Application(
+        app_id, arrival, duration, vms,
+        VMType(f"T{cores}", cores, cores * 4.0), stable,
+    )
+
+
+CLUSTER = ClusterSpec(n_servers=10, server=ServerSpec(cores=40))
+
+
+class TestDetailedExecution:
+    def test_no_dip_no_traffic(self):
+        problem, traces = two_site_setup(
+            [1.0] * 6, [1.0] * 6, [make_app()]
+        )
+        placement = Placement({0: {"a": 10, "b": 0}})
+        result = execute_placement_detailed(
+            problem, placement, traces, CLUSTER
+        )
+        assert result.total_transfer_gb() == 0.0
+        assert result.homeless_vm_steps == 0
+
+    def test_dip_migrates_stable_vms_to_sister_site(self):
+        values_a = [1.0, 1.0, 0.0, 0.0, 1.0, 1.0]
+        problem, traces = two_site_setup(
+            values_a, [1.0] * 6, [make_app(stable=1.0)]
+        )
+        placement = Placement({0: {"a": 10, "b": 0}})
+        result = execute_placement_detailed(
+            problem, placement, traces, CLUSTER
+        )
+        # All 10 VMs (20 cores, 80 GiB) leave a at step 2 and land at b.
+        out_a = result.out_bytes_series("a")
+        in_b = result.in_bytes_series("b")
+        assert out_a[2] == pytest.approx(10 * 8 * 2**30)
+        assert in_b[2] == pytest.approx(10 * 8 * 2**30)
+        assert result.homeless_vm_steps == 0
+
+    def test_degradable_vms_pause_instead(self):
+        values_a = [1.0, 1.0, 0.0, 0.0, 1.0, 1.0]
+        problem, traces = two_site_setup(
+            values_a, [1.0] * 6, [make_app(stable=0.0)]
+        )
+        placement = Placement({0: {"a": 10, "b": 0}})
+        result = execute_placement_detailed(
+            problem, placement, traces, CLUSTER
+        )
+        assert result.total_transfer_gb() == 0.0
+        records_a = result.records["a"]
+        assert records_a[2].n_paused == 10
+        assert records_a[4].n_resumed == 10
+
+    def test_nowhere_to_land_counts_homeless(self):
+        # Both sites black out: stable VMs have nowhere to go.
+        values = [1.0, 0.0, 0.0, 0.0, 0.0, 0.0]
+        problem, traces = two_site_setup(
+            values, values, [make_app(stable=1.0)]
+        )
+        placement = Placement({0: {"a": 10, "b": 0}})
+        result = execute_placement_detailed(
+            problem, placement, traces, CLUSTER
+        )
+        assert result.homeless_vm_steps > 0
+
+    def test_missing_trace_rejected(self):
+        problem, traces = two_site_setup(
+            [1.0] * 6, [1.0] * 6, [make_app()]
+        )
+        placement = Placement({0: {"a": 10, "b": 0}})
+        with pytest.raises(SchedulingError):
+            execute_placement_detailed(
+                problem, placement, {"a": traces["a"]}, CLUSTER
+            )
+
+    def test_wrong_length_trace_rejected(self):
+        problem, traces = two_site_setup(
+            [1.0] * 6, [1.0] * 6, [make_app()]
+        )
+        placement = Placement({0: {"a": 10, "b": 0}})
+        short = trace_from([1.0] * 3, "a")
+        with pytest.raises(SchedulingError):
+            execute_placement_detailed(
+                problem, placement, {"a": short, "b": traces["b"]},
+                CLUSTER,
+            )
+
+    def test_running_cores_never_exceed_budget(self):
+        rng = np.random.default_rng(7)
+        values_a = np.clip(rng.uniform(0, 1, 24), 0, 1)
+        values_b = np.clip(rng.uniform(0, 1, 24), 0, 1)
+        apps = [
+            make_app(i, arrival=int(rng.integers(0, 12)),
+                     duration=int(rng.integers(4, 12)), vms=8,
+                     stable=0.5)
+            for i in range(6)
+        ]
+        problem, traces = two_site_setup(values_a, values_b, apps)
+        placement = Placement(
+            {app.app_id: {"a": 4, "b": 4} for app in apps}
+        )
+        result = execute_placement_detailed(
+            problem, placement, traces, CLUSTER
+        )
+        for name in ("a", "b"):
+            for record in result.records[name]:
+                assert record.running_cores <= record.budget
+
+
+class TestFluidAgreement:
+    def test_fluid_and_detailed_same_order_of_magnitude(self):
+        """The fluid displacement model and the per-VM executor must
+        agree on the scale of migration traffic for the same MIP
+        placement on a realistic scenario."""
+        catalog = default_european_catalog().subset(
+            ["UK-wind", "PT-wind"]
+        )
+        grid = make_grid(4 * 24)
+        traces = synthesize_catalog_traces(catalog, grid, seed=77)
+        total_cores = {name: 4000 for name in traces}
+        apps = generate_applications(
+            grid, 30, seed=78, mean_vm_count=20, mean_duration_days=1.5
+        )
+        problem = problem_from_forecasts(
+            grid, traces, total_cores, apps,
+            NoisyOracleForecaster(seed=79),
+        )
+        placement = MIPScheduler(time_limit_s=60.0).schedule(problem)
+        actual = {
+            name: np.floor(traces[name].values * total_cores[name])
+            for name in traces
+        }
+        fluid = execute_placement(problem, placement, actual)
+        detailed = execute_placement_detailed(
+            problem, placement, traces,
+            ClusterSpec(n_servers=100, server=ServerSpec(cores=40)),
+        )
+        fluid_gb = fluid.total_transfer_gb()
+        detailed_gb = detailed.total_transfer_gb()
+        # The fluid model counts out+in; detailed counts each transfer
+        # once (out side).  Compare fluid's out-side half against the
+        # detailed total within a generous factor.
+        if detailed_gb == 0.0:
+            assert fluid_gb < 2000.0  # both see a quiet scenario
+        else:
+            ratio = (fluid_gb / 2.0) / detailed_gb
+            assert 0.2 < ratio < 5.0, (fluid_gb, detailed_gb)

@@ -1,0 +1,187 @@
+"""End-to-end integration tests over the full pipeline.
+
+Each test exercises a complete paper workflow: traces -> forecasts ->
+scheduling -> execution -> analysis, asserting cross-module invariants
+that unit tests cannot see.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro import (
+    Datacenter,
+    DatacenterConfig,
+    GreedyScheduler,
+    MIPScheduler,
+    NoisyOracleForecaster,
+    PolicyComparison,
+    SiteGraph,
+    TimeGrid,
+    default_european_catalog,
+    execute_placement,
+    generate_applications,
+    generate_vm_requests,
+    grid_days,
+    problem_from_forecasts,
+    summarize_transfers,
+    synthesize_catalog_traces,
+    workload_matched_to_power,
+)
+from repro.cluster import EventKind
+from repro.sched.overhead import placement_load_series
+from repro.wan import WanSimulator, WanTopology, flows_from_execution
+
+START = datetime(2015, 5, 1)
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """One shared medium-size end-to-end run."""
+    catalog = default_european_catalog().subset(
+        ["NO-solar", "UK-wind", "PT-wind"]
+    )
+    grid = TimeGrid(START, timedelta(hours=1), 5 * 24)
+    traces = synthesize_catalog_traces(catalog, grid, seed=99)
+    total_cores = {name: 20000 for name in traces}
+    apps = generate_applications(
+        grid, 80, seed=98, mean_vm_count=30, mean_duration_days=2.0
+    )
+    forecaster = NoisyOracleForecaster(seed=97)
+    problem = problem_from_forecasts(
+        grid, traces, total_cores, apps, forecaster
+    )
+    actual = {
+        name: np.floor(traces[name].values * total_cores[name])
+        for name in traces
+    }
+    placements = {
+        "Greedy": GreedyScheduler().schedule(problem),
+        "MIP": MIPScheduler(time_limit_s=60.0).schedule(problem),
+        "MIP-peak": MIPScheduler(
+            peak_weight=50.0, time_limit_s=60.0
+        ).schedule(problem),
+    }
+    executions = {
+        name: execute_placement(problem, placement, actual)
+        for name, placement in placements.items()
+    }
+    return problem, actual, placements, executions
+
+
+class TestSchedulerPipeline:
+    def test_all_placements_complete(self, pipeline):
+        problem, _, placements, _ = pipeline
+        for placement in placements.values():
+            placement.validate_complete(problem)
+
+    def test_stable_load_conserved_across_sites(self, pipeline):
+        """Total placed stable cores equals the apps' stable demand at
+        every step, for every policy — placement moves VMs around but
+        never creates or destroys them."""
+        problem, _, placements, _ = pipeline
+        demand = np.zeros(problem.grid.n)
+        for app in problem.apps:
+            stable = app.vm_count * app.vm_type.cores * app.stable_fraction
+            demand[app.arrival_step : app.end_step] += stable
+        for name, placement in placements.items():
+            stable, _ = placement_load_series(problem, placement)
+            placed = np.sum(list(stable.values()), axis=0)
+            np.testing.assert_allclose(placed, demand, atol=1e-6)
+
+    def test_traffic_conservation_per_site(self, pipeline):
+        """Out minus in equals the final displacement level (bytes)."""
+        problem, _, _, executions = pipeline
+        for execution in executions.values():
+            for site in execution.sites:
+                net = site.out_bytes.sum() - site.in_bytes.sum()
+                expected = site.displaced[-1] * problem.bytes_per_core
+                assert net == pytest.approx(expected, rel=1e-6, abs=1.0)
+
+    def test_policy_comparison_is_well_formed(self, pipeline):
+        _, _, _, executions = pipeline
+        comparison = PolicyComparison(
+            [
+                summarize_transfers(name, e.total_transfer_series())
+                for name, e in executions.items()
+            ]
+        )
+        table = comparison.as_table()
+        assert all(name in table for name in executions)
+        for summary in comparison.summaries:
+            assert summary.peak_gb >= summary.p99_gb >= 0.0
+            assert summary.total_gb >= summary.peak_gb
+
+    def test_wan_replay_accounts_every_flow(self, pipeline):
+        problem, _, _, executions = pipeline
+        execution = executions["MIP-peak"]
+        flows = flows_from_execution(execution, problem.grid)
+        if not flows:
+            pytest.skip("no migrations large enough for WAN replay")
+        topology = WanTopology(tuple(problem.site_names), 200.0)
+        results = WanSimulator(topology, problem.grid.step_seconds).run(
+            flows
+        )
+        assert len(results) == len(flows)
+        moved = sum(r.flow.size_bytes for r in results if r.completed)
+        offered = sum(f.size_bytes for f in flows)
+        # At 200 Gbps everything should drain within the horizon.
+        assert moved == pytest.approx(offered)
+
+
+class TestSingleSitePipeline:
+    def test_graph_to_datacenter_consistency(self):
+        """The SiteGraph's trace and the Datacenter consume the same
+        normalized series; a full single-site run stays internally
+        consistent with the trace's statistics."""
+        catalog = default_european_catalog().subset(
+            ["BE-wind", "NL-wind", "DK-wind"]
+        )
+        grid = grid_days(START, 5)
+        traces = synthesize_catalog_traces(catalog, grid, seed=55)
+        graph = SiteGraph(catalog, traces)
+        assert graph.candidates(2)  # graph is connected enough
+        trace = traces["BE-wind"]
+        config = DatacenterConfig()
+        workload = workload_matched_to_power(
+            float(trace.values.mean()), config.cluster.total_cores
+        )
+        requests = generate_vm_requests(grid, workload, seed=56)
+        result = Datacenter(config, trace).run(requests)
+        # Power series in the result is the trace, verbatim.
+        np.testing.assert_allclose(result.power_series(), trace.values)
+        # Every eviction's bytes correspond to a real VM's memory.
+        memory_sizes = {r.memory_bytes for r in requests}
+        for event in result.events.of_kind(EventKind.EVICT):
+            assert event.bytes_moved in memory_sizes
+
+    def test_event_log_balances(self):
+        """Every launched VM was queued first; every eviction's VM was
+        admitted or launched before."""
+        grid = grid_days(START, 3)
+        from repro.traces import synthesize_wind
+
+        trace = synthesize_wind(grid, seed=31, name="site")
+        config = DatacenterConfig()
+        workload = workload_matched_to_power(
+            float(trace.values.mean()), config.cluster.total_cores
+        )
+        requests = generate_vm_requests(grid, workload, seed=32)
+        result = Datacenter(config, trace).run(requests)
+        queued: set[int] = set()
+        started: set[int] = set()
+        for event in result.events:
+            if event.kind is EventKind.QUEUE:
+                queued.add(event.vm_id)
+            elif event.kind is EventKind.ADMIT:
+                started.add(event.vm_id)
+            elif event.kind is EventKind.LAUNCH:
+                assert event.vm_id in queued
+                started.add(event.vm_id)
+            elif event.kind is EventKind.EVICT:
+                assert event.vm_id in started
+            elif event.kind is EventKind.COMPLETE:
+                assert event.vm_id in started

@@ -1,0 +1,186 @@
+"""Failure injection: pathological inputs must degrade gracefully.
+
+Every scenario here is something a careless (or adversarial) caller
+could feed the library: blackout traces, flapping power, oversized
+VMs, starved solvers, unfinishable transfers.  The contract is no
+crashes, no hangs, no silent corruption — either a clean result or a
+typed error.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterSpec,
+    Datacenter,
+    DatacenterConfig,
+    EventKind,
+    ServerSpec,
+)
+from repro.errors import ReproError, SolverError
+from repro.forecast import NoisyOracleForecaster
+from repro.sched import (
+    GreedyScheduler,
+    MIPScheduler,
+    SchedulingProblem,
+    SiteCapacity,
+)
+from repro.traces import PowerTrace
+from repro.units import TimeGrid
+from repro.wan import MigrationFlow, WanSimulator, WanTopology
+from repro.workload import Application, VMClass, VMRequest, VMType
+
+START = datetime(2020, 5, 1)
+
+
+def trace_of(values):
+    grid = TimeGrid(START, timedelta(minutes=15), len(values))
+    return PowerTrace(grid, np.array(values, float), "t", "wind")
+
+
+def request(vm_id, arrival=0, lifetime=4, cores=2):
+    return VMRequest(
+        vm_id, arrival, lifetime, VMType(f"T{cores}", cores, cores * 4.0),
+        VMClass.STABLE,
+    )
+
+
+class TestDatacenterUnderPathology:
+    def _config(self, **overrides):
+        defaults = dict(
+            cluster=ClusterSpec(n_servers=3, server=ServerSpec(cores=8)),
+            queue_patience_steps=4,
+        )
+        defaults.update(overrides)
+        return DatacenterConfig(**defaults)
+
+    def test_total_blackout(self):
+        dc = Datacenter(self._config(), trace_of([0.0] * 10))
+        result = dc.run([request(i) for i in range(5)])
+        # Nothing ever runs; everything queues then expires.
+        assert result.events.count(EventKind.ADMIT) == 0
+        assert result.events.count(EventKind.QUEUE) == 5
+        assert result.events.count(EventKind.REJECT) == 5
+        assert result.out_bytes_series().sum() == 0.0
+
+    def test_power_flapping_every_step(self):
+        values = [1.0, 0.0] * 20
+        dc = Datacenter(
+            self._config(admission_utilization=1.0), trace_of(values)
+        )
+        result = dc.run([request(i, lifetime=30) for i in range(6)])
+        # Invariants hold through the churn.
+        for record in result.records:
+            assert record.running_cores <= record.core_budget
+            assert record.running_cores >= 0
+        # Every zero-power step has zero running cores.
+        for record in result.records:
+            if record.norm_power == 0.0:
+                assert record.running_cores == 0
+
+    def test_vm_larger_than_any_server(self):
+        dc = Datacenter(self._config(), trace_of([1.0] * 8))
+        giant = request(0, cores=32)  # servers have 8 cores
+        result = dc.run([giant])
+        # Queued, never placed, expires; no infinite loop.
+        assert result.events.count(EventKind.ADMIT) == 0
+        assert result.events.count(EventKind.REJECT) == 1
+
+    def test_zero_length_trace(self):
+        dc = Datacenter(self._config(), trace_of([]))
+        result = dc.run([request(0)])
+        assert result.records == []
+
+    def test_arrival_flood(self):
+        # 100x more VMs than the cluster can ever hold.
+        dc = Datacenter(self._config(), trace_of([1.0] * 12))
+        result = dc.run([request(i, lifetime=12) for i in range(300)])
+        total_cores = 3 * 8
+        for record in result.records:
+            assert record.allocated_cores <= total_cores
+
+
+class TestSolverStarvation:
+    def _problem(self, n_apps=40):
+        n = 48
+        sites = (
+            SiteCapacity("a", 2000, np.full(n, 1500.0)),
+            SiteCapacity("b", 2000, np.full(n, 1200.0)),
+        )
+        apps = tuple(
+            Application(
+                i, 0, n, 10, VMType("T4", 4, 16.0), 0.5
+            )
+            for i in range(n_apps)
+        )
+        grid = TimeGrid(START, timedelta(hours=1), n)
+        return SchedulingProblem(grid, sites, apps, 4 * 2**30)
+
+    def test_tiny_time_limit_still_returns_or_raises_cleanly(self):
+        problem = self._problem()
+        scheduler = MIPScheduler(time_limit_s=0.05)
+        try:
+            placement = scheduler.schedule(problem)
+        except SolverError:
+            return  # clean failure is acceptable
+        placement.validate_complete(problem)
+
+    def test_infeasible_demand_raises_typed_error(self):
+        n = 4
+        sites = (SiteCapacity("a", 10, np.full(n, 10.0)),)
+        apps = (
+            Application(0, 0, n, 100, VMType("T4", 4, 16.0), 0.5),
+        )
+        grid = TimeGrid(START, timedelta(hours=1), n)
+        problem = SchedulingProblem(grid, sites, apps, 1.0)
+        with pytest.raises(ReproError):
+            MIPScheduler().schedule(problem)
+        with pytest.raises(ReproError):
+            GreedyScheduler().schedule(problem)
+
+
+class TestForecasterPathology:
+    def test_all_zero_trace_forecasts_zero(self):
+        trace = trace_of([0.0] * 96)
+        forecast = NoisyOracleForecaster(seed=1).forecast(trace, 0, 96)
+        assert np.all(forecast.values == 0.0)
+
+    def test_full_power_trace_stays_bounded(self):
+        trace = trace_of([1.0] * 96)
+        forecast = NoisyOracleForecaster(seed=1).forecast(trace, 0, 96)
+        assert forecast.values.max() <= 1.0
+
+
+class TestWanPathology:
+    def test_flow_that_can_never_finish(self):
+        topology = WanTopology(("a", "b"), access_gbps=1.0)
+        simulator = WanSimulator(topology, 900.0)
+        huge = MigrationFlow(0, "a", "b", 1e18, 0)
+        results = simulator.run([huge], horizon_seconds=10.0)
+        assert not results[0].completed
+
+    def test_many_tiny_flows_terminate(self):
+        topology = WanTopology(("a", "b", "c"), access_gbps=10.0)
+        simulator = WanSimulator(topology, 900.0)
+        flows = [
+            MigrationFlow(i, "a" if i % 2 else "b", "c", 1e6, i % 5)
+            for i in range(200)
+        ]
+        results = simulator.run(flows)
+        assert all(r.completed for r in results)
+
+    def test_simultaneous_release_burst(self):
+        topology = WanTopology(("a", "b"), access_gbps=10.0)
+        simulator = WanSimulator(topology, 900.0)
+        flows = [
+            MigrationFlow(i, "a", "b", 1e9, 0) for i in range(50)
+        ]
+        results = simulator.run(flows)
+        assert all(r.completed for r in results)
+        # Fair sharing: all finish at the same time (equal sizes).
+        finishes = {round(r.finish_seconds, 6) for r in results}
+        assert len(finishes) == 1

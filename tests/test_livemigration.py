@@ -1,0 +1,175 @@
+"""Tests for the pre-copy live-migration model (footnote-2 future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import (
+    ClusterSpec,
+    Datacenter,
+    DatacenterConfig,
+    EventKind,
+    LiveMigrationModel,
+    ServerSpec,
+    amplification_factor,
+    estimate_migration,
+)
+from repro.errors import ConfigurationError
+from repro.traces import PowerTrace
+from repro.units import TimeGrid
+from repro.workload import VMClass, VMRequest, VMType
+
+from datetime import datetime, timedelta
+
+GIB = 2**30
+
+
+class TestModelValidation:
+    def test_defaults_valid(self):
+        model = LiveMigrationModel()
+        assert model.dirty_to_link_ratio < 1.0
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LiveMigrationModel(link_gbps=0.0)
+        with pytest.raises(ConfigurationError):
+            LiveMigrationModel(dirty_rate_bytes_per_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            LiveMigrationModel(downtime_target_bytes=0.0)
+        with pytest.raises(ConfigurationError):
+            LiveMigrationModel(max_rounds=0)
+        with pytest.raises(ConfigurationError):
+            LiveMigrationModel(slowdown_during_copy=1.0)
+
+
+class TestEstimates:
+    def test_zero_dirty_rate_single_copy(self):
+        model = LiveMigrationModel(dirty_rate_bytes_per_s=0.0)
+        estimate = estimate_migration(8 * GIB, model)
+        assert estimate.total_bytes == pytest.approx(8 * GIB)
+        assert estimate.rounds == 1
+        assert estimate.converged
+        assert estimate.amplification == pytest.approx(1.0)
+
+    def test_duration_is_bytes_over_link(self):
+        model = LiveMigrationModel(
+            link_gbps=10.0, dirty_rate_bytes_per_s=0.0
+        )
+        estimate = estimate_migration(10e9, model)
+        # 10 GB over 10 Gbps (1.25 GB/s) = 8 seconds.
+        assert estimate.duration_s == pytest.approx(8.0)
+
+    def test_dirtying_amplifies(self):
+        quiet = estimate_migration(
+            16 * GIB, LiveMigrationModel(dirty_rate_bytes_per_s=0.0)
+        )
+        busy = estimate_migration(
+            16 * GIB, LiveMigrationModel(dirty_rate_bytes_per_s=300e6)
+        )
+        assert busy.total_bytes > quiet.total_bytes
+        assert busy.rounds > 1
+        assert busy.amplification > 1.0
+
+    def test_downtime_bounded_by_target_when_converged(self):
+        model = LiveMigrationModel()
+        estimate = estimate_migration(32 * GIB, model)
+        assert estimate.converged
+        assert estimate.downtime_s <= (
+            model.downtime_target_bytes / model.link_bytes_per_s + 1e-9
+        )
+
+    def test_nonconvergent_when_dirty_exceeds_link(self):
+        model = LiveMigrationModel(
+            link_gbps=1.0, dirty_rate_bytes_per_s=200e6  # 1.6x link
+        )
+        estimate = estimate_migration(8 * GIB, model)
+        assert not estimate.converged
+        # Blackout transfers a full memory-sized dirty set.
+        assert estimate.downtime_s > 1.0
+
+    def test_round_cap_respected(self):
+        model = LiveMigrationModel(
+            link_gbps=10.0,
+            dirty_rate_bytes_per_s=1.2e9,  # rho ~ 0.96, slow convergence
+            max_rounds=3,
+            downtime_target_bytes=1.0,
+        )
+        estimate = estimate_migration(8 * GIB, model)
+        assert estimate.rounds <= 3
+
+    def test_zero_memory(self):
+        estimate = estimate_migration(0.0)
+        assert estimate.total_bytes == 0.0
+        assert estimate.amplification == 1.0
+
+    def test_negative_memory_rejected(self):
+        with pytest.raises(ConfigurationError):
+            estimate_migration(-1.0)
+
+    def test_execution_delay_components(self):
+        model = LiveMigrationModel(slowdown_during_copy=0.2)
+        estimate = estimate_migration(8 * GIB, model)
+        copy_time = estimate.duration_s - estimate.downtime_s
+        assert estimate.execution_delay_s == pytest.approx(
+            0.2 * copy_time + estimate.downtime_s
+        )
+
+    def test_amplification_factor_helper(self):
+        assert amplification_factor(0.0) == 1.0
+        assert amplification_factor(8 * GIB) >= 1.0
+
+    @given(
+        memory_gib=st.floats(min_value=0.5, max_value=512.0),
+        dirty_mbps=st.floats(min_value=0.0, max_value=800.0),
+    )
+    @settings(max_examples=50)
+    def test_invariants(self, memory_gib, dirty_mbps):
+        model = LiveMigrationModel(dirty_rate_bytes_per_s=dirty_mbps * 1e6)
+        estimate = estimate_migration(memory_gib * GIB, model)
+        # Wire bytes at least one memory copy; duration covers them.
+        assert estimate.total_bytes >= memory_gib * GIB - 1e-6
+        assert estimate.duration_s >= estimate.downtime_s
+        assert estimate.downtime_s >= 0.0
+        assert 1 <= estimate.rounds <= model.max_rounds
+        assert estimate.execution_delay_s <= estimate.duration_s + 1e-9
+
+    @given(dirty_mbps=st.floats(min_value=0.0, max_value=500.0))
+    @settings(max_examples=30)
+    def test_amplification_monotone_in_dirty_rate(self, dirty_mbps):
+        low = amplification_factor(
+            16 * GIB, LiveMigrationModel(dirty_rate_bytes_per_s=0.0)
+        )
+        high = amplification_factor(
+            16 * GIB,
+            LiveMigrationModel(dirty_rate_bytes_per_s=dirty_mbps * 1e6),
+        )
+        assert high >= low - 1e-9
+
+
+class TestDatacenterIntegration:
+    def _run(self, migration_model):
+        grid = TimeGrid(datetime(2020, 5, 1), timedelta(minutes=15), 3)
+        trace = PowerTrace(
+            grid, np.array([1.0, 0.0, 0.0]), "t", "wind"
+        )
+        config = DatacenterConfig(
+            cluster=ClusterSpec(n_servers=2, server=ServerSpec(cores=10)),
+            admission_utilization=1.0,
+            migration_model=migration_model,
+        )
+        vm_type = VMType("T2", 2, 8.0)
+        requests = [VMRequest(0, 0, 5, vm_type, VMClass.STABLE)]
+        return Datacenter(config, trace).run(requests)
+
+    def test_amplified_eviction_traffic(self):
+        model = LiveMigrationModel(dirty_rate_bytes_per_s=300e6)
+        plain = self._run(None)
+        amplified = self._run(model)
+        plain_bytes = plain.events.bytes_of_kind(EventKind.EVICT)
+        amplified_bytes = amplified.events.bytes_of_kind(EventKind.EVICT)
+        assert plain_bytes == pytest.approx(8 * GIB)
+        assert amplified_bytes > plain_bytes
+        expected = estimate_migration(8 * GIB, model).total_bytes
+        assert amplified_bytes == pytest.approx(expected)

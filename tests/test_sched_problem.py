@@ -1,0 +1,245 @@
+"""Tests for scheduling problem containers and the overhead model."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SchedulingError
+from repro.forecast import NoisyOracleForecaster
+from repro.sched import (
+    Placement,
+    SchedulingProblem,
+    SiteCapacity,
+    displaced_stable_cores,
+    evaluate_placement_overhead,
+    migration_series_from_displacement,
+    placement_load_series,
+    problem_from_forecasts,
+)
+from repro.sched.problem import default_bytes_per_core
+from repro.traces import PowerTrace
+from repro.units import TimeGrid
+from repro.workload import Application, VMType
+
+START = datetime(2020, 5, 1)
+
+
+def make_grid(n=24):
+    return TimeGrid(START, timedelta(hours=1), n)
+
+
+def make_app(app_id=0, arrival=0, duration=24, vms=10, cores=2,
+             memory=8.0, stable=0.5):
+    return Application(
+        app_id, arrival, duration, vms, VMType(f"T{cores}", cores, memory),
+        stable,
+    )
+
+
+def make_site(name="a", total=1000, capacity=None, n=24):
+    if capacity is None:
+        capacity = np.full(n, 800.0)
+    return SiteCapacity(name, total, capacity)
+
+
+def make_problem(n=24, sites=None, apps=None, **kwargs):
+    sites = sites or (make_site("a", n=n), make_site("b", n=n))
+    apps = apps or (make_app(duration=n),)
+    return SchedulingProblem(
+        make_grid(n), tuple(sites), tuple(apps),
+        kwargs.pop("bytes_per_core", 4 * 2**30), **kwargs,
+    )
+
+
+class TestContainers:
+    def test_site_capacity_validation(self):
+        with pytest.raises(SchedulingError):
+            SiteCapacity("a", 0, np.ones(4))
+        with pytest.raises(SchedulingError):
+            SiteCapacity("a", 10, np.full(4, 20.0))
+        with pytest.raises(SchedulingError):
+            SiteCapacity("a", 10, -np.ones(4))
+        with pytest.raises(SchedulingError):
+            SiteCapacity("a", 10, np.ones((2, 2)))
+
+    def test_problem_validation(self):
+        grid = make_grid(24)
+        site = make_site()
+        app = make_app()
+        with pytest.raises(SchedulingError):
+            SchedulingProblem(grid, (), (app,), 1.0)
+        with pytest.raises(SchedulingError):
+            SchedulingProblem(grid, (site,), (), 1.0)
+        with pytest.raises(SchedulingError):
+            SchedulingProblem(grid, (site, site), (app,), 1.0)  # dup name
+        with pytest.raises(SchedulingError):
+            SchedulingProblem(grid, (site,), (app,), -1.0)
+        with pytest.raises(SchedulingError):
+            SchedulingProblem(grid, (site,), (app,), 1.0,
+                              utilization_cap=0.0)
+
+    def test_capacity_length_must_match_grid(self):
+        with pytest.raises(SchedulingError):
+            SchedulingProblem(
+                make_grid(24), (make_site(n=10),), (make_app(),), 1.0
+            )
+
+    def test_app_past_horizon_rejected(self):
+        with pytest.raises(SchedulingError):
+            make_problem(apps=(make_app(arrival=20, duration=10),))
+
+    def test_activity_matrix(self):
+        problem = make_problem(
+            apps=(make_app(0, arrival=2, duration=3, vms=1),)
+        )
+        active = problem.activity_matrix()
+        assert active.shape == (1, 24)
+        assert list(np.flatnonzero(active[0])) == [2, 3, 4]
+
+    def test_total_demand(self):
+        problem = make_problem(
+            apps=(make_app(0, vms=10, cores=2), make_app(1, vms=5, cores=4))
+        )
+        assert problem.total_demand_cores() == 40
+
+    def test_default_bytes_per_core(self):
+        apps = [make_app(cores=2, memory=8.0), make_app(1, cores=4,
+                                                        memory=16.0)]
+        # Memory/core = 4 GiB everywhere.
+        assert default_bytes_per_core(apps) == pytest.approx(4 * 2**30)
+
+    def test_placement_validation(self):
+        problem = make_problem(apps=(make_app(0, vms=10),))
+        good = Placement({0: {"a": 4, "b": 6}})
+        good.validate_complete(problem)
+        with pytest.raises(SchedulingError):
+            Placement({0: {"a": 4}}).validate_complete(problem)
+        with pytest.raises(SchedulingError):
+            Placement({0: {"a": 4, "zz": 6}}).validate_complete(problem)
+        with pytest.raises(SchedulingError):
+            Placement({0: {"a": 14, "b": -4}}).validate_complete(problem)
+
+
+class TestOverheadModel:
+    def test_load_series(self):
+        app = make_app(0, arrival=2, duration=4, vms=10, cores=2, stable=0.5)
+        problem = make_problem(apps=(app,))
+        placement = Placement({0: {"a": 6, "b": 4}})
+        stable, total = placement_load_series(problem, placement)
+        assert stable["a"][2] == pytest.approx(6 * 2 * 0.5)
+        assert total["a"][2] == pytest.approx(12)
+        assert total["b"][3] == pytest.approx(8)
+        assert total["a"][1] == 0.0 and total["a"][6] == 0.0
+
+    def test_displaced_cores_formula(self):
+        load = np.array([10.0, 10.0, 10.0])
+        capacity = np.array([12.0, 8.0, 0.0])
+        np.testing.assert_allclose(
+            displaced_stable_cores(load, capacity), [0.0, 2.0, 10.0]
+        )
+
+    def test_displaced_shape_mismatch(self):
+        with pytest.raises(SchedulingError):
+            displaced_stable_cores(np.zeros(3), np.zeros(4))
+
+    def test_migration_series_directions(self):
+        displaced = np.array([0.0, 5.0, 5.0, 2.0, 0.0])
+        out_bytes, in_bytes = migration_series_from_displacement(
+            displaced, 2.0
+        )
+        np.testing.assert_allclose(out_bytes, [0, 10, 0, 0, 0])
+        np.testing.assert_allclose(in_bytes, [0, 0, 0, 6, 4])
+
+    def test_migration_series_initial_displacement(self):
+        out_bytes, in_bytes = migration_series_from_displacement(
+            np.array([3.0]), 1.0
+        )
+        assert out_bytes[0] == 3.0
+
+    def test_migration_series_validation(self):
+        with pytest.raises(SchedulingError):
+            migration_series_from_displacement(np.zeros(3), 0.0)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0),
+            min_size=1, max_size=50,
+        )
+    )
+    @settings(max_examples=50)
+    def test_total_traffic_bounds_displacement_range(self, values):
+        displaced = np.array(values)
+        out_bytes, in_bytes = migration_series_from_displacement(
+            displaced, 1.0
+        )
+        # Conservation: out - in == final displacement level.
+        assert out_bytes.sum() - in_bytes.sum() == pytest.approx(
+            displaced[-1]
+        )
+        # Total traffic at least the largest swing.
+        assert out_bytes.sum() >= displaced.max() - 1e-9
+
+    def test_evaluate_overhead_zero_when_capacity_ample(self):
+        problem = make_problem(apps=(make_app(0, vms=10, duration=24),))
+        placement = Placement({0: {"a": 10, "b": 0}})
+        overhead = evaluate_placement_overhead(problem, placement)
+        assert overhead["a"].sum() == 0.0
+        assert overhead["b"].sum() == 0.0
+
+    def test_evaluate_overhead_dip_roundtrip(self):
+        # Capacity dips below stable load mid-horizon: traffic out then
+        # back in, each half the total.
+        n = 6
+        capacity = np.array([100, 100, 0, 0, 100, 100], dtype=float)
+        site = make_site("a", 1000, capacity, n)
+        app = make_app(0, 0, n, vms=10, cores=2, stable=1.0)
+        problem = SchedulingProblem(
+            make_grid(n), (site,), (app,), bytes_per_core=1.0
+        )
+        placement = Placement({0: {"a": 10}})
+        overhead = evaluate_placement_overhead(problem, placement)
+        # 20 stable cores displaced at step 2, return at step 4.
+        assert overhead["a"][2] == pytest.approx(20.0)
+        assert overhead["a"][4] == pytest.approx(20.0)
+        assert overhead["a"].sum() == pytest.approx(40.0)
+
+    def test_evaluate_with_external_capacity(self):
+        problem = make_problem(apps=(make_app(0, vms=10, stable=1.0),))
+        placement = Placement({0: {"a": 10, "b": 0}})
+        tight = {"a": np.zeros(24), "b": np.zeros(24)}
+        overhead = evaluate_placement_overhead(problem, placement, tight)
+        assert overhead["a"][0] > 0  # immediately displaced
+
+    def test_degradable_absorbs_for_free(self):
+        # All-degradable app: capacity dip produces zero traffic.
+        n = 4
+        capacity = np.array([100, 0, 0, 100], dtype=float)
+        site = make_site("a", 1000, capacity, n)
+        app = make_app(0, 0, n, vms=10, cores=2, stable=0.0)
+        problem = SchedulingProblem(
+            make_grid(n), (site,), (app,), bytes_per_core=1.0
+        )
+        overhead = evaluate_placement_overhead(
+            problem, Placement({0: {"a": 10}})
+        )
+        assert overhead["a"].sum() == 0.0
+
+
+class TestProblemFromForecasts:
+    def test_builds_capacity_from_forecast(self):
+        grid = make_grid(24)
+        values = np.full(24, 0.5)
+        trace = PowerTrace(grid, values, "s1", "wind", 400.0)
+        problem = problem_from_forecasts(
+            grid, {"s1": trace}, {"s1": 1000},
+            [make_app(duration=24)], NoisyOracleForecaster(seed=1),
+        )
+        site = problem.sites[0]
+        assert site.total_cores == 1000
+        assert np.all(site.capacity_cores <= 1000)
+        # Forecast of a 0.5 trace stays in a plausible band.
+        assert 200 < site.capacity_cores.mean() < 800

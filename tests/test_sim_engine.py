@@ -1,0 +1,183 @@
+"""Tests for the multi-site execution engine and result summaries."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sched import Placement, SchedulingProblem, SiteCapacity
+from repro.sim import (
+    PolicyComparison,
+    execute_placement,
+    summarize_transfers,
+)
+from repro.units import TimeGrid
+from repro.workload import Application, VMType
+
+START = datetime(2020, 5, 1)
+
+
+def make_grid(n):
+    return TimeGrid(START, timedelta(hours=1), n)
+
+
+def make_app(app_id=0, arrival=0, duration=6, vms=10, cores=2,
+             memory=8.0, stable=1.0):
+    return Application(
+        app_id, arrival, duration, vms, VMType(f"T{cores}", cores, memory),
+        stable,
+    )
+
+
+def one_site_problem(capacity, apps, total=1000, bpc=1.0):
+    n = len(capacity)
+    return SchedulingProblem(
+        make_grid(n),
+        (SiteCapacity("a", total, np.asarray(capacity, float)),),
+        tuple(apps),
+        bpc,
+    )
+
+
+class TestExecution:
+    def test_no_traffic_when_capacity_ample(self):
+        problem = one_site_problem(np.full(6, 500.0), [make_app()])
+        result = execute_placement(
+            problem, Placement({0: {"a": 10}}), {"a": np.full(6, 500.0)}
+        )
+        assert result.total_transfer_gb() == 0.0
+        assert result.site("a").stable_availability() == 1.0
+
+    def test_dip_roundtrip_traffic(self):
+        capacity = np.array([100, 100, 0, 0, 100, 100], dtype=float)
+        problem = one_site_problem(np.full(6, 100.0), [make_app()], bpc=1.0)
+        result = execute_placement(
+            problem, Placement({0: {"a": 10}}), {"a": capacity}
+        )
+        site = result.site("a")
+        # 20 stable cores out at step 2, back at step 4.
+        assert site.out_bytes[2] == pytest.approx(20.0)
+        assert site.in_bytes[4] == pytest.approx(20.0)
+        assert result.total_transfer_series().sum() == pytest.approx(40.0)
+
+    def test_degradable_pauses_without_traffic(self):
+        capacity = np.array([100, 0, 0, 100], dtype=float)
+        app = make_app(duration=4, stable=0.0)
+        problem = one_site_problem(np.full(4, 100.0), [app])
+        result = execute_placement(
+            problem, Placement({0: {"a": 10}}), {"a": capacity}
+        )
+        site = result.site("a")
+        assert result.total_transfer_gb() == 0.0
+        assert site.paused_degradable[1] == pytest.approx(20.0)
+        assert site.degradable_availability() < 1.0
+
+    def test_planned_displacement_preempts(self):
+        # Plan displaces 10 cores one step before the actual dip: the
+        # migration happens early and is split across steps.
+        capacity = np.array([100, 100, 0, 100], dtype=float)
+        app = make_app(duration=4, vms=10, cores=2, stable=1.0)
+        problem = one_site_problem(np.full(4, 100.0), [app])
+        planned = {"a": np.array([0.0, 10.0, 20.0, 0.0])}
+        placement = Placement({0: {"a": 10}}, planned)
+        result = execute_placement(
+            problem, placement, {"a": capacity}, follow_plan=True
+        )
+        site = result.site("a")
+        assert site.out_bytes[1] == pytest.approx(10.0)
+        assert site.out_bytes[2] == pytest.approx(10.0)
+        ignored = execute_placement(
+            problem, placement, {"a": capacity}, follow_plan=False
+        )
+        assert ignored.site("a").out_bytes[2] == pytest.approx(20.0)
+
+    def test_plan_cannot_reduce_required(self):
+        # Plan says zero, but reality forces displacement anyway.
+        capacity = np.array([100, 0], dtype=float)
+        app = make_app(duration=2, vms=10, cores=2, stable=1.0)
+        problem = one_site_problem(np.full(2, 100.0), [app])
+        placement = Placement({0: {"a": 10}}, {"a": np.zeros(2)})
+        result = execute_placement(problem, placement, {"a": capacity})
+        assert result.site("a").displaced[1] == pytest.approx(20.0)
+
+    def test_displacement_capped_by_stable_load(self):
+        # Plan asks for more displacement than stable cores exist.
+        capacity = np.full(2, 100.0)
+        app = make_app(duration=2, vms=10, cores=2, stable=0.5)
+        problem = one_site_problem(capacity, [app])
+        placement = Placement(
+            {0: {"a": 10}}, {"a": np.array([0.0, 999.0])}, preemptive=True
+        )
+        result = execute_placement(problem, placement, {"a": capacity})
+        assert result.site("a").displaced[1] == pytest.approx(10.0)
+
+    def test_missing_capacity_rejected(self):
+        problem = one_site_problem(np.full(4, 100.0), [make_app(duration=4)])
+        with pytest.raises(SchedulingError):
+            execute_placement(problem, Placement({0: {"a": 10}}), {})
+
+    def test_wrong_length_capacity_rejected(self):
+        problem = one_site_problem(np.full(4, 100.0), [make_app(duration=4)])
+        with pytest.raises(SchedulingError):
+            execute_placement(
+                problem, Placement({0: {"a": 10}}), {"a": np.zeros(3)}
+            )
+
+    def test_unknown_site_lookup(self):
+        problem = one_site_problem(np.full(4, 100.0), [make_app(duration=4)])
+        result = execute_placement(
+            problem, Placement({0: {"a": 10}}), {"a": np.full(4, 100.0)}
+        )
+        with pytest.raises(KeyError):
+            result.site("zz")
+
+
+class TestSummaries:
+    def test_summary_fields(self):
+        series = np.array([0.0, 0.0, 5e9, 0.0, 1e9])
+        summary = summarize_transfers("X", series)
+        assert summary.total_gb == pytest.approx(6.0)
+        assert summary.peak_gb == pytest.approx(5.0)
+        assert summary.zero_fraction == pytest.approx(0.6)
+        assert summary.std_gb > 0
+
+    def test_summary_validation(self):
+        with pytest.raises(SchedulingError):
+            summarize_transfers("X", np.zeros(0))
+
+    def test_comparison_ratios(self):
+        greedy = summarize_transfers(
+            "Greedy", np.array([0.0, 10e9, 10e9, 0.0])
+        )
+        mip = summarize_transfers("MIP", np.array([0.0, 5e9, 5e9, 0.0]))
+        comparison = PolicyComparison([greedy, mip])
+        assert comparison.improvement_total("MIP", "Greedy") == (
+            pytest.approx(0.5)
+        )
+        assert comparison.improvement_p99("MIP", "Greedy") == (
+            pytest.approx(2.0)
+        )
+        assert comparison.improvement_std("MIP", "Greedy") == (
+            pytest.approx(2.0)
+        )
+
+    def test_comparison_unknown_policy(self):
+        comparison = PolicyComparison(
+            [summarize_transfers("A", np.array([1e9]))]
+        )
+        with pytest.raises(KeyError):
+            comparison.by_policy("B")
+
+    def test_table_rendering(self):
+        comparison = PolicyComparison(
+            [
+                summarize_transfers("Greedy", np.array([0.0, 10e9])),
+                summarize_transfers("MIP", np.array([0.0, 5e9])),
+            ]
+        )
+        table = comparison.as_table()
+        assert "Greedy" in table and "MIP" in table
+        assert "Total" in table

@@ -1,0 +1,210 @@
+"""Tests for repro.traces.base: the PowerTrace container."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TimeGridError, TraceError
+from repro.traces import PowerTrace
+from repro.traces.base import aggregate_traces
+from repro.units import TimeGrid, grid_days
+
+START = datetime(2020, 5, 1)
+
+
+def make_trace(values, step_minutes=15, capacity=400.0, name="t", kind="solar"):
+    values = np.asarray(values, dtype=float)
+    grid = TimeGrid(START, timedelta(minutes=step_minutes), len(values))
+    return PowerTrace(grid, values, name, kind, capacity)
+
+
+class TestConstruction:
+    def test_valid(self):
+        trace = make_trace([0.0, 0.5, 1.0])
+        assert len(trace) == 3
+        assert trace.capacity_mw == 400.0
+
+    def test_length_mismatch_rejected(self):
+        grid = TimeGrid(START, timedelta(minutes=15), 4)
+        with pytest.raises(TraceError):
+            PowerTrace(grid, np.zeros(3))
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(TraceError):
+            make_trace([0.1, -0.2])
+
+    def test_nan_rejected(self):
+        with pytest.raises(TraceError):
+            make_trace([0.1, float("nan")])
+
+    def test_2d_rejected(self):
+        grid = TimeGrid(START, timedelta(minutes=15), 4)
+        with pytest.raises(TraceError):
+            PowerTrace(grid, np.zeros((2, 2)))
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(TraceError):
+            make_trace([0.1], capacity=0.0)
+
+
+class TestConversions:
+    def test_power_mw(self):
+        trace = make_trace([0.0, 0.5, 1.0], capacity=200.0)
+        assert list(trace.power_mw()) == [0.0, 100.0, 200.0]
+
+    def test_energy_mwh(self):
+        # Constant 1.0 for 4 x 15min = 1 hour at 400 MW -> 400 MWh.
+        trace = make_trace([1.0] * 4)
+        assert trace.energy_mwh() == pytest.approx(400.0)
+
+    def test_scaled(self):
+        trace = make_trace([0.5]).scaled(800.0)
+        assert trace.capacity_mw == 800.0
+        assert trace.power_mw()[0] == pytest.approx(400.0)
+
+    def test_renamed(self):
+        assert make_trace([0.5]).renamed("x").name == "x"
+
+
+class TestSlicing:
+    def test_slice(self):
+        trace = make_trace(np.linspace(0, 1, 10))
+        sub = trace.slice(2, 5)
+        assert len(sub) == 5
+        assert sub.grid.start == trace.grid.time_at(2)
+        np.testing.assert_allclose(sub.values, trace.values[2:7])
+
+    def test_slice_days(self):
+        grid = grid_days(START, 3)
+        trace = PowerTrace(grid, np.ones(grid.n))
+        day2 = trace.slice_days(1, 1)
+        assert len(day2) == 96
+        assert day2.grid.start == START + timedelta(days=1)
+
+    def test_downsample_averages(self):
+        trace = make_trace([0.0, 1.0, 0.5, 0.5], step_minutes=15)
+        hourly = trace.resample(timedelta(hours=1))
+        assert len(hourly) == 1
+        assert hourly.values[0] == pytest.approx(0.5)
+
+    def test_upsample_holds(self):
+        trace = make_trace([0.25, 0.75], step_minutes=60)
+        fine = trace.resample(timedelta(minutes=15))
+        assert len(fine) == 8
+        np.testing.assert_allclose(fine.values[:4], 0.25)
+        np.testing.assert_allclose(fine.values[4:], 0.75)
+
+    def test_resample_identity(self):
+        trace = make_trace([0.1, 0.2])
+        assert trace.resample(timedelta(minutes=15)) is trace
+
+    def test_resample_energy_preserved_on_downsample(self):
+        rng = np.random.default_rng(7)
+        trace = make_trace(rng.uniform(size=96))
+        hourly = trace.resample(timedelta(hours=1))
+        assert hourly.energy_mwh() == pytest.approx(trace.energy_mwh())
+
+    def test_bad_downsample_rejected(self):
+        trace = make_trace([0.1] * 5)
+        with pytest.raises(TraceError):
+            trace.resample(timedelta(minutes=40))
+
+
+class TestStatistics:
+    def test_cov_constant_is_zero(self):
+        assert make_trace([0.5] * 10).cov() == pytest.approx(0.0)
+
+    def test_cov_all_zero_is_inf(self):
+        assert make_trace([0.0] * 10).cov() == float("inf")
+
+    def test_zero_fraction(self):
+        trace = make_trace([0.0, 0.0, 0.5, 1.0])
+        assert trace.zero_fraction() == pytest.approx(0.5)
+
+    def test_tail_ratio(self):
+        values = np.concatenate([np.full(99, 0.1), [0.4]])
+        trace = make_trace(values)
+        assert trace.tail_ratio(99, 75) == pytest.approx(
+            np.percentile(values, 99) / 0.1
+        )
+
+    def test_tail_ratio_zero_lower_is_inf(self):
+        trace = make_trace([0.0] * 90 + [1.0] * 10)
+        assert trace.tail_ratio(99, 50) == float("inf")
+
+    def test_stable_energy_definition(self):
+        # Min power 0.25 * 400 MW = 100 MW over 1 hour -> 100 MWh stable.
+        trace = make_trace([0.25, 0.5, 1.0, 0.75])
+        assert trace.stable_power_mw() == pytest.approx(100.0)
+        assert trace.stable_energy_mwh() == pytest.approx(100.0)
+        assert trace.variable_energy_mwh() == pytest.approx(
+            trace.energy_mwh() - 100.0
+        )
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=200
+        )
+    )
+    @settings(max_examples=50)
+    def test_stable_plus_variable_equals_total(self, values):
+        trace = make_trace(values)
+        assert trace.stable_energy_mwh() + trace.variable_energy_mwh() == (
+            pytest.approx(trace.energy_mwh(), abs=1e-9)
+        )
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=200
+        )
+    )
+    @settings(max_examples=50)
+    def test_stable_energy_nonnegative(self, values):
+        trace = make_trace(values)
+        assert trace.stable_energy_mwh() >= 0.0
+        assert trace.variable_energy_mwh() >= -1e-12
+
+
+class TestAggregation:
+    def test_aggregate_empty_rejected(self):
+        with pytest.raises(TraceError):
+            aggregate_traces([])
+
+    def test_aggregate_preserves_energy(self):
+        a = make_trace([0.2, 0.4], capacity=400.0)
+        b = make_trace([0.6, 0.8], capacity=200.0)
+        combined = aggregate_traces([a, b])
+        assert combined.capacity_mw == 600.0
+        assert combined.energy_mwh() == pytest.approx(
+            a.energy_mwh() + b.energy_mwh()
+        )
+
+    def test_aggregate_values_normalized(self):
+        a = make_trace([1.0], capacity=400.0)
+        b = make_trace([1.0], capacity=400.0)
+        combined = aggregate_traces([a, b])
+        assert combined.values[0] == pytest.approx(1.0)
+
+    def test_aggregate_kind_mixing(self):
+        a = make_trace([0.1], kind="solar")
+        b = make_trace([0.1], kind="wind")
+        assert aggregate_traces([a, b]).kind == "mixed"
+        assert aggregate_traces([a, a]).kind == "solar"
+
+    def test_aggregate_grid_mismatch_rejected(self):
+        a = make_trace([0.1, 0.2])
+        b = make_trace([0.1])
+        with pytest.raises(TimeGridError):
+            aggregate_traces([a, b])
+
+    def test_aggregation_reduces_cov_for_complementary(self):
+        # Perfectly anti-correlated sites -> constant aggregate, cov 0.
+        a = make_trace([0.0, 1.0, 0.0, 1.0])
+        b = make_trace([1.0, 0.0, 1.0, 0.0])
+        combined = aggregate_traces([a, b])
+        assert combined.cov() == pytest.approx(0.0)
+        assert combined.cov() < min(a.cov(), b.cov())

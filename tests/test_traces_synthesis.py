@@ -1,0 +1,340 @@
+"""Tests for the solar/wind synthesizers and weather regime machinery."""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TraceError
+from repro.traces import (
+    RegimeModel,
+    SolarConfig,
+    WeatherRegime,
+    WindConfig,
+    clear_sky_profile,
+    default_european_catalog,
+    sample_regime_sequence,
+    synthesize_catalog_traces,
+    synthesize_solar,
+    synthesize_wind,
+    turbine_power_curve,
+)
+from repro.traces.weather import (
+    correlated_daily_latents,
+    default_solar_regimes,
+    default_wind_regimes,
+    distance_correlation_matrix,
+    intraday_ar1,
+    regime_modulation,
+    regime_sequence_from_latent,
+    stationary_distribution,
+)
+from repro.units import grid_days
+
+
+class TestWeatherRegimes:
+    def test_regime_validation(self):
+        with pytest.raises(ConfigurationError):
+            WeatherRegime("bad", level=-0.1, volatility=0.1, persistence=0.5)
+        with pytest.raises(ConfigurationError):
+            WeatherRegime("bad", level=0.5, volatility=-0.1, persistence=0.5)
+        with pytest.raises(ConfigurationError):
+            WeatherRegime("bad", level=0.5, volatility=0.1, persistence=1.0)
+
+    def test_model_validation(self):
+        regime = WeatherRegime("a", 0.5, 0.1, 0.5)
+        with pytest.raises(ConfigurationError):
+            RegimeModel((regime,), np.array([[0.5]]), np.array([1.0]))
+        with pytest.raises(ConfigurationError):
+            RegimeModel((regime,), np.array([[1.0]]), np.array([0.5]))
+
+    def test_model_by_name(self):
+        model = default_solar_regimes()
+        assert model.by_name("sunny").level == pytest.approx(1.0)
+        with pytest.raises(KeyError):
+            model.by_name("hurricane")
+
+    def test_sample_sequence_shape_and_range(self, rng):
+        model = default_solar_regimes()
+        seq = sample_regime_sequence(model, 100, rng)
+        assert len(seq) == 100
+        assert seq.min() >= 0
+        assert seq.max() < len(model.regimes)
+
+    def test_sample_sequence_zero_days(self, rng):
+        assert len(sample_regime_sequence(default_solar_regimes(), 0, rng)) == 0
+
+    def test_sample_sequence_negative_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            sample_regime_sequence(default_solar_regimes(), -1, rng)
+
+    def test_stationary_distribution_sums_to_one(self):
+        for model in (default_solar_regimes(), default_wind_regimes()):
+            pi = stationary_distribution(model)
+            assert pi.sum() == pytest.approx(1.0)
+            assert np.all(pi >= 0)
+            # Fixed point of the chain.
+            np.testing.assert_allclose(pi @ model.transition, pi, atol=1e-9)
+
+    def test_latent_regime_mapping_matches_stationary(self, rng):
+        model = default_solar_regimes()
+        latent = rng.standard_normal(20000)
+        seq = regime_sequence_from_latent(model, latent)
+        pi = stationary_distribution(model)
+        freq = np.bincount(seq, minlength=3) / len(seq)
+        np.testing.assert_allclose(freq, pi, atol=0.02)
+
+    def test_intraday_ar1_stationary_std(self, rng):
+        path = intraday_ar1(50000, volatility=0.2, persistence=0.7, rng=rng)
+        assert np.std(path) == pytest.approx(0.2, rel=0.05)
+        assert abs(np.mean(path)) < 0.01
+
+    def test_intraday_ar1_empty(self, rng):
+        assert len(intraday_ar1(0, 0.1, 0.5, rng)) == 0
+
+    def test_regime_modulation_bounds(self, rng):
+        model = default_solar_regimes()
+        days = sample_regime_sequence(model, 10, rng)
+        mod = regime_modulation(model.regimes, days, 96, rng)
+        assert len(mod) == 960
+        assert mod.min() >= 0.0
+        assert mod.max() <= 1.25
+
+
+class TestSpatialCorrelation:
+    def test_distance_correlation_properties(self):
+        distances = np.array([[0.0, 100.0], [100.0, 1e5]])
+        # Matrix must be square + symmetric in use; use a real one.
+        distances = np.array([[0.0, 100.0], [100.0, 0.0]])
+        corr = distance_correlation_matrix(distances, 600.0)
+        assert corr[0, 0] == 1.0
+        assert 0 < corr[0, 1] < 1
+        assert corr[0, 1] == pytest.approx(np.exp(-100 / 600))
+
+    def test_distance_correlation_rejects_nonsquare(self):
+        with pytest.raises(ConfigurationError):
+            distance_correlation_matrix(np.zeros((2, 3)))
+
+    def test_distance_correlation_rejects_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            distance_correlation_matrix(np.zeros((2, 2)), 0.0)
+
+    def test_correlated_latents_shape_and_marginals(self, rng):
+        corr = distance_correlation_matrix(
+            np.array([[0.0, 50.0], [50.0, 0.0]])
+        )
+        latents = correlated_daily_latents(corr, 5000, rng)
+        assert latents.shape == (5000, 2)
+        # Marginals approximately standard normal.
+        assert np.std(latents[:, 0]) == pytest.approx(1.0, rel=0.1)
+        # Nearby sites strongly correlated.
+        sample_corr = np.corrcoef(latents[:, 0], latents[:, 1])[0, 1]
+        assert sample_corr > 0.7
+
+    def test_correlated_latents_distance_decay(self, rng):
+        distances = np.array(
+            [[0.0, 50.0, 3000.0], [50.0, 0.0, 3000.0], [3000.0, 3000.0, 0.0]]
+        )
+        corr = distance_correlation_matrix(distances)
+        latents = correlated_daily_latents(corr, 5000, rng)
+        near = np.corrcoef(latents[:, 0], latents[:, 1])[0, 1]
+        far = np.corrcoef(latents[:, 0], latents[:, 2])[0, 1]
+        assert near > far + 0.3
+
+    def test_correlated_latents_bad_persistence(self, rng):
+        corr = np.eye(2)
+        with pytest.raises(ConfigurationError):
+            correlated_daily_latents(corr, 10, rng, day_persistence=1.0)
+
+
+class TestSolarSynthesis:
+    def test_diurnal_zero_at_night(self, week_grid, rng):
+        trace = synthesize_solar(week_grid, rng=rng)
+        hours = week_grid.hour_of_day()
+        night = trace.values[(hours < 3) | (hours > 22)]
+        assert np.all(night == 0.0)
+
+    def test_values_in_unit_range(self, month_grid, rng):
+        trace = synthesize_solar(month_grid, rng=rng)
+        assert trace.values.min() >= 0.0
+        assert trace.values.max() <= 1.0
+
+    def test_seeded_determinism(self, week_grid):
+        a = synthesize_solar(week_grid, seed=42)
+        b = synthesize_solar(week_grid, seed=42)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_different_seeds_differ(self, week_grid):
+        a = synthesize_solar(week_grid, seed=1)
+        b = synthesize_solar(week_grid, seed=2)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_seasonality_winter_below_summer(self):
+        year = grid_days(datetime(2020, 1, 1), 365)
+        config = SolarConfig(latitude_deg=51.0)
+        profile = clear_sky_profile(year, config)
+        per_day = profile.reshape(365, -1).max(axis=1)
+        winter_peak = per_day[:30].max()
+        summer_peak = per_day[160:190].max()
+        # Paper: winter peaks ~75% below summer at these latitudes.
+        assert winter_peak < 0.6 * summer_peak
+
+    def test_latitude_affects_day_length(self):
+        june = grid_days(datetime(2020, 6, 20), 1)
+        north = clear_sky_profile(june, SolarConfig(latitude_deg=65.0))
+        south = clear_sky_profile(june, SolarConfig(latitude_deg=35.0))
+        # Midsummer at 65N has more daylight samples than at 35N.
+        assert np.count_nonzero(north) > np.count_nonzero(south)
+
+    def test_overcast_day_suppresses_peak(self, day_grid, rng):
+        model = default_solar_regimes()
+        overcast_index = model.names.index("overcast")
+        sunny_index = model.names.index("sunny")
+        overcast = synthesize_solar(
+            day_grid, rng=np.random.default_rng(5),
+            regime_indices=np.array([overcast_index]),
+        )
+        sunny = synthesize_solar(
+            day_grid, rng=np.random.default_rng(5),
+            regime_indices=np.array([sunny_index]),
+        )
+        # Paper Fig 2a: overcast peak 3.5% vs 77% on a sunny day.
+        assert overcast.values.max() < 0.2
+        assert sunny.values.max() > 0.5
+
+    def test_partial_day_grid_rejected(self, rng):
+        grid = grid_days(datetime(2020, 5, 1), 1.5)
+        with pytest.raises(TraceError):
+            synthesize_solar(grid, rng=rng)
+
+    def test_wrong_regime_count_rejected(self, week_grid, rng):
+        with pytest.raises(TraceError):
+            synthesize_solar(week_grid, rng=rng, regime_indices=np.array([0]))
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            SolarConfig(latitude_deg=90.0)
+        with pytest.raises(ConfigurationError):
+            SolarConfig(capacity_mw=-1.0)
+
+
+class TestWindSynthesis:
+    def test_power_curve_regions(self):
+        config = WindConfig()
+        speeds = np.array([0.0, 2.9, 3.0, 8.0, 12.0, 20.0, 25.0, 30.0])
+        power = turbine_power_curve(speeds, config)
+        assert power[0] == 0.0 and power[1] == 0.0          # below cut-in
+        assert 0.0 <= power[2] < 0.05                        # at cut-in
+        assert 0.0 < power[3] < 1.0                          # ramp
+        assert power[4] == pytest.approx(1.0)                # rated
+        assert power[5] == pytest.approx(1.0)                # rated plateau
+        assert power[6] == 0.0 and power[7] == 0.0           # cut-out
+
+    def test_power_curve_monotone_on_ramp(self):
+        config = WindConfig()
+        speeds = np.linspace(config.cut_in_ms, config.rated_ms, 50)
+        power = turbine_power_curve(speeds, config)
+        assert np.all(np.diff(power) >= 0)
+
+    def test_values_in_unit_range(self, month_grid, rng):
+        trace = synthesize_wind(month_grid, rng=rng)
+        assert trace.values.min() >= 0.0
+        assert trace.values.max() <= 1.0
+
+    def test_seeded_determinism(self, week_grid):
+        a = synthesize_wind(week_grid, seed=42)
+        b = synthesize_wind(week_grid, seed=42)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_wind_rarely_zero(self):
+        # Paper Fig 2a: wind "rarely goes down to zero".
+        year = grid_days(datetime(2020, 1, 1), 365)
+        trace = synthesize_wind(year, seed=7)
+        assert trace.zero_fraction() < 0.30
+
+    def test_wind_median_modest(self):
+        # Paper Fig 2b: median wind at most ~20% of peak capacity.
+        year = grid_days(datetime(2020, 1, 1), 365)
+        trace = synthesize_wind(year, seed=7)
+        assert trace.percentile(50) < 0.30
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            WindConfig(cut_in_ms=13.0)  # violates cut_in < rated
+        with pytest.raises(ConfigurationError):
+            WindConfig(reversion_hours=0.0)
+        with pytest.raises(ConfigurationError):
+            WindConfig(mean_speed_ms=0.0)
+
+
+class TestCatalog:
+    def test_default_catalog_contains_paper_trio(self):
+        catalog = default_european_catalog()
+        for name in ("NO-solar", "UK-wind", "PT-wind"):
+            assert name in catalog
+
+    def test_catalog_unique_names(self):
+        catalog = default_european_catalog()
+        assert len(set(catalog.names)) == len(catalog)
+
+    def test_subset_and_kind_filters(self):
+        catalog = default_european_catalog()
+        trio = catalog.subset(["NO-solar", "UK-wind"])
+        assert trio.names == ["NO-solar", "UK-wind"]
+        wind = catalog.of_kind("wind")
+        assert all(s.kind == "wind" for s in wind)
+
+    def test_unknown_site_raises(self):
+        catalog = default_european_catalog()
+        with pytest.raises(KeyError):
+            catalog["Atlantis-solar"]
+
+    def test_distance_matrix_symmetric_zero_diagonal(self):
+        catalog = default_european_catalog()
+        distances = catalog.distance_matrix_km()
+        assert np.allclose(distances, distances.T)
+        assert np.all(np.diag(distances) == 0.0)
+        # Norway to Portugal is far; sanity check the haversine.
+        i = catalog.names.index("NO-solar")
+        j = catalog.names.index("PT-wind")
+        assert 1500 < distances[i, j] < 3000
+
+    def test_with_capacity(self):
+        catalog = default_european_catalog().with_capacity(100.0)
+        assert all(s.capacity_mw == 100.0 for s in catalog)
+
+    def test_catalog_synthesis_covers_all_sites(self, rng):
+        catalog = default_european_catalog().subset(
+            ["NO-solar", "UK-wind", "PT-wind"]
+        )
+        grid = grid_days(datetime(2020, 5, 1), 4)
+        traces = synthesize_catalog_traces(catalog, grid, rng=rng)
+        assert set(traces) == {"NO-solar", "UK-wind", "PT-wind"}
+        for name, trace in traces.items():
+            assert trace.name == name
+            assert len(trace) == grid.n
+
+    def test_catalog_synthesis_solar_uses_site_latitude(self, rng):
+        catalog = default_european_catalog().subset(["NO-solar", "ES-solar"])
+        winter = grid_days(datetime(2020, 1, 1), 14)
+        traces = synthesize_catalog_traces(catalog, winter, seed=11)
+        # Winter Norwegian solar must be far weaker than Andalusian.
+        assert (
+            traces["NO-solar"].energy_mwh()
+            < 0.7 * traces["ES-solar"].energy_mwh()
+        )
+
+    def test_nearby_sites_more_correlated(self):
+        catalog = default_european_catalog().subset(
+            ["UK-wind", "NL-wind", "RO-wind"]
+        )
+        grid = grid_days(datetime(2020, 5, 1), 120)
+        traces = synthesize_catalog_traces(catalog, grid, seed=13)
+        uk = traces["UK-wind"].values
+        nl = traces["NL-wind"].values
+        ro = traces["RO-wind"].values
+        near = np.corrcoef(uk, nl)[0, 1]
+        far = np.corrcoef(uk, ro)[0, 1]
+        assert near > far

@@ -1,0 +1,180 @@
+"""Tests for repro.units: time grids and unit conversions."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TimeGridError
+from repro.units import (
+    TimeGrid,
+    bytes_to_gb,
+    gb_to_bytes,
+    gbps_to_bytes_per_second,
+    gib_to_bytes,
+    grid_days,
+    joules_to_mwh,
+    mw_to_watts,
+    mwh_to_joules,
+    transfer_seconds,
+    watts_to_mw,
+)
+
+START = datetime(2020, 5, 1)
+STEP = timedelta(minutes=15)
+
+
+class TestTimeGridConstruction:
+    def test_valid_grid(self):
+        grid = TimeGrid(START, STEP, 96)
+        assert grid.n == 96
+        assert grid.step_seconds == 900.0
+        assert grid.step_hours == 0.25
+
+    def test_zero_length_grid_allowed(self):
+        grid = TimeGrid(START, STEP, 0)
+        assert grid.duration == timedelta(0)
+        assert list(grid.times()) == []
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(TimeGridError):
+            TimeGrid(START, STEP, -1)
+
+    def test_nonpositive_step_rejected(self):
+        with pytest.raises(TimeGridError):
+            TimeGrid(START, timedelta(0), 10)
+        with pytest.raises(TimeGridError):
+            TimeGrid(START, timedelta(minutes=-5), 10)
+
+    def test_grid_days_constructor(self):
+        grid = grid_days(START, 7)
+        assert grid.n == 7 * 96
+        assert grid.end == START + timedelta(days=7)
+
+    def test_grid_days_hourly(self):
+        grid = grid_days(START, 2, step_minutes=60)
+        assert grid.n == 48
+
+
+class TestTimeGridIndexing:
+    def test_time_at_roundtrip(self):
+        grid = TimeGrid(START, STEP, 96)
+        for index in (0, 1, 50, 95):
+            assert grid.index_at(grid.time_at(index)) == index
+
+    def test_time_at_negative_index(self):
+        grid = TimeGrid(START, STEP, 96)
+        assert grid.time_at(-1) == grid.time_at(95)
+
+    def test_time_at_out_of_range(self):
+        grid = TimeGrid(START, STEP, 96)
+        with pytest.raises(TimeGridError):
+            grid.time_at(96)
+
+    def test_index_at_interval_interior(self):
+        grid = TimeGrid(START, STEP, 96)
+        assert grid.index_at(START + timedelta(minutes=7)) == 0
+        assert grid.index_at(START + timedelta(minutes=15)) == 1
+
+    def test_index_at_before_start(self):
+        grid = TimeGrid(START, STEP, 96)
+        with pytest.raises(TimeGridError):
+            grid.index_at(START - timedelta(seconds=1))
+
+    def test_index_at_end_exclusive(self):
+        grid = TimeGrid(START, STEP, 96)
+        with pytest.raises(TimeGridError):
+            grid.index_at(grid.end)
+
+    def test_times_iterates_all(self):
+        grid = TimeGrid(START, STEP, 4)
+        times = list(grid.times())
+        assert len(times) == 4
+        assert times[0] == START
+        assert times[3] == START + 3 * STEP
+
+
+class TestTimeGridDerived:
+    def test_hour_of_day_wraps(self):
+        grid = grid_days(datetime(2020, 5, 1, 23), 1, step_minutes=60)
+        hours = grid.hour_of_day()
+        assert hours[0] == pytest.approx(23.0)
+        assert hours[1] == pytest.approx(0.0)
+
+    def test_day_of_year(self):
+        grid = grid_days(datetime(2020, 1, 1), 1, step_minutes=60)
+        assert grid.day_of_year()[0] == pytest.approx(0.0)
+
+    def test_subgrid(self):
+        grid = TimeGrid(START, STEP, 96)
+        sub = grid.subgrid(10, 20)
+        assert sub.n == 20
+        assert sub.start == grid.time_at(10)
+        assert sub.step == grid.step
+
+    def test_subgrid_out_of_range(self):
+        grid = TimeGrid(START, STEP, 96)
+        with pytest.raises(TimeGridError):
+            grid.subgrid(90, 10)
+
+    def test_compatibility(self):
+        a = TimeGrid(START, STEP, 96)
+        b = TimeGrid(START, STEP, 96)
+        c = TimeGrid(START, STEP, 95)
+        assert a.compatible_with(b)
+        assert not a.compatible_with(c)
+        with pytest.raises(TimeGridError):
+            a.require_compatible(c)
+
+    def test_steps_per_day(self):
+        assert TimeGrid(START, STEP, 96).steps_per_day() == 96
+        assert TimeGrid(START, timedelta(hours=1), 24).steps_per_day() == 24
+
+    def test_steps_per_day_nondividing(self):
+        grid = TimeGrid(START, timedelta(minutes=7), 10)
+        with pytest.raises(TimeGridError):
+            grid.steps_per_day()
+
+    @given(st.integers(min_value=1, max_value=500))
+    def test_hours_elapsed_length(self, n):
+        grid = TimeGrid(START, STEP, n)
+        elapsed = grid.hours_elapsed()
+        assert len(elapsed) == n
+        assert elapsed[0] == 0.0
+        if n > 1:
+            assert np.all(np.diff(elapsed) > 0)
+
+
+class TestUnitConversions:
+    def test_mw_watts_roundtrip(self):
+        assert watts_to_mw(mw_to_watts(3.5)) == pytest.approx(3.5)
+
+    def test_mwh_joules_roundtrip(self):
+        assert joules_to_mwh(mwh_to_joules(42.0)) == pytest.approx(42.0)
+
+    def test_gb_bytes_roundtrip(self):
+        assert bytes_to_gb(gb_to_bytes(7.25)) == pytest.approx(7.25)
+
+    def test_gib_is_binary(self):
+        assert gib_to_bytes(1) == 2**30
+
+    def test_gbps_conversion(self):
+        # 8 Gbps == 1e9 bytes/second.
+        assert gbps_to_bytes_per_second(8) == pytest.approx(1e9)
+
+    def test_transfer_seconds_paper_example(self):
+        # Paper §3: 10 TB in 5 minutes needs ~200+ Gbps; check 10 TB over
+        # a 200 Gbps link lands near 400 s (same ballpark, paper rounds).
+        seconds = transfer_seconds(10e12, 200)
+        assert 300 < seconds < 500
+
+    def test_transfer_seconds_rejects_zero_link(self):
+        with pytest.raises(ValueError):
+            transfer_seconds(1e9, 0)
+
+    @given(st.floats(min_value=0.001, max_value=1e6))
+    def test_energy_conversion_monotone(self, mwh):
+        assert joules_to_mwh(mwh_to_joules(mwh)) == pytest.approx(mwh)

@@ -1,0 +1,267 @@
+"""Tests for the WAN substrate: topology, max-min sharing, simulation."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.units import TimeGrid
+from repro.wan import (
+    FlowResult,
+    MigrationFlow,
+    WanSimulator,
+    WanTopology,
+    flows_from_execution,
+)
+from repro.wan.simulator import _max_min_rates
+
+GBPS = 1e9 / 8.0  # bytes per second
+
+
+def topo(sites=("a", "b", "c"), access=10.0, backbone=100.0, **kw):
+    return WanTopology(tuple(sites), access, backbone, **kw)
+
+
+def flow(fid=0, src="a", dst="b", size=10 * GBPS, release=0):
+    return MigrationFlow(fid, src, dst, size, release)
+
+
+class TestTopology:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WanTopology(())
+        with pytest.raises(ConfigurationError):
+            WanTopology(("a", "a"))
+        with pytest.raises(ConfigurationError):
+            WanTopology(("a",), access_gbps=0.0)
+        with pytest.raises(ConfigurationError):
+            WanTopology(("a",), per_site_access={"zz": 5.0})
+        with pytest.raises(ConfigurationError):
+            WanTopology(("a",), per_site_access={"a": 0.0})
+
+    def test_access_rates(self):
+        topology = topo(per_site_access={"b": 40.0})
+        assert topology.access_bytes_per_second("a") == pytest.approx(
+            10.0 * GBPS
+        )
+        assert topology.access_bytes_per_second("b") == pytest.approx(
+            40.0 * GBPS
+        )
+        with pytest.raises(ConfigurationError):
+            topology.access_bytes_per_second("zz")
+
+
+class TestFlows:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MigrationFlow(0, "a", "a", 1.0, 0)
+        with pytest.raises(ConfigurationError):
+            MigrationFlow(0, "a", "b", 0.0, 0)
+        with pytest.raises(ConfigurationError):
+            MigrationFlow(0, "a", "b", 1.0, -1)
+
+    def test_deadline_check(self):
+        result = FlowResult(flow(), 0.0, 100.0, True)
+        assert result.meets_deadline(100.0)
+        assert not result.meets_deadline(99.0)
+        incomplete = FlowResult(flow(), 0.0, float("inf"), False)
+        assert not incomplete.meets_deadline(1e12)
+
+
+class TestMaxMinRates:
+    def test_single_flow_gets_access_rate(self):
+        rates = _max_min_rates([flow()], topo())
+        assert rates[0] == pytest.approx(10.0 * GBPS)
+
+    def test_two_flows_share_uplink(self):
+        flows = [flow(0, "a", "b"), flow(1, "a", "c")]
+        rates = _max_min_rates(flows, topo())
+        np.testing.assert_allclose(rates, [5.0 * GBPS, 5.0 * GBPS])
+
+    def test_two_flows_share_downlink(self):
+        flows = [flow(0, "a", "c"), flow(1, "b", "c")]
+        rates = _max_min_rates(flows, topo())
+        np.testing.assert_allclose(rates, [5.0 * GBPS, 5.0 * GBPS])
+
+    def test_disjoint_flows_full_rate(self):
+        flows = [flow(0, "a", "b"), flow(1, "c", "d")]
+        rates = _max_min_rates(flows, topo(sites=("a", "b", "c", "d")))
+        np.testing.assert_allclose(rates, [10.0 * GBPS, 10.0 * GBPS])
+
+    def test_backbone_binds(self):
+        topology = topo(
+            sites=("a", "b", "c", "d"), access=10.0, backbone=10.0
+        )
+        flows = [flow(0, "a", "b"), flow(1, "c", "d")]
+        rates = _max_min_rates(flows, topology)
+        np.testing.assert_allclose(rates, [5.0 * GBPS, 5.0 * GBPS])
+
+    def test_max_min_fairness_unfrozen_flow_gets_more(self):
+        # Two flows from a (share its 10G uplink), one from c with a
+        # fat pipe to d: the third should get its full 40G.
+        topology = topo(
+            sites=("a", "b", "c", "d"), access=10.0, backbone=100.0,
+            per_site_access={"c": 40.0, "d": 40.0},
+        )
+        flows = [flow(0, "a", "b"), flow(1, "a", "b"), flow(2, "c", "d")]
+        rates = _max_min_rates(flows, topology)
+        assert rates[0] == pytest.approx(5.0 * GBPS)
+        assert rates[1] == pytest.approx(5.0 * GBPS)
+        assert rates[2] == pytest.approx(40.0 * GBPS)
+
+    def test_no_flows(self):
+        assert len(_max_min_rates([], topo())) == 0
+
+    @given(n_flows=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=25, deadline=None)
+    def test_rates_respect_all_constraints(self, n_flows):
+        rng = np.random.default_rng(n_flows)
+        sites = ("a", "b", "c", "d")
+        topology = topo(sites=sites, access=10.0, backbone=25.0)
+        flows = []
+        for i in range(n_flows):
+            src, dst = rng.choice(4, size=2, replace=False)
+            flows.append(flow(i, sites[src], sites[dst]))
+        rates = _max_min_rates(flows, topology)
+        assert np.all(rates >= -1e-9)
+        for site in sites:
+            up = sum(
+                rates[i] for i, f in enumerate(flows) if f.src == site
+            )
+            down = sum(
+                rates[i] for i, f in enumerate(flows) if f.dst == site
+            )
+            assert up <= 10.0 * GBPS + 1e-3
+            assert down <= 10.0 * GBPS + 1e-3
+        assert rates.sum() <= 25.0 * GBPS + 1e-3
+
+
+class TestSimulator:
+    def test_single_flow_duration(self):
+        simulator = WanSimulator(topo(), step_seconds=900.0)
+        results = simulator.run([flow(size=10 * GBPS)])
+        assert results[0].completed
+        # size 10*GBPS bytes over a 10 Gbps (= 10*GBPS bytes/s) access
+        # link -> exactly 1 second.
+        assert results[0].duration_seconds == pytest.approx(1.0)
+
+    def test_release_step_offsets_start(self):
+        simulator = WanSimulator(topo(), step_seconds=900.0)
+        results = simulator.run([flow(release=2, size=GBPS)])
+        assert results[0].start_seconds == pytest.approx(1800.0)
+        assert results[0].completed
+
+    def test_contention_serializes(self):
+        simulator = WanSimulator(topo(), step_seconds=900.0)
+        flows = [
+            flow(0, "a", "b", 10 * GBPS),
+            flow(1, "a", "c", 10 * GBPS),
+        ]
+        results = simulator.run(flows)
+        # Sharing the 10 Gbps uplink, each runs at 5 Gbps: 2 s each.
+        for result in results:
+            assert result.completed
+            assert result.finish_seconds == pytest.approx(2.0)
+
+    def test_early_finisher_frees_bandwidth(self):
+        simulator = WanSimulator(topo(), step_seconds=900.0)
+        flows = [
+            flow(0, "a", "b", 5 * GBPS),
+            flow(1, "a", "c", 10 * GBPS),
+        ]
+        results = simulator.run(flows)
+        # Equal split (5 Gbps each) until the small flow finishes at
+        # 1 s; the big one then takes the full 10 Gbps for its
+        # remaining 5*GBPS bytes: finish at 1.5 s.
+        assert results[0].finish_seconds == pytest.approx(1.0)
+        assert results[1].finish_seconds == pytest.approx(1.5)
+
+    def test_horizon_truncates(self):
+        simulator = WanSimulator(topo(), step_seconds=900.0)
+        results = simulator.run(
+            [flow(size=1000 * GBPS)], horizon_seconds=5.0
+        )
+        assert not results[0].completed
+        assert results[0].finish_seconds == float("inf")
+
+    def test_duplicate_ids_rejected(self):
+        simulator = WanSimulator(topo(), step_seconds=900.0)
+        with pytest.raises(ConfigurationError):
+            simulator.run([flow(0), flow(0)])
+
+    def test_unknown_site_rejected(self):
+        simulator = WanSimulator(topo(), step_seconds=900.0)
+        with pytest.raises(ConfigurationError):
+            simulator.run([flow(src="zz")])
+
+    def test_step_seconds_validated(self):
+        with pytest.raises(ConfigurationError):
+            WanSimulator(topo(), step_seconds=0.0)
+
+    def test_paper_sizing_example(self):
+        # §3: a 10 TB spike over 200 Gbps needs ~400 s — inside a
+        # 5-minute-ish window (the paper rounds to 5 minutes).
+        topology = WanTopology(("a", "b"), access_gbps=200.0)
+        simulator = WanSimulator(topology, step_seconds=900.0)
+        results = simulator.run(
+            [MigrationFlow(0, "a", "b", 10e12, 0)]
+        )
+        assert results[0].completed
+        assert 350.0 < results[0].duration_seconds < 450.0
+
+
+class TestFlowsFromExecution:
+    def _execution(self):
+        from repro.sched import Placement, SchedulingProblem, SiteCapacity
+        from repro.sim import execute_placement
+        from repro.workload import Application, VMType
+
+        n = 6
+        grid = TimeGrid(datetime(2020, 5, 1), timedelta(hours=1), n)
+        cap_a = np.array([100, 100, 0, 0, 100, 100], dtype=float)
+        cap_b = np.full(n, 100.0)
+        problem = SchedulingProblem(
+            grid,
+            (
+                SiteCapacity("a", 1000, cap_a),
+                SiteCapacity("b", 1000, cap_b),
+            ),
+            (Application(0, 0, n, 10, VMType("T2", 2, 8.0), 1.0),),
+            bytes_per_core=2e9,
+        )
+        placement = Placement({0: {"a": 10, "b": 0}})
+        execution = execute_placement(
+            problem, placement, {"a": cap_a, "b": cap_b}
+        )
+        return execution, grid
+
+    def test_flows_generated_for_dip(self):
+        execution, grid = self._execution()
+        flows = flows_from_execution(execution, grid, min_bytes=1e9)
+        # Out at the dip (step 2), back at recovery (step 4).
+        assert len(flows) == 2
+        out, back = flows
+        assert out.src == "a" and out.dst == "b"
+        assert out.release_step == 2
+        assert back.src == "b" and back.dst == "a"
+        assert back.release_step == 4
+
+    def test_flows_feed_simulator(self):
+        execution, grid = self._execution()
+        flows = flows_from_execution(execution, grid, min_bytes=1e9)
+        topology = WanTopology(("a", "b"), access_gbps=200.0)
+        simulator = WanSimulator(topology, grid.step_seconds)
+        results = simulator.run(flows)
+        assert all(r.completed for r in results)
+
+    def test_single_site_rejected(self):
+        execution, grid = self._execution()
+        from dataclasses import replace
+
+        single = replace(execution, sites=execution.sites[:1])
+        with pytest.raises(ConfigurationError):
+            flows_from_execution(single, grid)
