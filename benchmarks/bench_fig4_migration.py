@@ -22,29 +22,36 @@ from repro.analysis import (
     format_series_sample,
     percentile_ratio,
 )
-from repro.cluster import Datacenter, DatacenterConfig
-from repro.workload import generate_vm_requests, workload_matched_to_power
+from repro.experiments import Runner, Scenario, WorkloadSpec
+from repro.units import grid_days
 
-from conftest import SEED
+from conftest import SEED, START
 
 
-def _simulate(trace, seed):
-    config = DatacenterConfig()
-    workload = workload_matched_to_power(
-        float(trace.values.mean()), config.cluster.total_cores
+@pytest.fixture(scope="module")
+def fig4_run(artifact_cache, results_dir):
+    """The §3 single-site study over 3 months of wind and solar."""
+    scenario = Scenario(
+        name="fig4",
+        sites=("BE-wind", "BE-solar"),
+        grid=grid_days(START, 90),
+        workload=WorkloadSpec(kind="vm_requests"),
+        seed=SEED,
+        workload_seed=SEED + 10,
     )
-    requests = generate_vm_requests(trace.grid, workload, seed=seed)
-    return Datacenter(config, trace).run(requests)
+    return Runner(
+        scenario, cache=artifact_cache, manifest_dir=results_dir
+    ).run()
 
 
 @pytest.fixture(scope="module")
-def wind_run(quarter_traces):
-    return _simulate(quarter_traces["BE-wind"], SEED + 10)
+def wind_run(fig4_run):
+    return fig4_run.simulations["BE-wind"]
 
 
 @pytest.fixture(scope="module")
-def solar_run(quarter_traces):
-    return _simulate(quarter_traces["BE-solar"], SEED + 11)
+def solar_run(fig4_run):
+    return fig4_run.simulations["BE-solar"]
 
 
 def test_fig4a_weekly_series(benchmark, wind_run, report_writer):

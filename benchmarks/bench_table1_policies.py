@@ -19,20 +19,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.sim import PolicyComparison, summarize_transfers
-
 POLICY_ORDER = ("Greedy", "MIP-24h", "MIP", "MIP-peak")
 
 
 @pytest.fixture(scope="module")
-def comparison(table1_results):
-    summaries = []
-    for name in POLICY_ORDER:
-        _, execution, _ = table1_results[name]
-        summaries.append(
-            summarize_transfers(name, execution.total_transfer_series())
-        )
-    return PolicyComparison(summaries)
+def comparison(table1_run):
+    return table1_run.comparison
 
 
 def test_table1_policy_comparison(benchmark, comparison, report_writer):
@@ -141,3 +133,17 @@ def test_wan_active_fraction(
     report_writer("table1_wan_fraction", "\n".join(lines))
     # Paper: migration occurs 2-4% of the time; all policies stay low.
     assert all(f < 0.10 for f in fractions.values())
+
+
+def test_table1_manifest_telemetry(table1_run):
+    """The run manifest records every pipeline stage and artifact."""
+    manifest = table1_run.manifest
+    assert manifest.scenario_name == "table1"
+    assert table1_run.manifest_path is not None
+    assert table1_run.manifest_path.exists()
+    for stage in ("traces", "workload", "forecast", "analyze"):
+        assert manifest.stage(stage).seconds >= 0.0
+    for policy in POLICY_ORDER:
+        assert f"solve:{policy}" in manifest.artifacts
+        assert manifest.stage(f"execute:{policy}").seconds >= 0.0
+    assert set(manifest.summary["policies"]) == set(POLICY_ORDER)

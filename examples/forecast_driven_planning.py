@@ -12,21 +12,21 @@ Run:
 
 from datetime import datetime, timedelta
 
-import numpy as np
-
 from repro import (
-    MIPScheduler,
     NoisyOracleForecaster,
     TimeGrid,
     default_european_catalog,
-    execute_placement,
-    generate_applications,
-    problem_from_forecasts,
     synthesize_catalog_traces,
+)
+from repro.experiments import (
+    ForecasterSpec,
+    PolicySpec,
+    Scenario,
+    WorkloadSpec,
+    run_scenario,
 )
 from repro.forecast import (
     ClimatologyForecaster,
-    HorizonNoise,
     PersistenceForecaster,
     horizon_mape_profile,
 )
@@ -53,27 +53,28 @@ def main() -> None:
         )
         print(f"  {label:>12}: {cells}")
 
-    # What forecast quality buys the scheduler.
+    # What forecast quality buys the scheduler.  Each noise level is
+    # its own Scenario — the scenarios share trace and workload seeds,
+    # so the artifact cache reuses the synthesized traces across the
+    # sweep and only the forecast + solve stages rerun.
     plan_grid = TimeGrid(datetime(2015, 4, 1), timedelta(hours=1), 7 * 24)
-    plan_traces = synthesize_catalog_traces(catalog, plan_grid, seed=33)
-    total_cores = {name: 28000 for name in catalog.names}
-    apps = generate_applications(
-        plan_grid, 100, seed=35, mean_vm_count=40, mean_duration_days=2.5
-    )
-    actual = {
-        name: np.floor(plan_traces[name].values * total_cores[name])
-        for name in plan_traces
-    }
     print("\nRealized MIP migration overhead vs forecast noise:")
     for scale in (0.0, 1.0, 3.0):
-        forecaster = NoisyOracleForecaster(
-            noise=HorizonNoise(scale=0.069 * scale), seed=9
+        scenario = Scenario(
+            name=f"forecast-noise-{scale:g}x",
+            sites=("NO-solar", "UK-wind", "PT-wind"),
+            grid=plan_grid,
+            workload=WorkloadSpec(
+                count=100, mean_vm_count=40, mean_duration_days=2.5
+            ),
+            forecaster=ForecasterSpec(noise_scale=0.069 * scale),
+            policies=(PolicySpec("MIP", "mip", time_limit_s=60.0),),
+            trace_seed=33,
+            workload_seed=35,
+            forecast_seed=9,
         )
-        problem = problem_from_forecasts(
-            plan_grid, plan_traces, total_cores, apps, forecaster
-        )
-        placement = MIPScheduler(time_limit_s=60.0).schedule(problem)
-        execution = execute_placement(problem, placement, actual)
+        result = run_scenario(scenario)
+        execution = result.executions["MIP"]
         print(
             f"  noise {scale:>3.1f}x:"
             f" {execution.total_transfer_gb():>10,.0f} GB"

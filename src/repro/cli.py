@@ -10,42 +10,49 @@ Subcommands::
 
 Every command is deterministic for a given ``--seed`` and prints the
 same style of report the benchmark harness writes.
+
+The pipeline commands (``simulate``, ``schedule``) build a declarative
+:class:`~repro.experiments.Scenario` and execute it through
+:class:`~repro.experiments.Runner`: expensive intermediates (trace
+synthesis, forecast series, MIP solves) are cached content-addressed
+under ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``), so a repeated
+invocation with unchanged parameters reuses them, and each run writes a
+``RunManifest`` JSON (per-stage wall times, cache hits, seeds, artifact
+hashes) under ``<cache-dir>/manifests``.  Use ``--no-cache`` to bypass
+the cache, ``--cache-dir`` / ``--manifest-dir`` to relocate it.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from datetime import datetime
+from datetime import timedelta
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
 
 from .analysis import format_table
-from .cluster import Datacenter, DatacenterConfig
+from .experiments import (
+    ArtifactCache,
+    ComputeSpec,
+    PolicySpec,
+    Runner,
+    Scenario,
+    WorkloadSpec,
+    cached_catalog_traces,
+    default_cache_dir,
+)
+from .experiments.defaults import DEFAULT_START, TRIO_SITES
 from .forecast import NoisyOracleForecaster, horizon_mape_profile
 from .multisite import stable_energy_split
-from .sched import (
-    GreedyScheduler,
-    MIPScheduler,
-    problem_from_forecasts,
-)
-from .sim import PolicyComparison, execute_placement, summarize_transfers
 from .traces import (
     default_european_catalog,
-    synthesize_catalog_traces,
     synthesize_solar,
     synthesize_wind,
     trace_to_csv,
 )
 from .units import TimeGrid, grid_days
-from .workload import (
-    generate_applications,
-    generate_vm_requests,
-    workload_matched_to_power,
-)
-
-DEFAULT_START = datetime(2015, 5, 1)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -55,6 +62,38 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--days", type=float, default=7.0, help="simulation span in days"
     )
+
+
+def _add_cache_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk artifact cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="artifact cache root (default: $REPRO_CACHE_DIR or"
+        " ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--manifest-dir", default=None,
+        help="where to write the run manifest JSON"
+        " (default: <cache-dir>/manifests)",
+    )
+
+
+def _cache_from_args(args: argparse.Namespace) -> ArtifactCache | None:
+    if args.no_cache:
+        return None
+    return ArtifactCache(args.cache_dir)
+
+
+def _manifest_dir_from_args(
+    args: argparse.Namespace, cache: ArtifactCache | None
+) -> Path:
+    if args.manifest_dir is not None:
+        return Path(args.manifest_dir)
+    root = cache.directory if cache is not None else default_cache_dir()
+    return root / "manifests"
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -68,6 +107,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "synthesize", help="generate site traces and write them as CSV"
     )
     _add_common(synthesize)
+    _add_cache_options(synthesize)
     synthesize.add_argument(
         "--sites", nargs="+", required=True,
         help="catalog site names (see 'repro sites')",
@@ -83,6 +123,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="§2.3 aggregation analysis over a site combination",
     )
     _add_common(variability)
+    _add_cache_options(variability)
     variability.add_argument("--sites", nargs="+", required=True)
     variability.add_argument(
         "--window-days", type=float, default=3.0,
@@ -93,6 +134,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "simulate", help="§3 single-site migration simulation"
     )
     _add_common(simulate)
+    _add_cache_options(simulate)
     simulate.add_argument(
         "--kind", choices=("solar", "wind"), default="wind"
     )
@@ -113,6 +155,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "schedule", help="Table-1 policy comparison on the Fig-3 trio"
     )
     _add_common(schedule)
+    _add_cache_options(schedule)
     schedule.add_argument("--apps", type=int, default=150)
     schedule.add_argument(
         "--cores-per-site", type=int, default=28000
@@ -140,9 +183,9 @@ def _cmd_sites(_args: argparse.Namespace) -> int:
 def _cmd_synthesize(args: argparse.Namespace) -> int:
     catalog = default_european_catalog().subset(args.sites)
     grid = grid_days(DEFAULT_START, args.days)
-    traces = synthesize_catalog_traces(catalog, grid, seed=args.seed)
-    from pathlib import Path
-
+    traces = cached_catalog_traces(
+        catalog, grid, args.seed, _cache_from_args(args)
+    )
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
     for name, trace in traces.items():
@@ -155,7 +198,9 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
 def _cmd_variability(args: argparse.Namespace) -> int:
     catalog = default_european_catalog().subset(args.sites)
     grid = grid_days(DEFAULT_START, args.days)
-    traces = synthesize_catalog_traces(catalog, grid, seed=args.seed)
+    traces = cached_catalog_traces(
+        catalog, grid, args.seed, _cache_from_args(args)
+    )
     rows = []
     for name, trace in traces.items():
         report = stable_energy_split(traces, [name], args.window_days)
@@ -181,42 +226,49 @@ def _cmd_variability(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    grid = grid_days(DEFAULT_START, args.days)
-    synthesize = (
-        synthesize_solar if args.kind == "solar" else synthesize_wind
+    site = "BE-solar" if args.kind == "solar" else "BE-wind"
+    scenario = Scenario(
+        name=f"cli-simulate-{args.kind}",
+        sites=(site,),
+        grid=grid_days(DEFAULT_START, args.days),
+        workload=WorkloadSpec(
+            kind="vm_requests", utilization=args.utilization
+        ),
+        seed=args.seed,
     )
-    trace = synthesize(grid, seed=args.seed, name="site")
-    config = DatacenterConfig(admission_utilization=args.utilization)
-    workload = workload_matched_to_power(
-        float(trace.values.mean()),
-        config.cluster.total_cores,
-        utilization=args.utilization,
-    )
-    requests = generate_vm_requests(grid, workload, seed=args.seed + 1)
-    result = Datacenter(config, trace).run(requests)
-    out_gb = result.out_gb_series()
-    in_gb = result.in_gb_series()
+    cache = _cache_from_args(args)
+    result = Runner(
+        scenario,
+        cache=cache,
+        use_cache=cache is not None,
+        manifest_dir=_manifest_dir_from_args(args, cache),
+    ).run()
+    sim = result.simulations[site]
+    out_gb = sim.out_gb_series()
+    in_gb = sim.in_gb_series()
+    arrivals = sum(record.n_arrivals for record in sim.records)
     print(
         format_table(
             ["Metric", "Value"],
             [
-                ["VM arrivals", len(requests)],
+                ["VM arrivals", arrivals],
                 ["out-migration GB", round(out_gb.sum())],
                 ["in-migration GB", round(in_gb.sum())],
                 ["peak step GB", round(max(out_gb.max(), in_gb.max()))],
                 [
                     "silent power changes",
-                    f"{100 * result.power_changes_without_migration_fraction():.0f}%",
+                    f"{100 * sim.power_changes_without_migration_fraction():.0f}%",
                 ],
                 [
                     "WAN busy @200Gbps",
-                    f"{100 * result.migration_active_fraction():.2f}%",
+                    f"{100 * sim.migration_active_fraction():.2f}%",
                 ],
             ],
             title=f"Single-site {args.kind} simulation,"
             f" {args.days:g} days",
         )
     )
+    print(f"manifest: {result.manifest_path}")
     return 0
 
 
@@ -244,39 +296,40 @@ def _cmd_forecast(args: argparse.Namespace) -> int:
 
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
-    from datetime import timedelta
-
-    catalog = default_european_catalog().subset(
-        ["NO-solar", "UK-wind", "PT-wind"]
+    scenario = Scenario(
+        name="cli-schedule",
+        sites=TRIO_SITES,
+        grid=TimeGrid(
+            DEFAULT_START, timedelta(hours=1), int(args.days * 24)
+        ),
+        workload=WorkloadSpec(
+            count=args.apps,
+            mean_vm_count=40,
+            mean_duration_days=max(args.days / 3, 1.0),
+        ),
+        policies=(
+            PolicySpec("Greedy", "greedy"),
+            PolicySpec("MIP", "mip", time_limit_s=60.0),
+            PolicySpec(
+                "MIP-peak", "mip", peak_weight=50.0, time_limit_s=60.0
+            ),
+        ),
+        compute=ComputeSpec(cores_per_site=args.cores_per_site),
+        seed=args.seed,
     )
-    steps = int(args.days * 24)
-    grid = TimeGrid(DEFAULT_START, timedelta(hours=1), steps)
-    traces = synthesize_catalog_traces(catalog, grid, seed=args.seed)
-    total_cores = {name: args.cores_per_site for name in traces}
-    apps = generate_applications(
-        grid, args.apps, seed=args.seed + 1,
-        mean_vm_count=40, mean_duration_days=max(args.days / 3, 1.0),
-    )
-    forecaster = NoisyOracleForecaster(seed=args.seed + 2)
-    problem = problem_from_forecasts(
-        grid, traces, total_cores, apps, forecaster
-    )
-    actual = {
-        name: np.floor(traces[name].values * total_cores[name])
-        for name in traces
-    }
-    summaries = []
-    for label, scheduler in (
-        ("Greedy", GreedyScheduler()),
-        ("MIP", MIPScheduler(time_limit_s=60.0)),
-        ("MIP-peak", MIPScheduler(peak_weight=50.0, time_limit_s=60.0)),
-    ):
-        placement = scheduler.schedule(problem)
-        execution = execute_placement(problem, placement, actual)
-        summaries.append(
-            summarize_transfers(label, execution.total_transfer_series())
-        )
-    print(PolicyComparison(summaries).as_table())
+    cache = _cache_from_args(args)
+    result = Runner(
+        scenario,
+        cache=cache,
+        use_cache=cache is not None,
+        manifest_dir=_manifest_dir_from_args(args, cache),
+    ).run()
+    print(result.comparison.as_table())
+    hits = result.manifest.cache_hits()
+    if hits:
+        hit_count = sum(1 for hit in hits.values() if hit)
+        print(f"\ncache: {hit_count}/{len(hits)} stages reused")
+    print(f"manifest: {result.manifest_path}")
     return 0
 
 

@@ -1,0 +1,381 @@
+"""The staged experiment runner.
+
+:class:`Runner` executes a :class:`~repro.experiments.scenario.Scenario`
+through the canonical pipeline —
+
+``applications`` workloads (the §3.1 co-scheduler study)::
+
+    traces -> workload -> forecast -> solve:<policy> -> execute:<policy>
+           -> analyze
+
+``vm_requests`` workloads (the §3 single-site migration study)::
+
+    traces -> workload:<site> -> simulate:<site> -> analyze
+
+— consulting the artifact cache for the expensive stages (trace
+synthesis, forecast capacities, MIP solves) and recording a
+:class:`~repro.experiments.telemetry.RunManifest` with per-stage wall
+times, cache hits, seeds, and artifact content keys.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from ..cluster import Datacenter, DatacenterConfig, SimulationResult
+from ..errors import ConfigurationError
+from ..sched import Placement, SchedulingProblem, SiteCapacity
+from ..sched.problem import default_bytes_per_core
+from ..sim import (
+    ExecutionResult,
+    PolicyComparison,
+    execute_placement,
+    summarize_transfers,
+)
+from ..traces import PowerTrace
+from ..workload import (
+    generate_applications,
+    generate_vm_requests,
+    workload_matched_to_power,
+)
+from .cache import (
+    ArtifactCache,
+    get_traces,
+    placement_from_jsonable,
+    placement_to_jsonable,
+    put_traces,
+)
+from .scenario import Scenario
+from .telemetry import RunManifest
+
+
+@dataclass
+class RunResult:
+    """Everything a scenario execution produced.
+
+    Attributes:
+        scenario: The scenario that ran.
+        manifest: Per-stage telemetry (timings, cache hits, seeds,
+            artifact keys, summary).
+        manifest_path: Where the manifest JSON was written, if anywhere.
+        traces: Per-site synthesized (or cache-loaded) traces.
+        problem: The scheduling problem (``applications`` mode).
+        placements: Policy name → placement (``applications`` mode).
+        executions: Policy name → realized execution.
+        comparison: Table-1-style policy comparison.
+        simulations: Site name → single-site simulation
+            (``vm_requests`` mode).
+    """
+
+    scenario: Scenario
+    manifest: RunManifest
+    manifest_path: Path | None = None
+    traces: dict[str, PowerTrace] = field(default_factory=dict)
+    problem: SchedulingProblem | None = None
+    placements: dict[str, Placement] = field(default_factory=dict)
+    executions: dict[str, ExecutionResult] = field(default_factory=dict)
+    comparison: PolicyComparison | None = None
+    simulations: dict[str, SimulationResult] = field(default_factory=dict)
+
+
+def _slug(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", name).strip("-") or "scenario"
+
+
+class Runner:
+    """Execute a scenario's pipeline with caching and telemetry.
+
+    Args:
+        scenario: What to run.
+        cache: Artifact cache to consult; built at the default location
+            when omitted (and ``use_cache`` is on).
+        use_cache: ``False`` disables artifact caching entirely — the
+            ``--no-cache`` escape hatch.
+        manifest_dir: Directory to write the run manifest JSON into;
+            ``None`` keeps the manifest in memory only (it is always
+            available on the returned :class:`RunResult`).
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        cache: ArtifactCache | None = None,
+        use_cache: bool = True,
+        manifest_dir: str | Path | None = None,
+    ):
+        self.scenario = scenario
+        self.cache = (cache or ArtifactCache()) if use_cache else None
+        self.manifest_dir = (
+            Path(manifest_dir) if manifest_dir is not None else None
+        )
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Execute the pipeline and return its artifacts + manifest."""
+        scenario = self.scenario
+        manifest = RunManifest(
+            scenario_name=scenario.name,
+            scenario_hash=scenario.content_hash(),
+            scenario=scenario.to_dict(),
+            seeds=scenario.seeds_dict(),
+            cache_dir=(
+                str(self.cache.directory) if self.cache is not None else None
+            ),
+        )
+        result = RunResult(scenario=scenario, manifest=manifest)
+
+        result.traces = self._stage_traces(manifest)
+        if scenario.workload.kind == "applications":
+            self._run_applications(manifest, result)
+        else:
+            self._run_vm_requests(manifest, result)
+
+        if self.manifest_dir is not None:
+            name = _slug(scenario.name)
+            path = self.manifest_dir / (
+                f"manifest_{name}_{manifest.scenario_hash[:12]}.json"
+            )
+            result.manifest_path = manifest.write(path)
+        return result
+
+    # ------------------------------------------------------------------
+    # Shared stages
+    # ------------------------------------------------------------------
+
+    def _stage_traces(
+        self, manifest: RunManifest
+    ) -> dict[str, PowerTrace]:
+        scenario = self.scenario
+        key = scenario.trace_key()
+        with manifest.record("traces") as stage:
+            stage.artifact = key
+            traces = None
+            if self.cache is not None:
+                traces = get_traces(self.cache, key)
+                stage.cache_hit = traces is not None
+            if traces is None:
+                from ..traces import synthesize_catalog_traces
+
+                traces = synthesize_catalog_traces(
+                    scenario.catalog(),
+                    scenario.grid,
+                    seed=scenario.effective_trace_seed,
+                )
+                if self.cache is not None:
+                    put_traces(self.cache, key, traces)
+        manifest.artifacts["traces"] = key
+        return traces
+
+    # ------------------------------------------------------------------
+    # applications mode: the co-scheduler pipeline
+    # ------------------------------------------------------------------
+
+    def _run_applications(
+        self, manifest: RunManifest, result: RunResult
+    ) -> None:
+        scenario = self.scenario
+        if not scenario.policies:
+            raise ConfigurationError(
+                f"scenario {scenario.name!r} has an applications workload"
+                " but no policies to evaluate"
+            )
+        spec = scenario.workload
+        grid = scenario.grid
+        traces = result.traces
+        cores = scenario.compute.cores_per_site
+
+        with manifest.record("workload"):
+            apps = generate_applications(
+                grid,
+                spec.count,
+                seed=scenario.effective_workload_seed,
+                mean_vm_count=spec.mean_vm_count,
+                mean_duration_days=spec.mean_duration_days,
+                stable_fraction=spec.stable_fraction,
+                arrival_window_fraction=spec.arrival_window_fraction,
+            )
+
+        forecaster = scenario.forecaster.build(
+            scenario.effective_forecast_seed
+        )
+        capacity = self._stage_forecast(manifest, traces, forecaster)
+        problem = self._build_problem(apps, capacity)
+        result.problem = problem
+
+        actual = {
+            name: np.floor(traces[name].values * cores)
+            for name in scenario.sites
+        }
+
+        def day_ahead_provider(site_name, issue_step, horizon):
+            forecast = forecaster.forecast(
+                traces[site_name], issue_step, horizon
+            )
+            return np.floor(forecast.values * cores)
+
+        for policy in scenario.policies:
+            solve_key = scenario.solve_key(policy)
+            with manifest.record(f"solve:{policy.name}") as stage:
+                stage.artifact = solve_key
+                placement = None
+                if self.cache is not None:
+                    data = self.cache.get_json(solve_key)
+                    stage.cache_hit = data is not None
+                    if data is not None:
+                        placement = placement_from_jsonable(data)
+                if placement is None:
+                    scheduler = policy.build(
+                        capacity_provider=day_ahead_provider
+                    )
+                    placement = scheduler.schedule(problem)
+                    if self.cache is not None:
+                        self.cache.put_json(
+                            solve_key, placement_to_jsonable(placement)
+                        )
+            manifest.artifacts[f"solve:{policy.name}"] = solve_key
+            result.placements[policy.name] = placement
+
+            with manifest.record(f"execute:{policy.name}"):
+                result.executions[policy.name] = execute_placement(
+                    problem, placement, actual
+                )
+
+        with manifest.record("analyze"):
+            summaries = [
+                summarize_transfers(
+                    policy.name,
+                    result.executions[
+                        policy.name
+                    ].total_transfer_series(),
+                )
+                for policy in scenario.policies
+            ]
+            result.comparison = PolicyComparison(summaries)
+            manifest.summary = {
+                "policies": result.comparison.summary_dict(),
+                "executions": {
+                    name: execution.summary_dict()
+                    for name, execution in result.executions.items()
+                },
+            }
+
+    def _stage_forecast(
+        self,
+        manifest: RunManifest,
+        traces: Mapping[str, PowerTrace],
+        forecaster,
+    ) -> dict[str, np.ndarray]:
+        scenario = self.scenario
+        cores = scenario.compute.cores_per_site
+        key = scenario.forecast_key()
+        with manifest.record("forecast") as stage:
+            stage.artifact = key
+            capacity = None
+            if self.cache is not None:
+                capacity = self.cache.get_arrays(key)
+                stage.cache_hit = capacity is not None
+            if capacity is None:
+                capacity = {
+                    name: np.floor(
+                        forecaster.forecast(
+                            traces[name], 0, scenario.grid.n
+                        ).values
+                        * cores
+                    )
+                    for name in scenario.sites
+                }
+                if self.cache is not None:
+                    self.cache.put_arrays(key, capacity)
+        manifest.artifacts["forecast"] = key
+        return dict(capacity)
+
+    def _build_problem(
+        self, apps, capacity: Mapping[str, np.ndarray]
+    ) -> SchedulingProblem:
+        scenario = self.scenario
+        compute = scenario.compute
+        bytes_per_core = compute.bytes_per_core
+        if bytes_per_core is None:
+            bytes_per_core = default_bytes_per_core(apps)
+        sites = tuple(
+            SiteCapacity(name, compute.cores_per_site, capacity[name])
+            for name in scenario.sites
+        )
+        return SchedulingProblem(
+            scenario.grid,
+            sites,
+            tuple(apps),
+            bytes_per_core,
+            compute.utilization_cap,
+        )
+
+    # ------------------------------------------------------------------
+    # vm_requests mode: the single-site Datacenter pipeline
+    # ------------------------------------------------------------------
+
+    def _run_vm_requests(
+        self, manifest: RunManifest, result: RunResult
+    ) -> None:
+        scenario = self.scenario
+        spec = scenario.workload
+        config = DatacenterConfig(admission_utilization=spec.utilization)
+        for index, name in enumerate(scenario.sites):
+            trace = result.traces[name]
+            with manifest.record(f"workload:{name}"):
+                workload = workload_matched_to_power(
+                    float(trace.values.mean()),
+                    config.cluster.total_cores,
+                    utilization=spec.utilization,
+                )
+                requests = generate_vm_requests(
+                    scenario.grid,
+                    workload,
+                    seed=scenario.effective_workload_seed + index,
+                )
+            with manifest.record(f"simulate:{name}"):
+                result.simulations[name] = Datacenter(config, trace).run(
+                    requests
+                )
+
+        with manifest.record("analyze"):
+            manifest.summary = {
+                "sites": {
+                    name: _simulation_summary(sim)
+                    for name, sim in result.simulations.items()
+                }
+            }
+
+
+def _simulation_summary(sim: SimulationResult) -> dict[str, float]:
+    out_gb = sim.out_gb_series()
+    in_gb = sim.in_gb_series()
+    return {
+        "out_gb": float(out_gb.sum()),
+        "in_gb": float(in_gb.sum()),
+        "peak_step_gb": float(max(out_gb.max(), in_gb.max())),
+        "silent_power_change_fraction": (
+            sim.power_changes_without_migration_fraction()
+        ),
+        "wan_busy_fraction": sim.migration_active_fraction(),
+    }
+
+
+def run_scenario(
+    scenario: Scenario,
+    cache: ArtifactCache | None = None,
+    use_cache: bool = True,
+    manifest_dir: str | Path | None = None,
+) -> RunResult:
+    """One-call convenience wrapper around :class:`Runner`."""
+    return Runner(
+        scenario,
+        cache=cache,
+        use_cache=use_cache,
+        manifest_dir=manifest_dir,
+    ).run()

@@ -1,0 +1,184 @@
+"""Per-stage run telemetry: the :class:`RunManifest`.
+
+Every :class:`~repro.experiments.runner.Runner` execution emits a
+structured manifest — per-stage wall time, cache hit/miss, the RNG
+seeds in effect, the content keys of the artifacts it touched, and a
+summary of the results — written as JSON next to the text reports.
+Repeatability questions ("did the second bench run actually hit the
+cache?", "which seed produced this table?") are answered by reading the
+manifest instead of re-running the experiment.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from datetime import datetime
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+
+@dataclass
+class StageRecord:
+    """Telemetry for one pipeline stage.
+
+    Attributes:
+        name: Stage label, e.g. ``"traces"`` or ``"solve:MIP-peak"``.
+        seconds: Wall-clock duration.
+        cache_hit: ``True``/``False`` when the stage consulted the
+            artifact cache; ``None`` for uncached stages.
+        artifact: Content key of the artifact the stage produced or
+            loaded, when it has one.
+    """
+
+    name: str
+    seconds: float = 0.0
+    cache_hit: bool | None = None
+    artifact: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON-types rendition."""
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "cache_hit": self.cache_hit,
+            "artifact": self.artifact,
+        }
+
+
+@dataclass
+class RunManifest:
+    """Structured record of one scenario execution.
+
+    Attributes:
+        scenario_name: The scenario's human label.
+        scenario_hash: :meth:`Scenario.content_hash` of the scenario.
+        scenario: The scenario's full serialized form.
+        seeds: Effective per-stage RNG seeds.
+        stages: Per-stage telemetry, in execution order.
+        artifacts: Artifact label → content key.
+        summary: Result summary statistics (policy tables, per-site
+            availability, ...).
+        cache_dir: Cache root used, or ``None`` when caching was off.
+        created: ISO timestamp of when the run started.
+    """
+
+    scenario_name: str
+    scenario_hash: str
+    scenario: dict[str, Any]
+    seeds: dict[str, int]
+    stages: list[StageRecord] = field(default_factory=list)
+    artifacts: dict[str, str] = field(default_factory=dict)
+    summary: dict[str, Any] = field(default_factory=dict)
+    cache_dir: str | None = None
+    created: str = field(
+        default_factory=lambda: datetime.now().isoformat(timespec="seconds")
+    )
+
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def record(self, name: str) -> Iterator[StageRecord]:
+        """Time a stage and append its record.
+
+        Usage::
+
+            with manifest.record("traces") as stage:
+                ...
+                stage.cache_hit = True
+        """
+        stage = StageRecord(name)
+        start = time.perf_counter()
+        try:
+            yield stage
+        finally:
+            stage.seconds = time.perf_counter() - start
+            self.stages.append(stage)
+
+    def stage(self, name: str) -> StageRecord:
+        """The named stage record.
+
+        Raises:
+            KeyError: when no stage of that name was recorded.
+        """
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(
+            f"no stage named {name!r};"
+            f" recorded: {[s.name for s in self.stages]}"
+        )
+
+    def cache_hits(self) -> dict[str, bool]:
+        """Hit/miss per cache-aware stage."""
+        return {
+            stage.name: stage.cache_hit
+            for stage in self.stages
+            if stage.cache_hit is not None
+        }
+
+    def all_cache_hits(self) -> bool:
+        """True when every cache-aware stage hit (a fully warm run)."""
+        hits = self.cache_hits()
+        return bool(hits) and all(hits.values())
+
+    def total_seconds(self) -> float:
+        """Sum of all stage durations."""
+        return sum(stage.seconds for stage in self.stages)
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON-types rendition of the whole manifest."""
+        return {
+            "scenario_name": self.scenario_name,
+            "scenario_hash": self.scenario_hash,
+            "created": self.created,
+            "cache_dir": self.cache_dir,
+            "seeds": dict(self.seeds),
+            "stages": [stage.to_dict() for stage in self.stages],
+            "artifacts": dict(self.artifacts),
+            "summary": self.summary,
+            "scenario": self.scenario,
+        }
+
+    def to_json(self) -> str:
+        """Indented JSON text of the manifest."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=False)
+
+    def write(self, path: str | Path) -> Path:
+        """Write the manifest JSON to ``path`` (parents created)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunManifest":
+        """Rebuild a manifest from its :meth:`to_dict` form."""
+        return cls(
+            scenario_name=data["scenario_name"],
+            scenario_hash=data["scenario_hash"],
+            scenario=dict(data["scenario"]),
+            seeds=dict(data["seeds"]),
+            stages=[
+                StageRecord(
+                    name=s["name"],
+                    seconds=s["seconds"],
+                    cache_hit=s["cache_hit"],
+                    artifact=s.get("artifact"),
+                )
+                for s in data["stages"]
+            ],
+            artifacts=dict(data["artifacts"]),
+            summary=dict(data["summary"]),
+            cache_dir=data.get("cache_dir"),
+            created=data.get("created", ""),
+        )
+
+    @classmethod
+    def read(cls, path: str | Path) -> "RunManifest":
+        """Load a manifest previously written by :meth:`write`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))

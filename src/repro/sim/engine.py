@@ -82,12 +82,19 @@ class ExecutionResult:
 
     sites: tuple[SiteExecution, ...]
 
+    def __post_init__(self) -> None:
+        # Name lookup happens per-site per-metric in analysis loops;
+        # index once so site() is O(1) instead of a linear scan.
+        object.__setattr__(
+            self, "_by_name", {site.name: site for site in self.sites}
+        )
+
     def site(self, name: str) -> SiteExecution:
         """Execution record of one named site."""
-        for site in self.sites:
-            if site.name == name:
-                return site
-        raise KeyError(f"no site named {name!r}")
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no site named {name!r}") from None
 
     def total_transfer_series(self) -> np.ndarray:
         """Per-step migration bytes summed over sites and directions."""
@@ -99,6 +106,23 @@ class ExecutionResult:
     def total_transfer_gb(self) -> float:
         """Total realized migration traffic in GB (Table 1's unit)."""
         return float(self.total_transfer_series().sum()) / 1e9
+
+    def summary_dict(self) -> dict:
+        """JSON-ready summary (used by the run manifest)."""
+        return {
+            "total_transfer_gb": self.total_transfer_gb(),
+            "sites": {
+                site.name: {
+                    "stable_availability": site.stable_availability(),
+                    "degradable_availability": (
+                        site.degradable_availability()
+                    ),
+                    "out_gb": float(site.out_bytes.sum()) / 1e9,
+                    "in_gb": float(site.in_bytes.sum()) / 1e9,
+                }
+                for site in self.sites
+            },
+        }
 
 
 def execute_placement(

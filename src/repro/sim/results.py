@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
@@ -92,6 +92,10 @@ class PolicyComparison:
         if improved <= 0:
             return float("inf")
         return self.by_policy(baseline).std_gb / improved
+
+    def summary_dict(self) -> dict[str, dict]:
+        """Policy name → summary fields (used by the run manifest)."""
+        return {s.policy: asdict(s) for s in self.summaries}
 
     def as_table(self) -> str:
         """Fixed-width text rendition of Table 1."""

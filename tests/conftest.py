@@ -10,6 +10,16 @@ import pytest
 from repro.units import TimeGrid, grid_days
 
 
+@pytest.fixture(autouse=True)
+def _isolated_artifact_cache(tmp_path, monkeypatch):
+    """Point the experiments artifact cache at a per-test directory.
+
+    Keeps test runs from reading or polluting the user's real
+    ``~/.cache/repro`` (and from seeing each other's artifacts).
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic random generator for reproducible tests."""

@@ -181,3 +181,39 @@ class TestSummaries:
         table = comparison.as_table()
         assert "Greedy" in table and "MIP" in table
         assert "Total" in table
+
+    def test_comparison_summary_dict(self):
+        comparison = PolicyComparison(
+            [
+                summarize_transfers("Greedy", np.array([0.0, 10e9])),
+                summarize_transfers("MIP", np.array([0.0, 5e9])),
+            ]
+        )
+        summary = comparison.summary_dict()
+        assert set(summary) == {"Greedy", "MIP"}
+        assert summary["Greedy"]["total_gb"] == pytest.approx(10.0)
+        assert summary["MIP"]["zero_fraction"] == pytest.approx(0.5)
+
+    def test_execution_summary_dict(self):
+        capacity = np.array([100, 100, 0, 0, 100, 100], dtype=float)
+        problem = one_site_problem(np.full(6, 100.0), [make_app()], bpc=1.0)
+        result = execute_placement(
+            problem, Placement({0: {"a": 10}}), {"a": capacity}
+        )
+        summary = result.summary_dict()
+        assert summary["total_transfer_gb"] == pytest.approx(
+            result.total_transfer_gb()
+        )
+        site = summary["sites"]["a"]
+        assert site["stable_availability"] == pytest.approx(
+            result.site("a").stable_availability()
+        )
+        assert site["out_gb"] >= 0.0 and site["in_gb"] >= 0.0
+
+    def test_site_lookup_is_indexed(self):
+        problem = one_site_problem(np.full(4, 100.0), [make_app(duration=4)])
+        result = execute_placement(
+            problem, Placement({0: {"a": 10}}), {"a": np.full(4, 100.0)}
+        )
+        # The post-init index backs site(); same object, not a copy.
+        assert result.site("a") is result.sites[0]
