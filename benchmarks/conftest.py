@@ -31,6 +31,7 @@ from repro.experiments import (
     Scenario,
     WorkloadSpec,
     cached_catalog_traces,
+    resolve_jobs,
 )
 from repro.experiments.defaults import (
     BENCH_SEED,
@@ -147,9 +148,18 @@ def table1_scenario(hourly_week_grid) -> Scenario:
 
 @pytest.fixture(scope="session")
 def table1_run(table1_scenario, artifact_cache, results_dir):
-    """Execute the Table-1 scenario (cached) with its run manifest."""
+    """Execute the Table-1 scenario (cached) with its run manifest.
+
+    The four policies solve concurrently on a thread fan-out
+    (``REPRO_JOBS`` overrides the worker count); results are identical
+    to a serial run because each policy task builds its own forecaster
+    from the scenario's forecast seed.
+    """
     return Runner(
-        table1_scenario, cache=artifact_cache, manifest_dir=results_dir
+        table1_scenario,
+        cache=artifact_cache,
+        manifest_dir=results_dir,
+        jobs=resolve_jobs(None, fallback=4),
     ).run()
 
 

@@ -6,10 +6,17 @@ Subcommands::
     python -m repro variability --sites NO-solar UK-wind PT-wind --days 30
     python -m repro simulate --kind wind --days 14
     python -m repro forecast --kind wind --days 60
-    python -m repro schedule --days 7 --apps 150
+    python -m repro schedule --days 7 --apps 150 --jobs 3
+    python -m repro sweep --mode simulate --sites BE-wind BE-solar \
+        --days 7 14 --seeds 0 1 2 --jobs 4
 
 Every command is deterministic for a given ``--seed`` and prints the
-same style of report the benchmark harness writes.
+same style of report the benchmark harness writes.  ``simulate`` /
+``schedule`` accept ``--jobs`` to fan their per-site / per-policy
+stages across threads; ``sweep`` expands a parameter grid into
+scenarios and fans them across processes (``--jobs``, ``--backend``,
+``$REPRO_JOBS``), printing a fleet summary with per-task timings and
+the measured speedup.
 
 The pipeline commands (``simulate``, ``schedule``) build a declarative
 :class:`~repro.experiments.Scenario` and execute it through
@@ -25,6 +32,7 @@ the cache, ``--cache-dir`` / ``--manifest-dir`` to relocate it.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import sys
 from datetime import timedelta
 from pathlib import Path
@@ -42,6 +50,8 @@ from .experiments import (
     WorkloadSpec,
     cached_catalog_traces,
     default_cache_dir,
+    resolve_jobs,
+    run_scenarios,
 )
 from .experiments.defaults import DEFAULT_START, TRIO_SITES
 from .forecast import NoisyOracleForecaster, horizon_mape_profile
@@ -81,6 +91,18 @@ def _add_cache_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_jobs_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker count for parallel stages (default: $REPRO_JOBS,"
+        " else serial)",
+    )
+
+
+def _jobs_from_args(args: argparse.Namespace, fallback: int = 1) -> int:
+    return resolve_jobs(args.jobs, fallback=fallback)
+
+
 def _cache_from_args(args: argparse.Namespace) -> ArtifactCache | None:
     if args.no_cache:
         return None
@@ -108,6 +130,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_common(synthesize)
     _add_cache_options(synthesize)
+    _add_jobs_option(synthesize)
     synthesize.add_argument(
         "--sites", nargs="+", required=True,
         help="catalog site names (see 'repro sites')",
@@ -135,6 +158,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_common(simulate)
     _add_cache_options(simulate)
+    _add_jobs_option(simulate)
     simulate.add_argument(
         "--kind", choices=("solar", "wind"), default="wind"
     )
@@ -156,10 +180,51 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_common(schedule)
     _add_cache_options(schedule)
+    _add_jobs_option(schedule)
     schedule.add_argument("--apps", type=int, default=150)
     schedule.add_argument(
         "--cores-per-site", type=int, default=28000
     )
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="expand a parameter grid into scenarios and run them"
+        " in parallel",
+    )
+    sweep.add_argument(
+        "--mode", choices=("simulate", "schedule"), default="simulate",
+        help="which pipeline each scenario runs",
+    )
+    sweep.add_argument(
+        "--sites", nargs="+", default=None,
+        help="simulate: one scenario per site (default BE-wind);"
+        " schedule: the site group shared by every scenario"
+        " (default the Fig-3 trio)",
+    )
+    sweep.add_argument(
+        "--days", type=float, nargs="+", default=[7.0],
+        help="grid axis: simulation spans in days",
+    )
+    sweep.add_argument(
+        "--seeds", type=int, nargs="+", default=[0],
+        help="grid axis: master seeds",
+    )
+    sweep.add_argument(
+        "--utilization", type=float, nargs="+", default=[0.70],
+        help="grid axis (simulate mode): admission utilization",
+    )
+    sweep.add_argument(
+        "--apps", type=int, nargs="+", default=[150],
+        help="grid axis (schedule mode): application counts",
+    )
+    sweep.add_argument(
+        "--backend",
+        choices=("auto", "serial", "thread", "process"),
+        default="auto",
+        help="executor backend (auto: process when jobs > 1)",
+    )
+    _add_cache_options(sweep)
+    _add_jobs_option(sweep)
 
     return parser
 
@@ -188,10 +253,25 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
     )
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
-    for name, trace in traces.items():
+
+    def write(item):
+        name, trace = item
         path = out / f"{name}.csv"
         trace_to_csv(trace, path)
-        print(f"wrote {path} ({len(trace)} samples)")
+        return f"wrote {path} ({len(trace)} samples)"
+
+    jobs = _jobs_from_args(args)
+    if jobs > 1 and len(traces) > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(
+            max_workers=min(jobs, len(traces))
+        ) as pool:
+            lines = list(pool.map(write, traces.items()))
+    else:
+        lines = [write(item) for item in traces.items()]
+    for line in lines:
+        print(line)
     return 0
 
 
@@ -242,6 +322,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         cache=cache,
         use_cache=cache is not None,
         manifest_dir=_manifest_dir_from_args(args, cache),
+        jobs=_jobs_from_args(args),
     ).run()
     sim = result.simulations[site]
     out_gb = sim.out_gb_series()
@@ -323,6 +404,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         cache=cache,
         use_cache=cache is not None,
         manifest_dir=_manifest_dir_from_args(args, cache),
+        jobs=_jobs_from_args(args),
     ).run()
     print(result.comparison.as_table())
     hits = result.manifest.cache_hits()
@@ -333,6 +415,98 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_scenarios(args: argparse.Namespace) -> list[Scenario]:
+    """Expand the sweep's parameter grid into scenarios."""
+    scenarios: list[Scenario] = []
+    if args.mode == "simulate":
+        sites = args.sites or ["BE-wind"]
+        for site in sites:
+            for days in args.days:
+                for seed in args.seeds:
+                    for utilization in args.utilization:
+                        scenarios.append(
+                            Scenario(
+                                name=f"sweep-simulate-{site}"
+                                f"-d{days:g}-s{seed}-u{utilization:g}",
+                                sites=(site,),
+                                grid=grid_days(DEFAULT_START, days),
+                                workload=WorkloadSpec(
+                                    kind="vm_requests",
+                                    utilization=utilization,
+                                ),
+                                seed=seed,
+                            )
+                        )
+        return scenarios
+    sites = tuple(args.sites) if args.sites else TRIO_SITES
+    for days in args.days:
+        for seed in args.seeds:
+            for apps in args.apps:
+                scenarios.append(
+                    Scenario(
+                        name=f"sweep-schedule-d{days:g}-s{seed}-a{apps}",
+                        sites=sites,
+                        grid=TimeGrid(
+                            DEFAULT_START, timedelta(hours=1),
+                            int(days * 24),
+                        ),
+                        workload=WorkloadSpec(
+                            count=apps,
+                            mean_vm_count=40,
+                            mean_duration_days=max(days / 3, 1.0),
+                        ),
+                        policies=(
+                            PolicySpec("Greedy", "greedy"),
+                            PolicySpec("MIP", "mip", time_limit_s=60.0),
+                            PolicySpec(
+                                "MIP-peak", "mip", peak_weight=50.0,
+                                time_limit_s=60.0,
+                            ),
+                        ),
+                        seed=seed,
+                    )
+                )
+    return scenarios
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    scenarios = _sweep_scenarios(args)
+    cache = _cache_from_args(args)
+    manifest_dir = _manifest_dir_from_args(args, cache)
+    fleet_tag = hashlib.sha256(
+        "".join(s.content_hash() for s in scenarios).encode()
+    ).hexdigest()[:12]
+    batch = run_scenarios(
+        scenarios,
+        jobs=_jobs_from_args(args, fallback=None),
+        backend=args.backend,
+        cache=cache,
+        use_cache=cache is not None,
+        manifest_dir=manifest_dir,
+        fleet_manifest_path=manifest_dir / f"fleet_{fleet_tag}.json",
+    )
+    fleet = batch.fleet
+    rows = [
+        [task.scenario_name, f"{task.seconds:.2f}", task.worker or "-"]
+        for task in fleet.tasks
+    ]
+    print(
+        format_table(
+            ["Scenario", "Seconds", "Worker"], rows,
+            title=f"Sweep: {len(scenarios)} scenarios,"
+            f" backend={fleet.backend}, jobs={fleet.jobs}",
+        )
+    )
+    print(
+        f"\nwall {fleet.wall_seconds:.2f}s,"
+        f" serial-equivalent {fleet.task_seconds():.2f}s,"
+        f" speedup {fleet.speedup():.2f}x,"
+        f" cache {fleet.cache_hits}/{fleet.cache_lookups} stages reused"
+    )
+    print(f"fleet manifest: {batch.fleet_path}")
+    return 0
+
+
 _COMMANDS = {
     "sites": _cmd_sites,
     "synthesize": _cmd_synthesize,
@@ -340,6 +514,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "forecast": _cmd_forecast,
     "schedule": _cmd_schedule,
+    "sweep": _cmd_sweep,
 }
 
 

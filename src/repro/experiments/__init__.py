@@ -13,7 +13,11 @@ trace→forecast→schedule→execute→analyze pipeline:
   runs with an unchanged scenario load from disk;
 - each run emits a :class:`RunManifest` (per-stage wall time, cache
   hit/miss, seeds, artifact hashes, result summary) written as JSON
-  next to the text reports.
+  next to the text reports;
+- batches of scenarios fan out across workers via
+  :func:`run_scenarios` (serial/thread/process backends, ``--jobs`` /
+  ``$REPRO_JOBS``), sharing the artifact cache and emitting a
+  :class:`FleetManifest` with per-task timings and measured speedup.
 
 Quickstart::
 
@@ -50,6 +54,14 @@ from .defaults import (
     TRIO_SITES,
     YEAR_START,
 )
+from .parallel import (
+    BatchResult,
+    ScenarioExecutor,
+    auto_jobs,
+    resolve_backend,
+    resolve_jobs,
+    run_scenarios,
+)
 from .runner import Runner, RunResult, run_scenario
 from .scenario import (
     ComputeSpec,
@@ -58,7 +70,7 @@ from .scenario import (
     Scenario,
     WorkloadSpec,
 )
-from .telemetry import RunManifest, StageRecord
+from .telemetry import FleetManifest, RunManifest, StageRecord, TaskRecord
 
 __all__ = [
     "ArtifactCache",
@@ -77,11 +89,19 @@ __all__ = [
     "Runner",
     "RunResult",
     "run_scenario",
+    "BatchResult",
+    "ScenarioExecutor",
+    "auto_jobs",
+    "resolve_backend",
+    "resolve_jobs",
+    "run_scenarios",
     "ComputeSpec",
     "ForecasterSpec",
     "PolicySpec",
     "Scenario",
     "WorkloadSpec",
+    "FleetManifest",
     "RunManifest",
     "StageRecord",
+    "TaskRecord",
 ]

@@ -39,4 +39,6 @@ DEFAULT_UTILIZATION = 0.70
 
 #: Bumped whenever the meaning of cached artifacts changes; part of
 #: every cache key so stale artifacts from older code never resurface.
-CACHE_CODE_VERSION = "repro-0.1.0/experiments-1"
+#: experiments-2: vectorized OU wind kernel (float-reassociation-level
+#: trace changes) and per-policy forecaster instances in the runner.
+CACHE_CODE_VERSION = "repro-0.1.0/experiments-2"

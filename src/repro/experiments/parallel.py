@@ -1,0 +1,281 @@
+"""Parallel scenario execution: fan a batch of scenarios across workers.
+
+Sweep-style studies — a seed ensemble, a parameter grid, one scenario
+per catalog site — are embarrassingly parallel: every
+:class:`~repro.experiments.scenario.Scenario` is a self-contained,
+seeded description of one run.  :func:`run_scenarios` executes a list
+of them on a pluggable executor backend:
+
+- ``serial``  — in-process loop (the reference semantics);
+- ``thread``  — :class:`~concurrent.futures.ThreadPoolExecutor`; right
+  when tasks release the GIL (MIP solves in native HiGHS code) or are
+  I/O-bound (warm-cache replays);
+- ``process`` — :class:`~concurrent.futures.ProcessPoolExecutor`; right
+  for the pure-Python simulation pipelines, and the ``auto`` choice
+  whenever more than one worker is requested.
+
+All backends produce *identical* per-scenario
+:class:`~repro.experiments.telemetry.RunManifest` result summaries:
+each task derives every RNG stream from its scenario's seeds and shares
+only the content-addressed :class:`~repro.experiments.cache.ArtifactCache`,
+whose writes are atomic (temp file + ``os.replace``), so concurrent
+workers computing the same key race benignly — last writer wins with
+bit-identical content.
+
+The worker count resolves explicit argument > ``$REPRO_JOBS`` >
+``os.cpu_count()``.  Every batch returns the per-scenario manifests
+plus a :class:`~repro.experiments.telemetry.FleetManifest` (wall time,
+per-task timings with worker attribution, aggregate cache hit rate,
+measured speedup over serial-equivalent time).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..errors import ConfigurationError
+from .cache import ArtifactCache
+from .scenario import Scenario
+from .telemetry import FleetManifest, RunManifest, TaskRecord
+
+#: Environment variable overriding the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+#: The recognized executor backends (plus ``"auto"``).
+BACKENDS = ("serial", "thread", "process")
+
+
+def auto_jobs() -> int:
+    """Default worker count: every available CPU."""
+    return max(1, os.cpu_count() or 1)
+
+
+def resolve_jobs(jobs: int | None = None, fallback: int | None = None) -> int:
+    """Resolve a worker count: explicit > ``$REPRO_JOBS`` > fallback.
+
+    Args:
+        jobs: Explicit request; wins when not ``None``.
+        fallback: Used when neither ``jobs`` nor the environment decide;
+            ``None`` means :func:`auto_jobs`.
+
+    Raises:
+        ConfigurationError: on a non-integer ``$REPRO_JOBS``.
+    """
+    if jobs is not None:
+        return max(1, int(jobs))
+    env = os.environ.get(JOBS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"${JOBS_ENV} must be an integer, got {env!r}"
+            ) from exc
+    if fallback is not None:
+        return max(1, int(fallback))
+    return auto_jobs()
+
+
+def resolve_backend(backend: str = "auto", jobs: int = 1) -> str:
+    """Pick the concrete executor backend.
+
+    ``"auto"`` selects ``serial`` for one worker and ``process``
+    otherwise (the pipelines are CPU-bound pure Python, so processes
+    are the only backend that scales them).
+
+    Raises:
+        ConfigurationError: on an unknown backend name.
+    """
+    if backend == "auto":
+        return "serial" if jobs <= 1 else "process"
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown executor backend {backend!r};"
+            f" expected one of {('auto',) + BACKENDS}"
+        )
+    return backend
+
+
+def _run_scenario_task(
+    scenario_json: str,
+    cache_dir: str | None,
+    manifest_dir: str | None,
+) -> tuple[dict, float, str]:
+    """Execute one scenario inside a worker.
+
+    Module-level (hence picklable for the process backend).  Returns
+    the run manifest as a plain dict — the full
+    :class:`~repro.experiments.runner.RunResult` holds traces and
+    cluster state that are expensive to ship between processes — plus
+    the task's wall time and the worker's label.
+    """
+    import threading
+
+    from .runner import Runner
+
+    start = time.perf_counter()
+    scenario = Scenario.from_json(scenario_json)
+    cache = ArtifactCache(cache_dir) if cache_dir is not None else None
+    runner = Runner(
+        scenario,
+        cache=cache,
+        use_cache=cache is not None,
+        manifest_dir=manifest_dir,
+    )
+    manifest = runner.run().manifest
+    thread = threading.current_thread()
+    if thread is threading.main_thread():
+        worker = f"pid:{os.getpid()}"
+    else:
+        worker = f"thread:{thread.name}"
+    for stage in manifest.stages:
+        if stage.worker is None:
+            stage.worker = worker
+    return manifest.to_dict(), time.perf_counter() - start, worker
+
+
+@dataclass
+class BatchResult:
+    """Everything a :func:`run_scenarios` batch produced.
+
+    Attributes:
+        scenarios: The scenarios, in submission order.
+        manifests: One :class:`RunManifest` per scenario, same order.
+        fleet: Batch-level telemetry (wall time, per-task timings,
+            cache hit rate, measured speedup).
+        fleet_path: Where the fleet manifest JSON was written, if
+            anywhere.
+    """
+
+    scenarios: list[Scenario]
+    manifests: list[RunManifest]
+    fleet: FleetManifest
+    fleet_path: Path | None = None
+
+    def summaries(self) -> list[dict]:
+        """Per-scenario result summaries, in submission order."""
+        return [manifest.summary for manifest in self.manifests]
+
+
+@dataclass
+class ScenarioExecutor:
+    """Executor abstraction over the serial/thread/process backends.
+
+    Args:
+        backend: ``"auto"``, ``"serial"``, ``"thread"``, or
+            ``"process"``.
+        jobs: Worker count; resolved via :func:`resolve_jobs` when
+            ``None``.
+    """
+
+    backend: str = "auto"
+    jobs: int | None = None
+    resolved_jobs: int = field(init=False)
+    resolved_backend: str = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.resolved_jobs = resolve_jobs(self.jobs)
+        self.resolved_backend = resolve_backend(
+            self.backend, self.resolved_jobs
+        )
+        if self.resolved_backend == "serial":
+            self.resolved_jobs = 1
+
+    def map(self, func, payloads: Sequence[tuple]) -> list:
+        """Apply ``func`` to every payload, preserving payload order."""
+        payloads = list(payloads)
+        workers = min(self.resolved_jobs, max(1, len(payloads)))
+        if self.resolved_backend == "serial" or workers <= 1:
+            return [func(*payload) for payload in payloads]
+        pool_type = (
+            ThreadPoolExecutor
+            if self.resolved_backend == "thread"
+            else ProcessPoolExecutor
+        )
+        with pool_type(max_workers=workers) as pool:
+            futures = [pool.submit(func, *payload) for payload in payloads]
+            return [future.result() for future in futures]
+
+
+def run_scenarios(
+    scenarios: Iterable[Scenario],
+    jobs: int | None = None,
+    backend: str = "auto",
+    cache: ArtifactCache | None = None,
+    use_cache: bool = True,
+    manifest_dir: str | Path | None = None,
+    fleet_manifest_path: str | Path | None = None,
+) -> BatchResult:
+    """Run a batch of scenarios, fanned across workers.
+
+    Args:
+        scenarios: The scenarios to execute.
+        jobs: Worker count; ``None`` resolves ``$REPRO_JOBS`` then
+            ``os.cpu_count()``.
+        backend: ``"auto"`` (process when ``jobs > 1``), ``"serial"``,
+            ``"thread"``, or ``"process"``.
+        cache: Shared artifact cache; built at the default location
+            when omitted (and ``use_cache`` is on).  Workers share it
+            by directory — writes are atomic, so concurrent identical
+            computations are safe.
+        use_cache: ``False`` disables artifact caching in every worker.
+        manifest_dir: Where workers write per-scenario manifest JSONs;
+            in-memory only when ``None``.
+        fleet_manifest_path: Where to write the fleet manifest JSON;
+            not written when ``None``.
+
+    Returns:
+        A :class:`BatchResult`: per-scenario manifests in submission
+        order plus the fleet summary.
+    """
+    scenarios = list(scenarios)
+    executor = ScenarioExecutor(backend, jobs)
+    if use_cache:
+        cache = cache or ArtifactCache()
+        cache_dir: str | None = str(cache.directory)
+    else:
+        cache_dir = None
+    manifest_dir_arg = (
+        str(manifest_dir) if manifest_dir is not None else None
+    )
+    payloads = [
+        (scenario.to_json(), cache_dir, manifest_dir_arg)
+        for scenario in scenarios
+    ]
+
+    start = time.perf_counter()
+    outcomes = executor.map(_run_scenario_task, payloads)
+    wall_seconds = time.perf_counter() - start
+
+    manifests = [RunManifest.from_dict(data) for data, _, _ in outcomes]
+    fleet = FleetManifest(
+        backend=executor.resolved_backend,
+        jobs=executor.resolved_jobs,
+        wall_seconds=wall_seconds,
+    )
+    for manifest, (_, seconds, worker) in zip(manifests, outcomes):
+        fleet.tasks.append(
+            TaskRecord(
+                scenario_name=manifest.scenario_name,
+                scenario_hash=manifest.scenario_hash,
+                seconds=seconds,
+                worker=worker,
+            )
+        )
+        for stage in manifest.stages:
+            fleet.stage_seconds[stage.name] = (
+                fleet.stage_seconds.get(stage.name, 0.0) + stage.seconds
+            )
+            if stage.cache_hit is not None:
+                fleet.cache_lookups += 1
+                fleet.cache_hits += int(stage.cache_hit)
+
+    result = BatchResult(scenarios, manifests, fleet)
+    if fleet_manifest_path is not None:
+        result.fleet_path = fleet.write(fleet_manifest_path)
+    return result

@@ -21,6 +21,8 @@ times, cache hits, seeds, and artifact content keys.
 from __future__ import annotations
 
 import re
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping
@@ -99,6 +101,13 @@ class Runner:
         manifest_dir: Directory to write the run manifest JSON into;
             ``None`` keeps the manifest in memory only (it is always
             available on the returned :class:`RunResult`).
+        jobs: Intra-scenario fan-out.  With ``jobs > 1`` the per-policy
+            solve+execute stages (``applications`` mode) and the
+            per-site simulate stages (``vm_requests`` mode) run
+            concurrently on a thread pool; results and manifests are
+            identical to a serial run because every concurrent task is
+            self-contained (its own forecaster instance, scheduler, and
+            detached stage records merged back in declaration order).
     """
 
     def __init__(
@@ -107,12 +116,35 @@ class Runner:
         cache: ArtifactCache | None = None,
         use_cache: bool = True,
         manifest_dir: str | Path | None = None,
+        jobs: int = 1,
     ):
         self.scenario = scenario
         self.cache = (cache or ArtifactCache()) if use_cache else None
         self.manifest_dir = (
             Path(manifest_dir) if manifest_dir is not None else None
         )
+        self.jobs = max(1, int(jobs))
+
+    def _fan_out(self, tasks):
+        """Run ``() -> value`` thunks, concurrently when ``jobs > 1``.
+
+        Returns results in task order regardless of completion order.
+        """
+        tasks = list(tasks)
+        if self.jobs <= 1 or len(tasks) <= 1:
+            return [task() for task in tasks]
+        workers = min(self.jobs, len(tasks))
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-stage"
+        ) as pool:
+            futures = [pool.submit(task) for task in tasks]
+            return [future.result() for future in futures]
+
+    def _worker_label(self) -> str | None:
+        """Stage-record worker tag (``None`` on the main serial path)."""
+        if self.jobs <= 1:
+            return None
+        return f"thread:{threading.current_thread().name}"
 
     # ------------------------------------------------------------------
 
@@ -213,38 +245,69 @@ class Runner:
             for name in scenario.sites
         }
 
-        def day_ahead_provider(site_name, issue_step, horizon):
-            forecast = forecaster.forecast(
-                traces[site_name], issue_step, horizon
-            )
-            return np.floor(forecast.values * cores)
-
-        for policy in scenario.policies:
-            solve_key = scenario.solve_key(policy)
-            with manifest.record(f"solve:{policy.name}") as stage:
-                stage.artifact = solve_key
-                placement = None
-                if self.cache is not None:
-                    data = self.cache.get_json(solve_key)
-                    stage.cache_hit = data is not None
-                    if data is not None:
-                        placement = placement_from_jsonable(data)
-                if placement is None:
-                    scheduler = policy.build(
-                        capacity_provider=day_ahead_provider
-                    )
-                    placement = scheduler.schedule(problem)
+        def policy_task(policy):
+            # Self-contained so policies can solve concurrently: each
+            # task builds its own forecaster (identical seed, so the
+            # day-ahead capacity stream is deterministic per policy and
+            # independent of execution order) and times its stages on
+            # detached records merged back in policy order below.
+            def solve():
+                worker = self._worker_label()
+                solve_key = scenario.solve_key(policy)
+                stages = []
+                with manifest.record_detached(
+                    f"solve:{policy.name}", worker
+                ) as stage:
+                    stage.artifact = solve_key
+                    placement = None
                     if self.cache is not None:
-                        self.cache.put_json(
-                            solve_key, placement_to_jsonable(placement)
+                        data = self.cache.get_json(solve_key)
+                        stage.cache_hit = data is not None
+                        if data is not None:
+                            placement = placement_from_jsonable(data)
+                    if placement is None:
+                        task_forecaster = scenario.forecaster.build(
+                            scenario.effective_forecast_seed
                         )
+
+                        def day_ahead_provider(
+                            site_name, issue_step, horizon
+                        ):
+                            forecast = task_forecaster.forecast(
+                                traces[site_name], issue_step, horizon
+                            )
+                            return np.floor(forecast.values * cores)
+
+                        scheduler = policy.build(
+                            capacity_provider=day_ahead_provider
+                        )
+                        placement = scheduler.schedule(problem)
+                        if self.cache is not None:
+                            self.cache.put_json(
+                                solve_key, placement_to_jsonable(placement)
+                            )
+                stages.append(stage)
+                with manifest.record_detached(
+                    f"execute:{policy.name}", worker
+                ) as stage:
+                    execution = execute_placement(
+                        problem, placement, actual
+                    )
+                stages.append(stage)
+                return solve_key, placement, execution, stages
+
+            return solve
+
+        outcomes = self._fan_out(
+            policy_task(policy) for policy in scenario.policies
+        )
+        for policy, (solve_key, placement, execution, stages) in zip(
+            scenario.policies, outcomes
+        ):
+            manifest.merge_stages(stages)
             manifest.artifacts[f"solve:{policy.name}"] = solve_key
             result.placements[policy.name] = placement
-
-            with manifest.record(f"execute:{policy.name}"):
-                result.executions[policy.name] = execute_placement(
-                    problem, placement, actual
-                )
+            result.executions[policy.name] = execution
 
         with manifest.record("analyze"):
             summaries = [
@@ -325,23 +388,42 @@ class Runner:
         scenario = self.scenario
         spec = scenario.workload
         config = DatacenterConfig(admission_utilization=spec.utilization)
-        for index, name in enumerate(scenario.sites):
-            trace = result.traces[name]
-            with manifest.record(f"workload:{name}"):
-                workload = workload_matched_to_power(
-                    float(trace.values.mean()),
-                    config.cluster.total_cores,
-                    utilization=spec.utilization,
-                )
-                requests = generate_vm_requests(
-                    scenario.grid,
-                    workload,
-                    seed=scenario.effective_workload_seed + index,
-                )
-            with manifest.record(f"simulate:{name}"):
-                result.simulations[name] = Datacenter(config, trace).run(
-                    requests
-                )
+
+        def site_task(index, name):
+            def simulate():
+                worker = self._worker_label()
+                trace = result.traces[name]
+                stages = []
+                with manifest.record_detached(
+                    f"workload:{name}", worker
+                ) as stage:
+                    workload = workload_matched_to_power(
+                        float(trace.values.mean()),
+                        config.cluster.total_cores,
+                        utilization=spec.utilization,
+                    )
+                    requests = generate_vm_requests(
+                        scenario.grid,
+                        workload,
+                        seed=scenario.effective_workload_seed + index,
+                    )
+                stages.append(stage)
+                with manifest.record_detached(
+                    f"simulate:{name}", worker
+                ) as stage:
+                    simulation = Datacenter(config, trace).run(requests)
+                stages.append(stage)
+                return simulation, stages
+
+            return simulate
+
+        outcomes = self._fan_out(
+            site_task(index, name)
+            for index, name in enumerate(scenario.sites)
+        )
+        for name, (simulation, stages) in zip(scenario.sites, outcomes):
+            manifest.merge_stages(stages)
+            result.simulations[name] = simulation
 
         with manifest.record("analyze"):
             manifest.summary = {
@@ -371,6 +453,7 @@ def run_scenario(
     cache: ArtifactCache | None = None,
     use_cache: bool = True,
     manifest_dir: str | Path | None = None,
+    jobs: int = 1,
 ) -> RunResult:
     """One-call convenience wrapper around :class:`Runner`."""
     return Runner(
@@ -378,4 +461,5 @@ def run_scenario(
         cache=cache,
         use_cache=use_cache,
         manifest_dir=manifest_dir,
+        jobs=jobs,
     ).run()

@@ -17,7 +17,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from datetime import datetime
 from pathlib import Path
-from typing import Any, Iterator, Mapping
+from typing import Any, Iterable, Iterator, Mapping
 
 
 @dataclass
@@ -31,12 +31,16 @@ class StageRecord:
             artifact cache; ``None`` for uncached stages.
         artifact: Content key of the artifact the stage produced or
             loaded, when it has one.
+        worker: Label of the worker that executed the stage
+            (``"pid:1234"`` / ``"thread:solve-0"``); ``None`` for the
+            main thread of a serial run.
     """
 
     name: str
     seconds: float = 0.0
     cache_hit: bool | None = None
     artifact: str | None = None
+    worker: str | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-JSON-types rendition."""
@@ -45,6 +49,7 @@ class StageRecord:
             "seconds": self.seconds,
             "cache_hit": self.cache_hit,
             "artifact": self.artifact,
+            "worker": self.worker,
         }
 
 
@@ -96,6 +101,29 @@ class RunManifest:
         finally:
             stage.seconds = time.perf_counter() - start
             self.stages.append(stage)
+
+    @contextmanager
+    def record_detached(
+        self, name: str, worker: str | None = None
+    ) -> Iterator[StageRecord]:
+        """Time a stage *without* appending it to :attr:`stages`.
+
+        Concurrent stages (policy solves fanned across workers) each
+        time themselves detached, then the caller merges the finished
+        records in a deterministic order via :meth:`merge_stages` —
+        keeping the manifest's stage order independent of worker
+        scheduling.
+        """
+        stage = StageRecord(name, worker=worker)
+        start = time.perf_counter()
+        try:
+            yield stage
+        finally:
+            stage.seconds = time.perf_counter() - start
+
+    def merge_stages(self, stages: Iterable[StageRecord]) -> None:
+        """Append detached per-worker stage records, in the given order."""
+        self.stages.extend(stages)
 
     def stage(self, name: str) -> StageRecord:
         """The named stage record.
@@ -169,6 +197,7 @@ class RunManifest:
                     seconds=s["seconds"],
                     cache_hit=s["cache_hit"],
                     artifact=s.get("artifact"),
+                    worker=s.get("worker"),
                 )
                 for s in data["stages"]
             ],
@@ -181,4 +210,151 @@ class RunManifest:
     @classmethod
     def read(cls, path: str | Path) -> "RunManifest":
         """Load a manifest previously written by :meth:`write`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Fleet-level telemetry: one record per batch of scenarios
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class TaskRecord:
+    """Timing of one scenario task inside a batch run.
+
+    Attributes:
+        scenario_name: The scenario's human label.
+        scenario_hash: Its content hash.
+        seconds: Task wall-clock time as measured inside the worker
+            (synthesis + pipeline + manifest write).
+        worker: Which worker executed it (``"pid:1234"`` for the
+            serial and process backends, ``"thread:..."`` for the
+            thread backend).
+    """
+
+    scenario_name: str
+    scenario_hash: str
+    seconds: float
+    worker: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON-types rendition."""
+        return {
+            "scenario_name": self.scenario_name,
+            "scenario_hash": self.scenario_hash,
+            "seconds": self.seconds,
+            "worker": self.worker,
+        }
+
+
+@dataclass
+class FleetManifest:
+    """Summary telemetry of one :func:`~repro.experiments.run_scenarios`
+    batch.
+
+    Attributes:
+        backend: Executor backend that ran the batch (``serial`` /
+            ``thread`` / ``process``).
+        jobs: Worker count.
+        wall_seconds: Batch wall-clock time, fan-out included.
+        tasks: Per-scenario task timings, in submission order.
+        cache_hits: Artifact-cache hits summed over every stage of
+            every scenario manifest.
+        cache_lookups: Cache-aware stage count over the whole batch.
+        stage_seconds: Stage name → total seconds across all scenarios
+            (per-worker stage timings merged from the run manifests).
+        created: ISO timestamp of when the batch started.
+    """
+
+    backend: str
+    jobs: int
+    wall_seconds: float = 0.0
+    tasks: list[TaskRecord] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_lookups: int = 0
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    created: str = field(
+        default_factory=lambda: datetime.now().isoformat(timespec="seconds")
+    )
+
+    def task_seconds(self) -> float:
+        """Serial-equivalent time: the sum of per-task wall times."""
+        return sum(task.seconds for task in self.tasks)
+
+    def speedup(self) -> float:
+        """Measured parallel-efficiency figure of the batch.
+
+        The ratio of serial-equivalent time (sum of per-task wall
+        times) to batch wall time.  On uncontended hardware this equals
+        the true speedup over a serial run; when workers share
+        oversubscribed cores the per-task times inflate, so compare
+        jobs=1 vs jobs=N wall clocks (as the perf benchmark does) for
+        an end-to-end number.
+        """
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.task_seconds() / self.wall_seconds
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of cache-aware stages that hit, over the batch."""
+        if self.cache_lookups == 0:
+            return 0.0
+        return self.cache_hits / self.cache_lookups
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON-types rendition of the fleet summary."""
+        return {
+            "backend": self.backend,
+            "jobs": self.jobs,
+            "created": self.created,
+            "n_scenarios": len(self.tasks),
+            "wall_seconds": self.wall_seconds,
+            "task_seconds": self.task_seconds(),
+            "speedup": self.speedup(),
+            "cache_hits": self.cache_hits,
+            "cache_lookups": self.cache_lookups,
+            "cache_hit_rate": self.cache_hit_rate(),
+            "stage_seconds": dict(self.stage_seconds),
+            "tasks": [task.to_dict() for task in self.tasks],
+        }
+
+    def to_json(self) -> str:
+        """Indented JSON text of the fleet manifest."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=False)
+
+    def write(self, path: str | Path) -> Path:
+        """Write the fleet manifest JSON to ``path`` (parents created)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FleetManifest":
+        """Rebuild a fleet manifest from its :meth:`to_dict` form."""
+        return cls(
+            backend=data["backend"],
+            jobs=int(data["jobs"]),
+            wall_seconds=float(data["wall_seconds"]),
+            tasks=[
+                TaskRecord(
+                    scenario_name=t["scenario_name"],
+                    scenario_hash=t["scenario_hash"],
+                    seconds=float(t["seconds"]),
+                    worker=t.get("worker"),
+                )
+                for t in data.get("tasks", [])
+            ],
+            cache_hits=int(data.get("cache_hits", 0)),
+            cache_lookups=int(data.get("cache_lookups", 0)),
+            stage_seconds={
+                name: float(seconds)
+                for name, seconds in data.get("stage_seconds", {}).items()
+            },
+            created=data.get("created", ""),
+        )
+
+    @classmethod
+    def read(cls, path: str | Path) -> "FleetManifest":
+        """Load a fleet manifest previously written by :meth:`write`."""
         return cls.from_dict(json.loads(Path(path).read_text()))

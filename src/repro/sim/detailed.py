@@ -226,10 +226,15 @@ def execute_placement_detailed(
         finish_at.setdefault(finish, []).append((vm, site_name))
         vm_site[vm.vm_id] = site_name
 
+    site_order = {name: index for index, name in enumerate(states)}
+
     for step in range(grid.n):
         step_stats = {
             name: dict(out_b=0.0, in_b=0.0, ev=0, land=0, pa=0, re=0)
             for name in states
+        }
+        step_budget = {
+            name: int(budgets[name][step]) for name in states
         }
         # 1. Completions.  The bucket's site name can be stale when a
         # VM was evicted and re-landed with an unchanged finish step
@@ -247,7 +252,7 @@ def execute_placement_detailed(
 
         # 2. Power down: pause degradable, evict stable.
         for name, state in states.items():
-            budget = int(budgets[name][step])
+            budget = step_budget[name]
             overflow = state.running_cores - budget
             if overflow > 0:
                 to_migrate, to_pause = state.planner.plan(
@@ -275,8 +280,7 @@ def execute_placement_detailed(
         # 3. Resume paused VMs where power recovered, then re-schedule
         # finishes for anything RUNNING without one (the resumed VMs).
         for name, state in states.items():
-            budget = int(budgets[name][step])
-            resumed = state.resume_paused(budget)
+            resumed = state.resume_paused(step_budget[name])
             step_stats[name]["re"] += resumed
         for name, state in states.items():
             for server in state.pool.servers:
@@ -286,7 +290,7 @@ def execute_placement_detailed(
 
         # 4. Fresh arrivals at their assigned sites.
         for name, state in states.items():
-            budget = int(budgets[name][step])
+            budget = step_budget[name]
             for vm in arrivals[name].get(step, []):
                 if (
                     state.running_cores + vm.cores <= budget
@@ -297,19 +301,26 @@ def execute_placement_detailed(
                     displaced_pool.append(vm)
 
         # 5. Displaced VMs land at the group member with most headroom.
+        # Candidates are sorted once per step (headroom descending,
+        # ties by site declaration order — exactly the stable order the
+        # per-VM re-sort used to produce) and the ranking is maintained
+        # incrementally as landings consume headroom: only the landed
+        # site's headroom shrinks, so it slides toward the back of the
+        # list in one O(S) pass instead of re-sorting every site with
+        # fresh key evaluation for each VM (O(V·S) vs O(V·S log S)).
+        headroom = {
+            name: state.free_powered_cores(step_budget[name])
+            for name, state in states.items()
+        }
+        ranked = sorted(
+            states.values(),
+            key=lambda s: (-headroom[s.name], site_order[s.name]),
+        )
         still_displaced: list[VM] = []
         for vm in displaced_pool:
-            candidates = sorted(
-                states.values(),
-                key=lambda s: s.free_powered_cores(
-                    int(budgets[s.name][step])
-                ),
-                reverse=True,
-            )
             landed = False
-            for state in candidates:
-                budget = int(budgets[state.name][step])
-                if state.running_cores + vm.cores > budget:
+            for position, state in enumerate(ranked):
+                if state.running_cores + vm.cores > step_budget[state.name]:
                     continue
                 if state.place(vm):
                     schedule_finish(vm, state.name, step)
@@ -320,6 +331,19 @@ def execute_placement_detailed(
                         step_stats[state.name]["in_b"] += vm.memory_bytes
                         step_stats[state.name]["land"] += 1
                     landed = True
+                    headroom[state.name] = state.free_powered_cores(
+                        step_budget[state.name]
+                    )
+                    new_key = (
+                        -headroom[state.name], site_order[state.name],
+                    )
+                    ranked.pop(position)
+                    while position < len(ranked) and (
+                        -headroom[ranked[position].name],
+                        site_order[ranked[position].name],
+                    ) < new_key:
+                        position += 1
+                    ranked.insert(position, state)
                     break
             if not landed:
                 still_displaced.append(vm)
@@ -331,7 +355,7 @@ def execute_placement_detailed(
             records[name].append(
                 DetailedSiteRecord(
                     step=step,
-                    budget=int(budgets[name][step]),
+                    budget=step_budget[name],
                     running_cores=states[name].running_cores,
                     out_bytes=stats["out_b"],
                     in_bytes=stats["in_b"],

@@ -18,6 +18,8 @@ from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
+from scipy.signal import lfilter
+from scipy.special import ndtr
 
 from ..errors import ConfigurationError
 
@@ -146,6 +148,14 @@ def sample_regime_sequence(
 ) -> np.ndarray:
     """Sample ``days`` regime indices from the Markov chain.
 
+    All uniforms are drawn up front (``rng.random(days)`` consumes the
+    generator stream exactly like ``days`` scalar draws) and each step
+    inverts the relevant row CDF with ``searchsorted`` — the same
+    normalize-then-``searchsorted(side="right")`` arithmetic
+    ``Generator.choice(k, p=...)`` performs internally, so the states
+    and the RNG stream are bit-identical to the per-day ``choice``
+    loop this replaces, at a fraction of its per-call overhead.
+
     Returns:
         Integer array of regime indices into ``model.regimes``.
     """
@@ -154,10 +164,16 @@ def sample_regime_sequence(
     states = np.empty(days, dtype=int)
     if days == 0:
         return states
-    k = len(model.regimes)
-    states[0] = rng.choice(k, p=model.initial)
+    initial_cdf = np.cumsum(model.initial)
+    initial_cdf /= initial_cdf[-1]
+    transition_cdf = np.cumsum(model.transition, axis=1)
+    transition_cdf /= transition_cdf[:, -1:]
+    uniforms = rng.random(days)
+    states[0] = initial_cdf.searchsorted(uniforms[0], side="right")
     for day in range(1, days):
-        states[day] = rng.choice(k, p=model.transition[states[day - 1]])
+        states[day] = transition_cdf[states[day - 1]].searchsorted(
+            uniforms[day], side="right"
+        )
     return states
 
 
@@ -176,10 +192,7 @@ def regime_sequence_from_latent(
     stationary = stationary_distribution(model)
     # Map quantiles to regimes through the stationary CDF.
     edges = np.cumsum(stationary)
-    # scipy-free standard normal CDF via erf.
-    from math import erf, sqrt
-
-    quantiles = np.array([0.5 * (1 + erf(z / sqrt(2))) for z in latent])
+    quantiles = ndtr(np.asarray(latent, dtype=float))
     return np.searchsorted(edges, quantiles, side="right").clip(
         0, len(model.regimes) - 1
     )
@@ -257,7 +270,38 @@ def intraday_ar1(
     rng: np.random.Generator,
     initial: float = 0.0,
 ) -> np.ndarray:
-    """Zero-mean AR(1) fluctuation path with stationary std ``volatility``."""
+    """Zero-mean AR(1) fluctuation path with stationary std ``volatility``.
+
+    Evaluated as the linear filter ``y_i = persistence·y_{i-1} + x_i``
+    over ``x = innovation·draws`` in one :func:`scipy.signal.lfilter`
+    call; the filter performs the identical floating-point operations in
+    the identical order, so the output is bit-for-bit equal to the
+    reference loop (:func:`_intraday_ar1_loop`, golden-tested).
+    """
+    if n_steps <= 0:
+        return np.empty(0)
+    innovation = volatility * np.sqrt(1.0 - persistence**2)
+    draws = rng.standard_normal(n_steps)
+    path, _ = lfilter(
+        [1.0],
+        [1.0, -persistence],
+        innovation * draws,
+        zi=np.array([persistence * initial]),
+    )
+    return path
+
+
+def _intraday_ar1_loop(
+    n_steps: int,
+    volatility: float,
+    persistence: float,
+    rng: np.random.Generator,
+    initial: float = 0.0,
+) -> np.ndarray:
+    """Reference per-step implementation of :func:`intraday_ar1`.
+
+    Kept for the golden equality tests.
+    """
     if n_steps <= 0:
         return np.empty(0)
     innovation = volatility * np.sqrt(1.0 - persistence**2)
@@ -282,20 +326,37 @@ def regime_modulation(
     fluctuation; the result is ``clip(level + fluctuation, 0, 1.25)``
     evaluated at every step of the day.  AR(1) state carries across day
     boundaries so regime changes do not produce artificial jumps.
+
+    Consecutive days in the same regime share AR(1) parameters, so they
+    are evaluated as one :func:`intraday_ar1` run per regime streak
+    rather than one per day.  ``rng.standard_normal(k·n)`` consumes the
+    generator stream exactly like ``k`` consecutive
+    ``standard_normal(n)`` calls, so the output is bit-identical to the
+    per-day evaluation.
     """
     levels = np.array([r.level for r in regimes])
     total = len(day_indices) * steps_per_day
     modulation = np.empty(total)
+    if total == 0:
+        return modulation
     state = 0.0
-    for day, regime_index in enumerate(day_indices):
+    n_days = len(day_indices)
+    day = 0
+    while day < n_days:
+        regime_index = int(day_indices[day])
+        streak_end = day + 1
+        while (
+            streak_end < n_days
+            and int(day_indices[streak_end]) == regime_index
+        ):
+            streak_end += 1
         regime = regimes[regime_index]
+        n_steps = (streak_end - day) * steps_per_day
         fluct = intraday_ar1(
-            steps_per_day, regime.volatility, regime.persistence, rng, state
+            n_steps, regime.volatility, regime.persistence, rng, state
         )
-        if steps_per_day:
-            state = fluct[-1]
+        state = fluct[-1]
         start = day * steps_per_day
-        modulation[start : start + steps_per_day] = (
-            levels[regime_index] + fluct
-        )
+        modulation[start : start + n_steps] = levels[regime_index] + fluct
+        day = streak_end
     return np.clip(modulation, 0.0, 1.25)

@@ -80,3 +80,34 @@ def test_unknown_command_rejected():
 def test_missing_required_argument():
     with pytest.raises(SystemExit):
         main(["synthesize", "--out", "/tmp/x"])  # --sites missing
+
+
+def test_sweep_simulate_grid(tmp_path, capsys):
+    code = main(
+        [
+            "sweep", "--mode", "simulate", "--sites", "BE-wind",
+            "--days", "2", "--seeds", "0", "1",
+            "--jobs", "1", "--backend", "serial",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--manifest-dir", str(tmp_path / "manifests"),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Sweep: 2 scenarios" in out
+    assert "backend=serial" in out
+    assert "sweep-simulate-BE-wind-d2-s0-u0.7" in out
+    assert "sweep-simulate-BE-wind-d2-s1-u0.7" in out
+    assert "fleet manifest:" in out
+    fleets = list((tmp_path / "manifests").glob("fleet_*.json"))
+    assert len(fleets) == 1
+    from repro.experiments import FleetManifest
+
+    fleet = FleetManifest.read(fleets[0])
+    assert fleet.backend == "serial"
+    assert len(fleet.tasks) == 2
+    # Per-scenario manifests land next to the fleet summary.
+    assert (
+        len(list((tmp_path / "manifests").glob("manifest_sweep-*.json")))
+        == 2
+    )

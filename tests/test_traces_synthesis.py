@@ -22,6 +22,7 @@ from repro.traces import (
     turbine_power_curve,
 )
 from repro.traces.weather import (
+    _intraday_ar1_loop,
     correlated_daily_latents,
     default_solar_regimes,
     default_wind_regimes,
@@ -31,6 +32,7 @@ from repro.traces.weather import (
     regime_sequence_from_latent,
     stationary_distribution,
 )
+from repro.traces.wind import _ou_speed_path_loop, ou_speed_path
 from repro.units import grid_days
 
 
@@ -338,3 +340,104 @@ class TestCatalog:
         near = np.corrcoef(uk, nl)[0, 1]
         far = np.corrcoef(uk, ro)[0, 1]
         assert near > far
+
+
+class TestVectorizedKernels:
+    """Golden tests: the lfilter/searchsorted kernels against the loop
+    references they replaced, on shared seeds."""
+
+    def test_ou_matches_loop_reference(self):
+        config = WindConfig()
+        for seed, steps in ((0, 500), (3, 96 * 30), (11, 7)):
+            rng = np.random.default_rng(seed)
+            targets = config.mean_speed_ms * (
+                0.5 + rng.random(steps)
+            )
+            a = np.random.default_rng(seed + 100)
+            b = np.random.default_rng(seed + 100)
+            fast = ou_speed_path(targets, 0.25, config, a)
+            slow = _ou_speed_path_loop(targets, 0.25, config, b)
+            # lfilter reassociates the recurrence's additions, so the
+            # outputs agree to accumulated rounding, not bit-for-bit.
+            np.testing.assert_allclose(fast, slow, rtol=0, atol=1e-9)
+            assert a.bit_generator.state == b.bit_generator.state
+
+    def test_ou_empty(self):
+        config = WindConfig()
+        rng = np.random.default_rng(0)
+        assert len(ou_speed_path(np.empty(0), 0.25, config, rng)) == 0
+
+    def test_ar1_bit_identical_to_loop(self):
+        for seed in range(4):
+            a = np.random.default_rng(seed)
+            b = np.random.default_rng(seed)
+            fast = intraday_ar1(3000, 0.28, 0.45, a, initial=0.1)
+            slow = _intraday_ar1_loop(3000, 0.28, 0.45, b, initial=0.1)
+            # Identical float ops in identical order: exact equality.
+            assert np.array_equal(fast, slow)
+            assert a.bit_generator.state == b.bit_generator.state
+
+    def test_regime_modulation_matches_per_day_reference(self):
+        """Streak-batched evaluation == one intraday_ar1 call per day."""
+        model = default_solar_regimes()
+        steps_per_day = 96
+        for seed in range(3):
+            rng = np.random.default_rng(seed)
+            days = sample_regime_sequence(model, 60, rng)
+            a = np.random.default_rng(seed + 50)
+            b = np.random.default_rng(seed + 50)
+            fast = regime_modulation(
+                model.regimes, days, steps_per_day, a
+            )
+            levels = np.array([r.level for r in model.regimes])
+            reference = np.empty(len(days) * steps_per_day)
+            state = 0.0
+            for day, index in enumerate(days):
+                regime = model.regimes[int(index)]
+                fluct = _intraday_ar1_loop(
+                    steps_per_day, regime.volatility,
+                    regime.persistence, b, state,
+                )
+                state = fluct[-1]
+                start = day * steps_per_day
+                reference[start : start + steps_per_day] = (
+                    levels[int(index)] + fluct
+                )
+            reference = np.clip(reference, 0.0, 1.25)
+            assert np.array_equal(fast, reference)
+            assert a.bit_generator.state == b.bit_generator.state
+
+    def test_regime_sampling_matches_choice_reference(self):
+        """searchsorted inverse-CDF == the rng.choice loop it replaced,
+        states and RNG stream both."""
+        for model in (default_solar_regimes(), default_wind_regimes()):
+            for seed in range(3):
+                a = np.random.default_rng(seed)
+                b = np.random.default_rng(seed)
+                fast = sample_regime_sequence(model, 200, a)
+                k = len(model.regimes)
+                reference = np.empty(200, dtype=int)
+                reference[0] = b.choice(k, p=model.initial)
+                for day in range(1, 200):
+                    reference[day] = b.choice(
+                        k, p=model.transition[reference[day - 1]]
+                    )
+                assert np.array_equal(fast, reference)
+                assert a.bit_generator.state == b.bit_generator.state
+
+    def test_latent_quantiles_match_erf_reference(self):
+        """ndtr == the 0.5*(1+erf(x/sqrt(2))) elementwise mapping."""
+        from math import erf, sqrt
+
+        model = default_solar_regimes()
+        latent = np.random.default_rng(9).standard_normal(500)
+        fast = regime_sequence_from_latent(model, latent)
+        stationary = stationary_distribution(model)
+        edges = np.cumsum(stationary)
+        quantiles = np.array(
+            [0.5 * (1.0 + erf(x / sqrt(2.0))) for x in latent]
+        )
+        reference = np.searchsorted(
+            edges, quantiles, side="right"
+        ).clip(0, len(model.regimes) - 1)
+        assert np.array_equal(fast, reference)
