@@ -14,15 +14,35 @@ Per step, the simulator:
 5. When power allows, launches queued VMs — each launch counts as an
    in-migration, again moving its memory footprint.
 
-Placement uses a free-core-bucketed server pool so a 700-server,
-3-month simulation runs in seconds rather than hours.
+Two execution engines share the exact same phase code and state:
+
+``engine="dense"`` steps every grid point — the reference loop.
+
+``engine="event"`` (the default) is event-driven: it wakes only at
+steps where something can happen — VM arrivals, scheduled finishes
+(min-heap), queue-patience expiries (min-heap), and *power-change
+steps* where the precomputed core-budget series crosses a wake
+threshold (budget below running cores → eviction; budget at or above
+``running + head_of_paused`` → resume; budget reaching the smallest
+power-blocked queued VM's requirement → launch).  Every skipped step
+is provably a no-op: between wake steps no state mutates, so its
+record is a forward-fill of running/allocated/queue-length with zero
+counts.  VM completions are batched per server (one bucket move per
+server per step), and per-step records accumulate into preallocated
+numpy columns rather than a list of dataclasses.
+
+Placement uses a free-core-bucketed server pool (sorted-list buckets
+with a nonempty-bucket index) so a 700-server year-long simulation
+runs in seconds rather than hours.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from heapq import heappop, heappush
+from typing import Sequence
 
 import numpy as np
 
@@ -119,39 +139,125 @@ class StepRecord:
     queue_length: int
 
 
-@dataclass
-class SimulationResult:
-    """Full output of a single-site run."""
+class StepColumns:
+    """Columnar per-step measurements, preallocated for the whole run.
 
-    grid: TimeGrid
-    config: DatacenterConfig
-    records: list[StepRecord]
-    events: EventLog
+    Count and byte columns start at zero, so skipped (no-op) steps only
+    need their carried-forward state columns filled.
+    """
+
+    __slots__ = (
+        "n", "norm_power", "core_budget", "running_cores",
+        "allocated_cores", "out_bytes", "in_bytes", "n_arrivals",
+        "n_admitted", "n_queued", "n_launched", "n_evicted", "n_paused",
+        "n_resumed", "n_completed", "n_expired", "queue_length",
+    )
+
+    def __init__(self, n: int):
+        self.n = n
+        self.norm_power = np.zeros(n)
+        self.core_budget = np.zeros(n, dtype=np.int64)
+        self.running_cores = np.zeros(n, dtype=np.int64)
+        self.allocated_cores = np.zeros(n, dtype=np.int64)
+        self.out_bytes = np.zeros(n)
+        self.in_bytes = np.zeros(n)
+        self.n_arrivals = np.zeros(n, dtype=np.int64)
+        self.n_admitted = np.zeros(n, dtype=np.int64)
+        self.n_queued = np.zeros(n, dtype=np.int64)
+        self.n_launched = np.zeros(n, dtype=np.int64)
+        self.n_evicted = np.zeros(n, dtype=np.int64)
+        self.n_paused = np.zeros(n, dtype=np.int64)
+        self.n_resumed = np.zeros(n, dtype=np.int64)
+        self.n_completed = np.zeros(n, dtype=np.int64)
+        self.n_expired = np.zeros(n, dtype=np.int64)
+        self.queue_length = np.zeros(n, dtype=np.int64)
+
+
+class SimulationResult:
+    """Full output of a single-site run.
+
+    Measurements are stored columnar in :attr:`columns`; the
+    :attr:`records` list of :class:`StepRecord` is materialized lazily
+    on first access.  Series accessors return the stored arrays
+    directly (one array per series for the run's lifetime) instead of
+    rebuilding ``np.array([...])`` per call — treat them as read-only.
+    """
+
+    def __init__(
+        self,
+        grid: TimeGrid,
+        config: DatacenterConfig,
+        columns: StepColumns,
+        events: EventLog,
+    ):
+        self.grid = grid
+        self.config = config
+        self.columns = columns
+        self.events = events
+        self._records: list[StepRecord] | None = None
+        self._out_gb: np.ndarray | None = None
+        self._in_gb: np.ndarray | None = None
+        self._utilization: np.ndarray | None = None
+
+    @property
+    def records(self) -> list[StepRecord]:
+        """Per-step records (built from the columns on first access)."""
+        if self._records is None:
+            c = self.columns
+            self._records = [
+                StepRecord(*row)
+                for row in zip(
+                    range(c.n),
+                    c.norm_power.tolist(),
+                    c.core_budget.tolist(),
+                    c.running_cores.tolist(),
+                    c.allocated_cores.tolist(),
+                    c.out_bytes.tolist(),
+                    c.in_bytes.tolist(),
+                    c.n_arrivals.tolist(),
+                    c.n_admitted.tolist(),
+                    c.n_queued.tolist(),
+                    c.n_launched.tolist(),
+                    c.n_evicted.tolist(),
+                    c.n_paused.tolist(),
+                    c.n_resumed.tolist(),
+                    c.n_completed.tolist(),
+                    c.n_expired.tolist(),
+                    c.queue_length.tolist(),
+                )
+            ]
+        return self._records
 
     def out_bytes_series(self) -> np.ndarray:
         """Out-migration traffic per step, bytes."""
-        return np.array([r.out_bytes for r in self.records])
+        return self.columns.out_bytes
 
     def in_bytes_series(self) -> np.ndarray:
         """In-migration traffic per step, bytes."""
-        return np.array([r.in_bytes for r in self.records])
+        return self.columns.in_bytes
 
     def out_gb_series(self) -> np.ndarray:
         """Out-migration traffic per step, GB (paper's unit)."""
-        return bytes_to_gb(self.out_bytes_series())
+        if self._out_gb is None:
+            self._out_gb = bytes_to_gb(self.columns.out_bytes)
+        return self._out_gb
 
     def in_gb_series(self) -> np.ndarray:
         """In-migration traffic per step, GB (paper's unit)."""
-        return bytes_to_gb(self.in_bytes_series())
+        if self._in_gb is None:
+            self._in_gb = bytes_to_gb(self.columns.in_bytes)
+        return self._in_gb
 
     def power_series(self) -> np.ndarray:
         """Normalized power per step."""
-        return np.array([r.norm_power for r in self.records])
+        return self.columns.norm_power
 
     def utilization_series(self) -> np.ndarray:
         """Allocated-core fraction per step."""
-        total = self.config.cluster.total_cores
-        return np.array([r.allocated_cores / total for r in self.records])
+        if self._utilization is None:
+            total = self.config.cluster.total_cores
+            self._utilization = self.columns.allocated_cores / total
+        return self._utilization
 
     def power_changes_without_migration_fraction(
         self, power_epsilon: float = 1e-9
@@ -161,19 +267,20 @@ class SimulationResult:
         The paper reports >80%: at 70% utilization, minor power moves
         are absorbed by powering (un)allocated cores up or down.
         """
-        changes = 0
-        silent = 0
-        previous = None
-        for record in self.records:
-            if previous is not None and abs(
-                record.norm_power - previous
-            ) > power_epsilon:
-                changes += 1
-                if record.out_bytes == 0.0 and record.in_bytes == 0.0:
-                    silent += 1
-            previous = record.norm_power
+        power = self.columns.norm_power
+        if power.size < 2:
+            return 1.0
+        changed = np.abs(np.diff(power)) > power_epsilon
+        changes = int(changed.sum())
         if changes == 0:
             return 1.0
+        silent = int(
+            (
+                changed
+                & (self.columns.out_bytes[1:] == 0.0)
+                & (self.columns.in_bytes[1:] == 0.0)
+            ).sum()
+        )
         return silent / changes
 
     def migration_active_fraction(self, link_gbps: float = 200.0) -> float:
@@ -185,28 +292,55 @@ class SimulationResult:
         """
         step_seconds = self.grid.step_seconds
         rate = link_gbps * 1e9 / 8.0
-        total = self.out_bytes_series() + self.in_bytes_series()
+        total = self.columns.out_bytes + self.columns.in_bytes
         busy = np.minimum(total / rate, step_seconds)
-        return float(np.sum(busy) / (len(self.records) * step_seconds))
+        return float(np.sum(busy) / (self.columns.n * step_seconds))
 
 
 class _ServerPool:
-    """Servers bucketed by free cores for O(1)-ish placement queries."""
+    """Servers bucketed by free cores for O(1)-ish placement queries.
+
+    ``_buckets[f]`` holds the ids of servers with exactly ``f`` free
+    cores as a *sorted list*, and ``_nonempty`` is a sorted index of
+    the bucket sizes currently populated, so placement queries iterate
+    only populated buckets (a nearly-full pool concentrates servers in
+    a handful of low-free buckets) and batch releases move a server
+    between buckets once per step instead of once per completed VM.
+
+    Sorted buckets make every query deterministic in the server id —
+    placement picks the lowest id within the chosen bucket — so results
+    are independent of the order in which the bucket was populated
+    (sets, the previous representation, iterate in hash-history order).
+    """
 
     def __init__(self, cluster: ClusterSpec):
         self.servers = [
             Server(i, cluster.server) for i in range(cluster.n_servers)
         ]
         self._max_cores = cluster.server.cores
-        # _buckets[f] holds ids of servers with exactly f free cores.
-        self._buckets: list[set[int]] = [
-            set() for _ in range(self._max_cores + 1)
+        self._buckets: list[list[int]] = [
+            [] for _ in range(self._max_cores + 1)
         ]
-        self._buckets[self._max_cores].update(range(cluster.n_servers))
+        self._buckets[self._max_cores] = list(range(cluster.n_servers))
+        self._nonempty: list[int] = (
+            [self._max_cores] if cluster.n_servers else []
+        )
 
     def _move(self, server: Server, old_free: int) -> None:
-        self._buckets[old_free].discard(server.server_id)
-        self._buckets[server.free_cores].add(server.server_id)
+        new_free = server.free_cores
+        if new_free == old_free:
+            return
+        server_id = server.server_id
+        bucket = self._buckets[old_free]
+        index = bisect_left(bucket, server_id)
+        del bucket[index]
+        if not bucket:
+            nonempty = self._nonempty
+            del nonempty[bisect_left(nonempty, old_free)]
+        target = self._buckets[new_free]
+        if not target:
+            insort(self._nonempty, new_free)
+        insort(target, server_id)
 
     def host(self, server: Server, vm: VM) -> None:
         """Place ``vm`` and update buckets."""
@@ -220,35 +354,52 @@ class _ServerPool:
         server.release(vm)
         self._move(server, old_free)
 
+    def release_batch(self, server: Server, vms: Sequence[VM]) -> None:
+        """Remove several VMs from one server with a single bucket move."""
+        old_free = server.free_cores
+        for vm in vms:
+            server.release(vm)
+        self._move(server, old_free)
+
     def find(self, vm: VM, mode: str) -> Server | None:
         """Find a hosting server under the named policy.
 
         ``bestfit``: smallest adequate free-core count;
         ``worstfit``: largest free-core count;
         ``firstfit``: lowest server id among all that fit.
+        Ties within a bucket resolve to the lowest server id.
         """
         need = vm.cores
         if need > self._max_cores:
             return None
+        servers = self.servers
+        nonempty = self._nonempty
+        start = bisect_left(nonempty, need)
         if mode == "bestfit":
-            buckets: Iterable[int] = range(need, self._max_cores + 1)
-        elif mode == "worstfit":
-            buckets = range(self._max_cores, need - 1, -1)
-        else:  # firstfit: exact semantics need a full scan.
-            best_id = None
-            for free in range(need, self._max_cores + 1):
+            for free in nonempty[start:]:
                 for server_id in self._buckets[free]:
-                    if best_id is None or server_id < best_id:
-                        candidate = self.servers[server_id]
-                        if candidate.fits(vm):
-                            best_id = server_id
-            return self.servers[best_id] if best_id is not None else None
-        for free in buckets:
+                    server = servers[server_id]
+                    if server.fits(vm):
+                        return server
+            return None
+        if mode == "worstfit":
+            for free in reversed(nonempty[start:]):
+                for server_id in self._buckets[free]:
+                    server = servers[server_id]
+                    if server.fits(vm):
+                        return server
+            return None
+        # firstfit: lowest id overall; buckets are sorted, so scanning
+        # each populated bucket can stop at the current best id.
+        best_id = None
+        for free in nonempty[start:]:
             for server_id in self._buckets[free]:
-                server = self.servers[server_id]
-                if server.fits(vm):
-                    return server
-        return None
+                if best_id is not None and server_id >= best_id:
+                    break
+                if servers[server_id].fits(vm):
+                    best_id = server_id
+                    break
+        return servers[best_id] if best_id is not None else None
 
 
 class Datacenter:
@@ -283,6 +434,13 @@ class Datacenter:
         self._running_cores = 0
         self._allocated_cores = 0
         self._finish_at: dict[int, list[VM]] = {}
+        # Min-heap of scheduled finish steps (possibly stale entries;
+        # a wake at a stale step is a harmless no-op).
+        self._finish_heap: list[int] = []
+        # Smallest core count among queued VMs blocked by *power*
+        # headroom at the last processed step; None when every queued
+        # VM is blocked by packing (budget growth cannot help those).
+        self._launch_blocked_min_cores: int | None = None
         # Per-memory-size wire-byte cache for the live-migration model.
         self._wire_cache: dict[float, float] = {}
 
@@ -311,7 +469,12 @@ class Datacenter:
     def _schedule_finish(self, vm: VM, step: int) -> None:
         finish = step + vm.remaining_steps
         vm.finish_step = finish
-        self._finish_at.setdefault(finish, []).append(vm)
+        bucket = self._finish_at.get(finish)
+        if bucket is None:
+            self._finish_at[finish] = [vm]
+            heappush(self._finish_heap, finish)
+        else:
+            bucket.append(vm)
 
     def _start(self, vm: VM, server: Server, step: int) -> None:
         self.pool.host(server, vm)
@@ -379,7 +542,56 @@ class Datacenter:
             completed += 1
         return completed
 
-    def _phase_power_down(self, step: int, budget: int) -> tuple[float, int, int]:
+    def _phase_completions_batched(self, step: int) -> int:
+        """Batched completion: one bucket move per server per step.
+
+        Result-identical to :meth:`_phase_completions` — bucket
+        membership after the phase is the same regardless of release
+        order, and sorted buckets make placement queries independent of
+        insertion order — but a server losing several VMs this step
+        re-buckets once.
+        """
+        finished = self._finish_at.pop(step, None)
+        if not finished:
+            return 0
+        # A same-step pause->resume re-schedules the VM to its original
+        # finish step, so the bucket can hold the same (live) VM twice;
+        # keep first occurrences only (the per-VM path deduplicates
+        # implicitly because completing mutates the state).
+        valid: list[VM] = []
+        seen: set[int] = set()
+        for vm in finished:
+            if (
+                vm.state is VMState.RUNNING
+                and vm.finish_step == step
+                and vm.vm_id not in seen
+            ):
+                seen.add(vm.vm_id)
+                valid.append(vm)
+        if not valid:
+            return 0
+        by_server: dict[int, list[VM]] = {}
+        for vm in valid:
+            by_server.setdefault(vm.server_id, []).append(vm)
+        servers = self.pool.servers
+        for server_id, vms in by_server.items():
+            self.pool.release_batch(servers[server_id], vms)
+        freed = 0
+        record = self.events.record
+        for vm in valid:
+            vm.state = VMState.COMPLETED
+            vm.remaining_steps = 0
+            vm.finish_step = None
+            vm.server_id = None
+            freed += vm.cores
+            record(step, EventKind.COMPLETE, vm.vm_id)
+        self._running_cores -= freed
+        self._allocated_cores -= freed
+        return len(valid)
+
+    def _phase_power_down(
+        self, step: int, budget: int
+    ) -> tuple[float, int, int]:
         out_bytes = 0.0
         n_evicted = 0
         n_paused = 0
@@ -414,129 +626,314 @@ class Datacenter:
     def _phase_arrivals(
         self, step: int, budget: int, arrivals: Sequence[VM]
     ) -> tuple[int, int]:
+        if not arrivals:
+            return 0, 0
         n_admitted = 0
         n_queued = 0
         cap_capacity = budget if self.config.power_relative_admission else None
+        cap = self.admission.core_cap(cap_capacity)
+        allocation = self.config.allocation
+        find = self.pool.find
+        record = self.events.record
         for vm in arrivals:
-            under_cap = self.admission.admits(
-                vm, self._allocated_cores, cap_capacity
-            )
-            under_power = self._running_cores + vm.cores <= budget
+            cores = vm.cores
             server = (
-                self.pool.find(vm, self.config.allocation)
-                if under_cap and under_power
+                find(vm, allocation)
+                if (
+                    self._allocated_cores + cores <= cap
+                    and self._running_cores + cores <= budget
+                )
                 else None
             )
             if server is not None:
                 self._start(vm, server, step)
-                self.events.record(step, EventKind.ADMIT, vm.vm_id)
+                record(step, EventKind.ADMIT, vm.vm_id)
                 n_admitted += 1
             else:
                 self._queue.append((vm, step))
-                self.events.record(step, EventKind.QUEUE, vm.vm_id)
+                record(step, EventKind.QUEUE, vm.vm_id)
                 n_queued += 1
         return n_admitted, n_queued
 
-    def _phase_launches(self, step: int, budget: int) -> tuple[float, int, int]:
+    def _phase_launches(
+        self, step: int, budget: int
+    ) -> tuple[float, int, int]:
+        if not self._queue:
+            self._launch_blocked_min_cores = None
+            return 0.0, 0, 0
         in_bytes = 0.0
         n_launched = 0
         n_expired = 0
+        blocked_min: int | None = None
         patience = self.config.queue_patience_steps
+        cap_capacity = budget if self.config.power_relative_admission else None
+        cap = self.admission.core_cap(cap_capacity)
+        allocation = self.config.allocation
+        find = self.pool.find
+        record = self.events.record
         survivors: list[tuple[VM, int]] = []
         pending = len(self._queue)
         for _ in range(pending):
             vm, queued_at = self._queue.popleft()
             if step - queued_at > patience:
                 vm.state = VMState.REJECTED
-                self.events.record(step, EventKind.REJECT, vm.vm_id)
+                record(step, EventKind.REJECT, vm.vm_id)
                 n_expired += 1
                 continue
-            cap_capacity = (
-                budget if self.config.power_relative_admission else None
-            )
             headroom = min(
-                self.admission.headroom_cores(
-                    self._allocated_cores, cap_capacity
-                ),
+                max(0, cap - self._allocated_cores),
                 budget - self._running_cores,
             )
             if headroom <= 0:
                 # Nothing more can start this step; keep the rest queued.
                 survivors.append((vm, queued_at))
-                survivors.extend(
-                    self._queue.popleft() for _ in range(len(self._queue))
-                )
+                blocked = vm.cores
+                while self._queue:
+                    other = self._queue.popleft()
+                    survivors.append(other)
+                    if other[0].cores < blocked:
+                        blocked = other[0].cores
+                if blocked_min is None or blocked < blocked_min:
+                    blocked_min = blocked
                 break
             if vm.cores > headroom:
+                if blocked_min is None or vm.cores < blocked_min:
+                    blocked_min = vm.cores
                 survivors.append((vm, queued_at))
                 continue
-            server = self.pool.find(vm, self.config.allocation)
+            server = find(vm, allocation)
             if server is None:
+                # Packing failure: more budget cannot start this VM, so
+                # it does not contribute a power wake threshold.
                 survivors.append((vm, queued_at))
                 continue
             self._start(vm, server, step)
             in_bytes += vm.memory_bytes
-            self.events.record(
-                step, EventKind.LAUNCH, vm.vm_id, vm.memory_bytes
-            )
+            record(step, EventKind.LAUNCH, vm.vm_id, vm.memory_bytes)
             n_launched += 1
         self._queue.extend(survivors)
+        self._launch_blocked_min_cores = blocked_min
         return in_bytes, n_launched, n_expired
 
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
 
-    def run(self, requests: Sequence[VMRequest]) -> SimulationResult:
+    def _step(
+        self,
+        step: int,
+        budget: int,
+        arrivals: Sequence[VM],
+        cols: StepColumns,
+        batched: bool,
+    ) -> None:
+        """Execute one simulation step and record it columnar."""
+        if batched:
+            n_completed = self._phase_completions_batched(step)
+        else:
+            n_completed = self._phase_completions(step)
+        out_bytes, n_evicted, n_paused = self._phase_power_down(step, budget)
+        n_resumed = self._phase_resume(step, budget)
+        n_admitted, n_queued = self._phase_arrivals(step, budget, arrivals)
+        in_bytes, n_launched, n_expired = self._phase_launches(step, budget)
+        cols.running_cores[step] = self._running_cores
+        cols.allocated_cores[step] = self._allocated_cores
+        cols.out_bytes[step] = out_bytes
+        cols.in_bytes[step] = in_bytes
+        cols.n_arrivals[step] = len(arrivals)
+        cols.n_admitted[step] = n_admitted
+        cols.n_queued[step] = n_queued
+        cols.n_launched[step] = n_launched
+        cols.n_evicted[step] = n_evicted
+        cols.n_paused[step] = n_paused
+        cols.n_resumed[step] = n_resumed
+        cols.n_completed[step] = n_completed
+        cols.n_expired[step] = n_expired
+        cols.queue_length[step] = len(self._queue)
+
+    def _budget_series(self, values: np.ndarray) -> np.ndarray:
+        """Whole-trace core budgets (vectorized when the model can)."""
+        series = getattr(self.power_model, "core_budget_series", None)
+        if series is not None:
+            return np.asarray(series(values), dtype=np.int64)
+        return np.array(
+            [self.power_model.core_budget(float(v)) for v in values],
+            dtype=np.int64,
+        )
+
+    def _launch_wake_threshold(self) -> int | None:
+        """Smallest core budget at which a queued VM could launch.
+
+        Derived from the last processed step: ``m`` is the smallest
+        core count among queued VMs that were blocked by power headroom
+        (packing-blocked VMs cannot be helped by budget growth, and the
+        pool only mutates at processed steps).  The budget must cover
+        both the power term (``running + m``) and, under power-relative
+        admission, the utilization cap ``int(util * budget) >=
+        allocated + m`` — solved exactly by a short upward scan from an
+        arithmetic lower bound.
+        """
+        m = self._launch_blocked_min_cores
+        if m is None:
+            return None
+        admission = self.admission
+        util = admission.target_utilization
+        total = admission.total_cores
+        need = self._allocated_cores + m
+        if need > int(util * total):
+            # Even a fully-powered cluster cannot admit under the cap;
+            # only allocation shrinking (a completion or eviction — an
+            # event in itself) can unblock the queue.
+            return None
+        running_threshold = self._running_cores + m
+        if not self.config.power_relative_admission:
+            return running_threshold
+        budget = max(0, int(need / util) - 2)
+        while int(util * min(budget, total)) < need:
+            budget += 1
+        return max(running_threshold, budget)
+
+    def _run_dense(
+        self,
+        n: int,
+        budgets: np.ndarray,
+        arrivals_by_step: dict[int, list[VM]],
+        cols: StepColumns,
+    ) -> None:
+        """Reference engine: execute every grid step."""
+        budget_list = budgets.tolist()
+        for step in range(n):
+            self._step(
+                step,
+                budget_list[step],
+                arrivals_by_step.get(step, ()),
+                cols,
+                batched=False,
+            )
+
+    def _run_event(
+        self,
+        n: int,
+        budgets: np.ndarray,
+        arrivals_by_step: dict[int, list[VM]],
+        cols: StepColumns,
+    ) -> None:
+        """Event-driven engine: wake only where state can change.
+
+        Wake sources: VM arrivals, the finish-step min-heap, the
+        queue-expiry min-heap, and the first step in the skipped window
+        where the precomputed budget series crosses a wake threshold
+        (below running cores, or at/above the resume or launch
+        thresholds).  Waking at a stale step is a harmless no-op;
+        skipping never drops work (see the wake-threshold proofs in the
+        module docstring), so skipped records are exact forward-fills.
+        """
+        patience = self.config.queue_patience_steps
+        arrival_steps = sorted(arrivals_by_step)
+        n_arrivals = len(arrival_steps)
+        arrival_index = 0
+        finish_heap = self._finish_heap
+        expiry_heap: list[int] = []
+        queue = self._queue
+        paused = self._paused
+        last = -1
+        while True:
+            nxt = n
+            if arrival_index < n_arrivals:
+                nxt = arrival_steps[arrival_index]
+            while finish_heap and finish_heap[0] <= last:
+                heappop(finish_heap)
+            if finish_heap and finish_heap[0] < nxt:
+                nxt = finish_heap[0]
+            while expiry_heap and expiry_heap[0] <= last:
+                heappop(expiry_heap)
+            if expiry_heap and expiry_heap[0] < nxt:
+                nxt = expiry_heap[0]
+            window_start = last + 1
+            if window_start < nxt:
+                running = self._running_cores
+                window = budgets[window_start:nxt]
+                wake = window < running if running > 0 else None
+                threshold = None
+                if paused:
+                    threshold = running + paused[0].cores
+                if queue:
+                    launch_threshold = self._launch_wake_threshold()
+                    if launch_threshold is not None and (
+                        threshold is None or launch_threshold < threshold
+                    ):
+                        threshold = launch_threshold
+                if threshold is not None:
+                    above = window >= threshold
+                    wake = above if wake is None else (wake | above)
+                if wake is not None:
+                    hit = int(np.argmax(wake))
+                    if wake[hit]:
+                        nxt = window_start + hit
+                if window_start < nxt:
+                    # Provably no-op span: forward-fill carried state
+                    # (counts and bytes are already zero).
+                    cols.running_cores[window_start:nxt] = running
+                    cols.allocated_cores[window_start:nxt] = (
+                        self._allocated_cores
+                    )
+                    cols.queue_length[window_start:nxt] = len(queue)
+            if nxt >= n:
+                return
+            step = nxt
+            if (
+                arrival_index < n_arrivals
+                and arrival_steps[arrival_index] == step
+            ):
+                arrivals: Sequence[VM] = arrivals_by_step[step]
+                arrival_index += 1
+            else:
+                arrivals = ()
+            self._step(step, int(budgets[step]), arrivals, cols, batched=True)
+            if queue and queue[-1][1] == step:
+                # VMs queued this step expire (REJECT) the first step
+                # their patience is exceeded; wake there even if power
+                # never recovers.
+                expiry = step + patience + 1
+                if expiry < n:
+                    heappush(expiry_heap, expiry)
+            last = step
+
+    def run(
+        self, requests: Sequence[VMRequest], *, engine: str = "event"
+    ) -> SimulationResult:
         """Replay ``requests`` against the power trace.
+
+        Args:
+            requests: VM arrivals to replay.
+            engine: ``"event"`` (default) skips provably no-op steps;
+                ``"dense"`` executes every grid step.  Both engines run
+                the same phase code over the same state and produce
+                identical results (enforced by the golden equivalence
+                tests).
 
         Returns:
             Per-step records plus the full event log.
         """
+        if engine not in ("event", "dense"):
+            raise ConfigurationError(f"unknown simulation engine: {engine!r}")
         grid = self.power_trace.grid
+        n = grid.n
         arrivals_by_step: dict[int, list[VM]] = {}
         for request in requests:
-            if request.arrival_step >= grid.n:
+            if request.arrival_step >= n:
                 continue
             arrivals_by_step.setdefault(request.arrival_step, []).append(
                 VM(request)
             )
-
-        records: list[StepRecord] = []
-        for step in range(grid.n):
-            norm_power = float(self.power_trace.values[step])
-            budget = self.power_model.core_budget(norm_power)
-            n_completed = self._phase_completions(step)
-            out_bytes, n_evicted, n_paused = self._phase_power_down(
-                step, budget
-            )
-            n_resumed = self._phase_resume(step, budget)
-            arrivals = arrivals_by_step.get(step, [])
-            n_admitted, n_queued = self._phase_arrivals(
-                step, budget, arrivals
-            )
-            in_bytes, n_launched, n_expired = self._phase_launches(
-                step, budget
-            )
-            records.append(
-                StepRecord(
-                    step=step,
-                    norm_power=norm_power,
-                    core_budget=budget,
-                    running_cores=self._running_cores,
-                    allocated_cores=self._allocated_cores,
-                    out_bytes=out_bytes,
-                    in_bytes=in_bytes,
-                    n_arrivals=len(arrivals),
-                    n_admitted=n_admitted,
-                    n_queued=n_queued,
-                    n_launched=n_launched,
-                    n_evicted=n_evicted,
-                    n_paused=n_paused,
-                    n_resumed=n_resumed,
-                    n_completed=n_completed,
-                    n_expired=n_expired,
-                    queue_length=len(self._queue),
-                )
-            )
-        return SimulationResult(grid, self.config, records, self.events)
+        values = np.asarray(self.power_trace.values, dtype=float)
+        budgets = self._budget_series(values)
+        cols = StepColumns(n)
+        if n:
+            cols.norm_power[:] = values
+            cols.core_budget[:] = budgets
+        if engine == "dense":
+            self._run_dense(n, budgets, arrivals_by_step, cols)
+        else:
+            self._run_event(n, budgets, arrivals_by_step, cols)
+        return SimulationResult(grid, self.config, cols, self.events)

@@ -85,14 +85,20 @@ class EvictionPlanner:
         selected: set[int] = set()
         freed = 0
         visited_without_progress = 0
+        first_placed = self.order is EvictionOrder.FIRST_PLACED
         while freed < cores_to_free and visited_without_progress < len(servers):
             server = servers[self._rotor % len(servers)]
             self._rotor = (self._rotor + 1) % len(servers)
-            victim = None
-            for candidate in self._iter_candidates(server):
-                if candidate.vm_id not in selected:
-                    victim = candidate
-                    break
+            if first_placed:
+                # Fast path: first RUNNING VM in placement order, with
+                # no intermediate candidate list.
+                victim = server.first_running_vm(selected)
+            else:
+                victim = None
+                for candidate in self._iter_candidates(server):
+                    if candidate.vm_id not in selected:
+                        victim = candidate
+                        break
             if victim is None:
                 visited_without_progress += 1
                 continue

@@ -14,17 +14,38 @@ from __future__ import annotations
 
 from typing import Protocol, runtime_checkable
 
+import numpy as np
+
 from ..errors import ConfigurationError
 from .resources import ClusterSpec
 
 
 @runtime_checkable
 class PowerModel(Protocol):
-    """Maps normalized generation to a powered-core budget."""
+    """Maps normalized generation to a powered-core budget.
+
+    Implementations may additionally provide a vectorized
+    ``core_budget_series(values) -> np.ndarray`` returning the budget
+    for a whole trace at once; the simulator uses it when present and
+    falls back to per-step ``core_budget`` calls otherwise.
+    """
 
     def core_budget(self, norm_power: float) -> int:
         """Cores that may be powered when generation is ``norm_power``."""
         ...
+
+
+def _validated_series(values: np.ndarray) -> np.ndarray:
+    """Range-check a normalized power series (vectorized)."""
+    values = np.asarray(values, dtype=float)
+    if values.size:
+        bad = (values < 0.0) | (values > 1.0 + 1e-9)
+        if bad.any():
+            offender = float(values[bad][0])
+            raise ConfigurationError(
+                f"normalized power out of range: {offender}"
+            )
+    return values
 
 
 class LinearCorePower:
@@ -44,6 +65,17 @@ class LinearCorePower:
                 f"normalized power out of range: {norm_power}"
             )
         return int(min(norm_power, 1.0) * self.cluster.total_cores)
+
+    def core_budget_series(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`core_budget` over a whole trace.
+
+        Identical arithmetic per element (float multiply, truncate), so
+        the result matches the scalar path bit for bit.
+        """
+        values = _validated_series(values)
+        return (
+            np.minimum(values, 1.0) * self.cluster.total_cores
+        ).astype(np.int64)
 
 
 class ServerGranularPower:
@@ -83,3 +115,28 @@ class ServerGranularPower:
             partial = int((remaining_w - idle_w) / core_w)
             cores += min(partial, spec.cores)
         return cores
+
+    def core_budget_series(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`core_budget` over a whole trace.
+
+        Mirrors the scalar arithmetic operation for operation (same
+        float64 multiplies/divides, same truncations), so the series
+        matches per-step calls exactly.
+        """
+        values = _validated_series(values)
+        spec = self.cluster.server
+        n_servers = self.cluster.n_servers
+        budget_w = np.minimum(values, 1.0) * self.cluster.max_power_w
+        idle_w = spec.max_power_w * spec.idle_fraction
+        core_w = spec.core_power_w
+        full_server_w = idle_w + core_w * spec.cores
+        full_servers = np.minimum(
+            (budget_w / full_server_w).astype(np.int64), n_servers
+        )
+        cores = full_servers * spec.cores
+        remaining_w = budget_w - full_servers * full_server_w
+        partial = np.minimum(
+            ((remaining_w - idle_w) / core_w).astype(np.int64), spec.cores
+        )
+        add = (full_servers < n_servers) & (remaining_w > idle_w)
+        return cores + np.where(add, partial, 0)

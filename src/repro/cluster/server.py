@@ -14,41 +14,29 @@ class Server:
     server itself has no notion of power — the cluster-level power model
     decides how many cores may be powered overall; the server just
     reports what is allocated.
+
+    ``allocated_cores`` / ``free_cores`` / ``allocated_memory_bytes`` /
+    ``free_memory_bytes`` are plain attributes maintained incrementally
+    by :meth:`host` and :meth:`release` — ``fits`` and the pool's
+    bucket bookkeeping read them on every placement query, so property
+    indirection here is pure overhead.
     """
 
     def __init__(self, server_id: int, spec: ServerSpec):
         self.server_id = server_id
         self.spec = spec
         self._vms: dict[int, VM] = {}
-        self._allocated_cores = 0
-        self._allocated_memory = 0.0
+        self.allocated_cores = 0
+        self.allocated_memory_bytes = 0.0
+        self.free_cores = spec.cores
+        self.free_memory_bytes = spec.memory_bytes
 
     def __repr__(self) -> str:
         return (
             f"Server(id={self.server_id},"
-            f" cores={self._allocated_cores}/{self.spec.cores},"
+            f" cores={self.allocated_cores}/{self.spec.cores},"
             f" vms={len(self._vms)})"
         )
-
-    @property
-    def allocated_cores(self) -> int:
-        """Cores pinned by hosted VMs."""
-        return self._allocated_cores
-
-    @property
-    def allocated_memory_bytes(self) -> float:
-        """Memory pinned by hosted VMs, bytes."""
-        return self._allocated_memory
-
-    @property
-    def free_cores(self) -> int:
-        """Cores not pinned by any VM."""
-        return self.spec.cores - self._allocated_cores
-
-    @property
-    def free_memory_bytes(self) -> float:
-        """Unpinned memory, bytes."""
-        return self.spec.memory_bytes - self._allocated_memory
 
     @property
     def vm_count(self) -> int:
@@ -90,8 +78,10 @@ class Server:
             )
         vm.place(self.server_id)
         self._vms[vm.vm_id] = vm
-        self._allocated_cores += vm.cores
-        self._allocated_memory += vm.memory_bytes
+        self.allocated_cores += vm.cores
+        self.allocated_memory_bytes += vm.memory_bytes
+        self.free_cores -= vm.cores
+        self.free_memory_bytes -= vm.memory_bytes
 
     def release(self, vm: VM) -> None:
         """Remove ``vm`` from this server without changing its state.
@@ -107,9 +97,22 @@ class Server:
                 f"VM {vm.vm_id} not on server {self.server_id}"
             )
         del self._vms[vm.vm_id]
-        self._allocated_cores -= vm.cores
-        self._allocated_memory -= vm.memory_bytes
+        self.allocated_cores -= vm.cores
+        self.allocated_memory_bytes -= vm.memory_bytes
+        self.free_cores += vm.cores
+        self.free_memory_bytes += vm.memory_bytes
 
     def running_vms(self) -> list[VM]:
         """Hosted VMs currently in the RUNNING state."""
         return [vm for vm in self._vms.values() if vm.state is VMState.RUNNING]
+
+    def first_running_vm(self, excluded: set[int]) -> VM | None:
+        """First RUNNING VM in placement order not in ``excluded``.
+
+        The eviction planner's FIRST_PLACED fast path: avoids building
+        the full :meth:`running_vms` list per rotor visit.
+        """
+        for vm in self._vms.values():
+            if vm.state is VMState.RUNNING and vm.vm_id not in excluded:
+                return vm
+        return None

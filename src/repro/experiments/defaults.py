@@ -41,4 +41,7 @@ DEFAULT_UTILIZATION = 0.70
 #: every cache key so stale artifacts from older code never resurface.
 #: experiments-2: vectorized OU wind kernel (float-reassociation-level
 #: trace changes) and per-policy forecaster instances in the runner.
-CACHE_CODE_VERSION = "repro-0.1.0/experiments-2"
+#: experiments-3: event-driven simulation core (sorted-bucket server
+#: pool changes placement tie-breaking within a free-core bucket) and
+#: vectorized MIP assembly.
+CACHE_CODE_VERSION = "repro-0.1.0/experiments-3"

@@ -21,10 +21,20 @@ that is slack — except when the peak objective makes it *profitable* to
 raise ``u`` early, which is exactly the paper's observation that
 MIP-peak "migrates VMs preemptively, spreading out migrations over
 time".  Solved with HiGHS via :func:`scipy.optimize.milp`.
+
+Constraint assembly is vectorized: every constraint family (C1-C6)
+contributes numpy row/col/val blocks built with broadcasting, and one
+COO→CSR conversion produces the matrix.  The per-coefficient loop
+implementation is kept as :func:`_assemble_reference` — both builders
+produce structurally identical matrices (no duplicate entries, so the
+canonical CSR forms coincide; enforced by the golden assembly tests),
+which makes scaling to hundreds of sites an assembly-time change only,
+with identical solver input.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
@@ -95,6 +105,320 @@ class _Layout:
         )
 
 
+@dataclass(frozen=True)
+class MIPTimings:
+    """Assembly/solve split of the last :meth:`MIPScheduler.schedule`."""
+
+    assembly_s: float
+    solve_s: float
+    n_rows: int
+    n_cols: int
+    nnz: int
+
+
+def _active_mask(problem: SchedulingProblem) -> np.ndarray:
+    """(n_apps, n_steps) bool: app ``a`` runs during step ``t``."""
+    n_steps = problem.grid.n
+    arrivals = np.array(
+        [app.arrival_step for app in problem.apps], dtype=np.int64
+    )
+    ends = np.array([app.end_step for app in problem.apps], dtype=np.int64)
+    t = np.arange(n_steps)
+    return (t >= arrivals[:, None]) & (t < ends[:, None])
+
+
+def _capacity_matrix(problem: SchedulingProblem) -> np.ndarray:
+    """(n_sites, n_steps) float: forecast capacity per site per step."""
+    return np.stack(
+        [
+            np.asarray(site.capacity_cores, dtype=float)
+            for site in problem.sites
+        ]
+    )
+
+
+def _allocation_cap_matrix(
+    problem: SchedulingProblem,
+    allocation_cap: Mapping[str, np.ndarray] | None,
+) -> np.ndarray:
+    """(n_sites, n_steps) float: allocated-core cap per site per step."""
+    n_steps = problem.grid.n
+    caps = np.empty((len(problem.sites), n_steps))
+    for s, site in enumerate(problem.sites):
+        if allocation_cap is not None:
+            caps[s] = np.asarray(allocation_cap[site.name], dtype=float)
+        else:
+            caps[s] = problem.utilization_cap * site.total_cores
+    return caps
+
+
+def _assemble(
+    problem: SchedulingProblem,
+    layout: _Layout,
+    allocation_cap: Mapping[str, np.ndarray] | None,
+    stable_background: Mapping[str, np.ndarray] | None,
+    previous_assignment: Mapping[int, Mapping[str, int]] | None,
+) -> tuple[sparse.csr_matrix, np.ndarray, np.ndarray]:
+    """Vectorized constraint assembly.
+
+    Builds numpy row/col/val blocks per constraint family and converts
+    once; row numbering matches :func:`_assemble_reference` exactly, and
+    no (row, col) pair is emitted twice, so the canonical CSR forms of
+    the two builders are identical.
+    """
+    apps = problem.apps
+    sites = problem.sites
+    A, S, T = layout.n_apps, layout.n_sites, layout.n_steps
+    ST = S * T
+
+    active = _active_mask(problem)
+    stable_cpv = np.array(
+        [app.vm_type.cores * app.stable_fraction for app in apps]
+    )
+    total_cpv = np.array([float(app.vm_type.cores) for app in apps])
+    vm_counts = np.array([float(app.vm_count) for app in apps])
+    s_idx = np.arange(S, dtype=np.int64)
+    st_idx = np.arange(ST, dtype=np.int64)
+    bpc_gb = problem.bytes_per_core / 1e9
+
+    row_blocks: list[np.ndarray] = []
+    col_blocks: list[np.ndarray] = []
+    val_blocks: list[np.ndarray] = []
+    lb_blocks: list[np.ndarray] = []
+    ub_blocks: list[np.ndarray] = []
+
+    def emit(rows: np.ndarray, cols: np.ndarray, vals: np.ndarray) -> None:
+        row_blocks.append(np.asarray(rows, dtype=np.int64))
+        col_blocks.append(np.asarray(cols, dtype=np.int64))
+        val_blocks.append(np.asarray(vals, dtype=float))
+
+    # (C1) every app fully placed: rows [0, A).
+    emit(
+        np.repeat(np.arange(A, dtype=np.int64), S),
+        np.arange(A * S, dtype=np.int64),
+        np.ones(A * S),
+    )
+    lb_blocks.append(vm_counts)
+    ub_blocks.append(vm_counts)
+
+    # (C2) displacement lower bound: rows [A, A + S*T), row A + s*T + t.
+    r2 = A
+    emit(r2 + st_idx, layout.o_u + st_idx, np.ones(ST))
+    a2, t2 = np.nonzero(active & (stable_cpv > 0)[:, None])
+    if a2.size:
+        emit(
+            (r2 + s_idx[:, None] * T + t2[None, :]).ravel(),
+            (a2[None, :] * S + s_idx[:, None]).ravel(),
+            np.tile(-stable_cpv[a2], S),
+        )
+    capacity = _capacity_matrix(problem)
+    background = np.zeros((S, T))
+    if stable_background is not None:
+        for s, site in enumerate(sites):
+            background[s] = np.asarray(
+                stable_background[site.name], dtype=float
+            )
+    lb_blocks.append((-capacity + background).ravel())
+    ub_blocks.append(np.full(ST, np.inf))
+
+    # (C3) traffic decomposition: rows [A + S*T, A + 2*S*T).
+    r3 = A + ST
+    emit(r3 + st_idx, layout.o_dp + st_idx, np.ones(ST))
+    emit(r3 + st_idx, layout.o_dn + st_idx, -np.ones(ST))
+    emit(r3 + st_idx, layout.o_u + st_idx, -np.ones(ST))
+    has_prev = (st_idx % T) != 0
+    prev_idx = st_idx[has_prev]
+    emit(
+        r3 + prev_idx, layout.o_u + prev_idx - 1, np.ones(prev_idx.size)
+    )
+    lb_blocks.append(np.zeros(ST))
+    ub_blocks.append(np.zeros(ST))
+
+    # (C4) allocated cores within the cap: one row per site per step
+    # with at least one active app (rank maps step -> row offset).
+    r4 = A + 2 * ST
+    t_active = np.flatnonzero(active.any(axis=0))
+    n_act = t_active.size
+    if n_act:
+        rank = np.empty(T, dtype=np.int64)
+        rank[t_active] = np.arange(n_act, dtype=np.int64)
+        a4, t4 = np.nonzero(active)
+        emit(
+            (r4 + s_idx[:, None] * n_act + rank[t4][None, :]).ravel(),
+            (a4[None, :] * S + s_idx[:, None]).ravel(),
+            np.tile(total_cpv[a4], S),
+        )
+        caps = _allocation_cap_matrix(problem, allocation_cap)
+        lb_blocks.append(np.full(S * n_act, -np.inf))
+        ub_blocks.append(caps[:, t_active].ravel())
+    r5 = r4 + S * n_act
+
+    # (C5) peak bound: rows [r5, r5 + S*T) when the O2 term is on.
+    if layout.peak:
+        emit(r5 + st_idx, layout.o_dp + st_idx, np.full(ST, bpc_gb))
+        emit(r5 + st_idx, layout.o_dn + st_idx, np.full(ST, bpc_gb))
+        emit(
+            r5 + st_idx,
+            np.full(ST, layout.o_m, dtype=np.int64),
+            -np.ones(ST),
+        )
+        lb_blocks.append(np.full(ST, -np.inf))
+        ub_blocks.append(np.zeros(ST))
+    r6 = r5 + (ST if layout.peak else 0)
+
+    # (C6) reassignment decomposition: rows [r6, r6 + A*S).
+    if layout.reassign:
+        as_idx = np.arange(A * S, dtype=np.int64)
+        emit(r6 + as_idx, as_idx, np.ones(A * S))
+        emit(r6 + as_idx, layout.o_mp + as_idx, -np.ones(A * S))
+        emit(r6 + as_idx, layout.o_mp + A * S + as_idx, np.ones(A * S))
+        prev_arr = np.zeros((A, S))
+        for a, app in enumerate(apps):
+            prev = previous_assignment.get(app.app_id, {})
+            if prev:
+                for s, site in enumerate(sites):
+                    prev_arr[a, s] = float(prev.get(site.name, 0))
+        lb_blocks.append(prev_arr.ravel())
+        ub_blocks.append(prev_arr.ravel())
+    n_rows = r6 + (A * S if layout.reassign else 0)
+
+    matrix = sparse.csr_matrix(
+        (
+            np.concatenate(val_blocks),
+            (np.concatenate(row_blocks), np.concatenate(col_blocks)),
+        ),
+        shape=(n_rows, layout.n_vars),
+    )
+    return matrix, np.concatenate(lb_blocks), np.concatenate(ub_blocks)
+
+
+def _assemble_reference(
+    problem: SchedulingProblem,
+    layout: _Layout,
+    allocation_cap: Mapping[str, np.ndarray] | None,
+    stable_background: Mapping[str, np.ndarray] | None,
+    previous_assignment: Mapping[int, Mapping[str, int]] | None,
+) -> tuple[sparse.csr_matrix, np.ndarray, np.ndarray]:
+    """Per-coefficient loop assembly (the original implementation).
+
+    Kept as the oracle for the vectorized builder: the golden tests
+    assert both produce identical CSR matrices and bounds.
+    """
+    apps = problem.apps
+    sites = problem.sites
+    n_steps = layout.n_steps
+    bpc_gb = problem.bytes_per_core / 1e9
+
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    lb: list[float] = []
+    ub: list[float] = []
+    row = 0
+
+    def add_entry(r: int, c: int, v: float) -> None:
+        rows.append(r)
+        cols.append(c)
+        vals.append(v)
+
+    # (C1) every app fully placed.
+    for a, app in enumerate(apps):
+        for s in range(len(sites)):
+            add_entry(row, layout.y(a, s), 1.0)
+        lb.append(float(app.vm_count))
+        ub.append(float(app.vm_count))
+        row += 1
+
+    # Active app lists per step (shared by C2 and C4).
+    active_at: list[list[int]] = [[] for _ in range(n_steps)]
+    for a, app in enumerate(apps):
+        for t in range(app.arrival_step, app.end_step):
+            active_at[t].append(a)
+
+    stable_cpv = [
+        app.vm_type.cores * app.stable_fraction for app in apps
+    ]
+    total_cpv = [float(app.vm_type.cores) for app in apps]
+
+    # (C2) displacement lower bound:
+    #   u[s,t] - sum_a stable_cpv*y[a,s] >= -capacity + background.
+    for s, site in enumerate(sites):
+        background = None
+        if stable_background is not None:
+            background = np.asarray(stable_background[site.name])
+        for t in range(n_steps):
+            add_entry(row, layout.u(s, t), 1.0)
+            for a in active_at[t]:
+                if stable_cpv[a] > 0:
+                    add_entry(row, layout.y(a, s), -stable_cpv[a])
+            bound = -float(site.capacity_cores[t])
+            if background is not None:
+                bound += float(background[t])
+            lb.append(bound)
+            ub.append(np.inf)
+            row += 1
+
+    # (C3) traffic decomposition: dp - dn - u_t + u_{t-1} = 0.
+    for s in range(len(sites)):
+        for t in range(n_steps):
+            add_entry(row, layout.dp(s, t), 1.0)
+            add_entry(row, layout.dn(s, t), -1.0)
+            add_entry(row, layout.u(s, t), -1.0)
+            if t > 0:
+                add_entry(row, layout.u(s, t - 1), 1.0)
+            lb.append(0.0)
+            ub.append(0.0)
+            row += 1
+
+    # (C4) allocated cores within the cap.
+    for s, site in enumerate(sites):
+        if allocation_cap is not None:
+            caps = np.asarray(allocation_cap[site.name], dtype=float)
+        else:
+            caps = np.full(
+                n_steps, problem.utilization_cap * site.total_cores
+            )
+        for t in range(n_steps):
+            if not active_at[t]:
+                continue
+            for a in active_at[t]:
+                add_entry(row, layout.y(a, s), total_cpv[a])
+            lb.append(-np.inf)
+            ub.append(float(caps[t]))
+            row += 1
+
+    # (C5) peak bound.
+    if layout.peak:
+        for s in range(len(sites)):
+            for t in range(n_steps):
+                add_entry(row, layout.dp(s, t), bpc_gb)
+                add_entry(row, layout.dn(s, t), bpc_gb)
+                add_entry(row, layout.o_m, -1.0)
+                lb.append(-np.inf)
+                ub.append(0.0)
+                row += 1
+
+    # (C6) reassignment decomposition for replanning:
+    #   y[a,s] - m+[a,s] + m-[a,s] = prev[a,s].
+    if layout.reassign:
+        names = [site.name for site in sites]
+        for a, app in enumerate(apps):
+            prev = previous_assignment.get(app.app_id, {})
+            for s, name in enumerate(names):
+                add_entry(row, layout.y(a, s), 1.0)
+                add_entry(row, layout.mp(a, s), -1.0)
+                add_entry(row, layout.mn(a, s), 1.0)
+                previous = float(prev.get(name, 0))
+                lb.append(previous)
+                ub.append(previous)
+                row += 1
+
+    matrix = sparse.csr_matrix(
+        (vals, (rows, cols)), shape=(row, layout.n_vars)
+    )
+    return matrix, np.array(lb), np.array(ub)
+
+
 class MIPScheduler:
     """O1 (total) site selection, with optional O2 (peak) term.
 
@@ -108,6 +432,9 @@ class MIPScheduler:
             accepted when the limit strikes.
         mip_rel_gap: Relative optimality gap at which HiGHS may stop.
         epsilon: Anchor weight pinning u to its lower bound.
+
+    After each :meth:`schedule` call, :attr:`last_timings` holds the
+    assembly/solve wall-clock split (:class:`MIPTimings`).
     """
 
     def __init__(
@@ -127,6 +454,7 @@ class MIPScheduler:
         self.time_limit_s = time_limit_s
         self.mip_rel_gap = mip_rel_gap
         self.epsilon = epsilon
+        self.last_timings: MIPTimings | None = None
 
     # ------------------------------------------------------------------
 
@@ -181,112 +509,10 @@ class MIPScheduler:
         n_steps = problem.grid.n
         bpc_gb = problem.bytes_per_core / 1e9
 
-        rows: list[int] = []
-        cols: list[int] = []
-        vals: list[float] = []
-        lb: list[float] = []
-        ub: list[float] = []
-        row = 0
-
-        def add_entry(r: int, c: int, v: float) -> None:
-            rows.append(r)
-            cols.append(c)
-            vals.append(v)
-
-        # (C1) every app fully placed.
-        for a, app in enumerate(apps):
-            for s in range(len(sites)):
-                add_entry(row, layout.y(a, s), 1.0)
-            lb.append(float(app.vm_count))
-            ub.append(float(app.vm_count))
-            row += 1
-
-        # Active app lists per step (shared by C2 and C4).
-        active_at: list[list[int]] = [[] for _ in range(n_steps)]
-        for a, app in enumerate(apps):
-            for t in range(app.arrival_step, app.end_step):
-                active_at[t].append(a)
-
-        stable_cpv = [
-            app.vm_type.cores * app.stable_fraction for app in apps
-        ]
-        total_cpv = [float(app.vm_type.cores) for app in apps]
-
-        # (C2) displacement lower bound:
-        #   u[s,t] - sum_a stable_cpv*y[a,s] >= -capacity + background.
-        for s, site in enumerate(sites):
-            background = None
-            if stable_background is not None:
-                background = np.asarray(stable_background[site.name])
-            for t in range(n_steps):
-                add_entry(row, layout.u(s, t), 1.0)
-                for a in active_at[t]:
-                    if stable_cpv[a] > 0:
-                        add_entry(row, layout.y(a, s), -stable_cpv[a])
-                bound = -float(site.capacity_cores[t])
-                if background is not None:
-                    bound += float(background[t])
-                lb.append(bound)
-                ub.append(np.inf)
-                row += 1
-
-        # (C3) traffic decomposition: dp - dn - u_t + u_{t-1} = 0.
-        for s in range(len(sites)):
-            for t in range(n_steps):
-                add_entry(row, layout.dp(s, t), 1.0)
-                add_entry(row, layout.dn(s, t), -1.0)
-                add_entry(row, layout.u(s, t), -1.0)
-                if t > 0:
-                    add_entry(row, layout.u(s, t - 1), 1.0)
-                lb.append(0.0)
-                ub.append(0.0)
-                row += 1
-
-        # (C4) allocated cores within the cap.
-        for s, site in enumerate(sites):
-            if allocation_cap is not None:
-                caps = np.asarray(allocation_cap[site.name], dtype=float)
-            else:
-                caps = np.full(
-                    n_steps, problem.utilization_cap * site.total_cores
-                )
-            for t in range(n_steps):
-                if not active_at[t]:
-                    continue
-                for a in active_at[t]:
-                    add_entry(row, layout.y(a, s), total_cpv[a])
-                lb.append(-np.inf)
-                ub.append(float(caps[t]))
-                row += 1
-
-        # (C5) peak bound.
-        if layout.peak:
-            for s in range(len(sites)):
-                for t in range(n_steps):
-                    add_entry(row, layout.dp(s, t), bpc_gb)
-                    add_entry(row, layout.dn(s, t), bpc_gb)
-                    add_entry(row, layout.o_m, -1.0)
-                    lb.append(-np.inf)
-                    ub.append(0.0)
-                    row += 1
-
-        # (C6) reassignment decomposition for replanning:
-        #   y[a,s] - m+[a,s] + m-[a,s] = prev[a,s].
-        if layout.reassign:
-            names = [site.name for site in sites]
-            for a, app in enumerate(apps):
-                prev = previous_assignment.get(app.app_id, {})
-                for s, name in enumerate(names):
-                    add_entry(row, layout.y(a, s), 1.0)
-                    add_entry(row, layout.mp(a, s), -1.0)
-                    add_entry(row, layout.mn(a, s), 1.0)
-                    previous = float(prev.get(name, 0))
-                    lb.append(previous)
-                    ub.append(previous)
-                    row += 1
-
-        matrix = sparse.csr_matrix(
-            (vals, (rows, cols)), shape=(row, layout.n_vars)
+        assembly_start = time.perf_counter()
+        matrix, lb, ub = _assemble(
+            problem, layout, allocation_cap, stable_background,
+            previous_assignment,
         )
 
         # Objective.
@@ -300,30 +526,43 @@ class MIPScheduler:
             # Moving a VM into a site it wasn't at costs its memory
             # once (m+ counts arrivals; counting one side avoids
             # double-charging the same move).
-            for a, app in enumerate(apps):
-                move_gb = app.vm_type.memory_bytes / 1e9
-                for s in range(len(sites)):
-                    c[layout.mp(a, s)] = switch_weight * move_gb
+            move_gb = np.array(
+                [app.vm_type.memory_bytes / 1e9 for app in apps]
+            )
+            n_pairs = layout.n_apps * layout.n_sites
+            c[layout.o_mp : layout.o_mp + n_pairs] = (
+                switch_weight * np.repeat(move_gb, len(sites))
+            )
 
         # Bounds and integrality.
         lower = np.zeros(layout.n_vars)
         upper = np.full(layout.n_vars, np.inf)
-        for a, app in enumerate(apps):
-            for s in range(len(sites)):
-                upper[layout.y(a, s)] = float(app.vm_count)
+        upper[: layout.o_u] = np.repeat(
+            np.array([float(app.vm_count) for app in apps]), len(sites)
+        )
         integrality = np.zeros(layout.n_vars)
         if self.integer_vms:
             integrality[: layout.o_u] = 1
+        assembly_s = time.perf_counter() - assembly_start
 
+        solve_start = time.perf_counter()
         result = milp(
             c,
-            constraints=LinearConstraint(matrix, np.array(lb), np.array(ub)),
+            constraints=LinearConstraint(matrix, lb, ub),
             integrality=integrality,
             bounds=Bounds(lower, upper),
             options={
                 "time_limit": self.time_limit_s,
                 "mip_rel_gap": self.mip_rel_gap,
             },
+        )
+        solve_s = time.perf_counter() - solve_start
+        self.last_timings = MIPTimings(
+            assembly_s=assembly_s,
+            solve_s=solve_s,
+            n_rows=matrix.shape[0],
+            n_cols=matrix.shape[1],
+            nnz=matrix.nnz,
         )
         if result.x is None:
             raise SolverError(
@@ -338,10 +577,10 @@ class MIPScheduler:
         """Turn a solution vector into a validated Placement."""
         assignment: dict[int, dict[str, int]] = {}
         names = problem.site_names
+        S = layout.n_sites
+        T = layout.n_steps
         for a, app in enumerate(problem.apps):
-            raw = np.array(
-                [x[layout.y(a, s)] for s in range(len(names))]
-            )
+            raw = x[a * S : (a + 1) * S]
             counts = _round_preserving_sum(raw, app.vm_count)
             assignment[app.app_id] = {
                 name: int(count)
@@ -350,9 +589,7 @@ class MIPScheduler:
             }
         planned: dict[str, np.ndarray] = {}
         for s, name in enumerate(names):
-            series = np.array(
-                [x[layout.u(s, t)] for t in range(layout.n_steps)]
-            )
+            series = x[layout.o_u + s * T : layout.o_u + (s + 1) * T]
             planned[name] = np.clip(series, 0.0, None)
         placement = Placement(
             assignment, planned, preemptive=self.peak_weight > 0

@@ -9,6 +9,17 @@ has room it waits in a displaced pool and retries each step.  Stable
 VMs follow that migrate path; degradable VMs pause in place, exactly as
 the paper prescribes.
 
+Like the single-site simulator, the executor has two result-identical
+engines sharing one step implementation: ``engine="dense"`` advances
+every grid step; ``engine="event"`` (the default) wakes only at VM
+arrivals, scheduled completions (min-heap), and *budget-change steps*
+while any site holds running/paused VMs or the displaced pool is
+non-empty.  Between wakes no site state can change — budgets are
+constant, so overflow, resume eligibility, and displaced-landing
+feasibility are all unchanged from the last processed step — and the
+skipped records are exact forward-fills (the displaced pool still
+accrues homeless VM-steps over the span).
+
 The fluid engine answers "how many bytes"; this one also answers
 "which VM, onto which server, after how many hops" — and running both
 on the same placement quantifies the fluid approximation's error
@@ -17,20 +28,21 @@ on the same placement quantifies the fluid approximation's error
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from heapq import heappop, heappush
+from typing import Mapping
 
 import numpy as np
 
-from ..cluster import ClusterSpec, Datacenter, DatacenterConfig
+from ..cluster import ClusterSpec
 from ..cluster.datacenter import _ServerPool
-from ..cluster.migration import EvictionPlanner
+from ..cluster.migration import EvictionOrder, EvictionPlanner
 from ..cluster.vm import VM, VMState
-from ..errors import SchedulingError
+from ..errors import ConfigurationError, SchedulingError
 from ..sched.problem import Placement, SchedulingProblem
 from ..traces import PowerTrace
-from ..units import TimeGrid
-from ..workload import VMClass, VMRequest, VMType
+from ..workload import VMClass, VMRequest
 
 
 @dataclass(frozen=True)
@@ -48,21 +60,76 @@ class DetailedSiteRecord:
     n_resumed: int
 
 
-@dataclass
-class DetailedResult:
-    """Output of a detailed multi-site execution."""
+class _DetailedColumns:
+    """Columnar per-step measurements for one site."""
 
-    site_names: tuple[str, ...]
-    records: dict[str, list[DetailedSiteRecord]]
-    homeless_vm_steps: int
+    __slots__ = (
+        "n", "budget", "running_cores", "out_bytes", "in_bytes",
+        "n_evicted", "n_landed", "n_paused", "n_resumed",
+    )
+
+    def __init__(self, n: int, budget: np.ndarray):
+        self.n = n
+        self.budget = budget
+        self.running_cores = np.zeros(n, dtype=np.int64)
+        self.out_bytes = np.zeros(n)
+        self.in_bytes = np.zeros(n)
+        self.n_evicted = np.zeros(n, dtype=np.int64)
+        self.n_landed = np.zeros(n, dtype=np.int64)
+        self.n_paused = np.zeros(n, dtype=np.int64)
+        self.n_resumed = np.zeros(n, dtype=np.int64)
+
+
+class DetailedResult:
+    """Output of a detailed multi-site execution.
+
+    Measurements are stored columnar per site; :attr:`records` (the
+    per-site lists of :class:`DetailedSiteRecord`) is materialized
+    lazily on first access.  Series accessors return the stored arrays
+    directly — treat them as read-only.
+    """
+
+    def __init__(
+        self,
+        site_names: tuple[str, ...],
+        columns: dict[str, _DetailedColumns],
+        homeless_vm_steps: int,
+    ):
+        self.site_names = site_names
+        self.columns = columns
+        self.homeless_vm_steps = homeless_vm_steps
+        self._records: dict[str, list[DetailedSiteRecord]] | None = None
+        self._total_transfer: np.ndarray | None = None
+
+    @property
+    def records(self) -> dict[str, list[DetailedSiteRecord]]:
+        """Per-site step records (built from the columns on demand)."""
+        if self._records is None:
+            self._records = {}
+            for name, c in self.columns.items():
+                self._records[name] = [
+                    DetailedSiteRecord(*row)
+                    for row in zip(
+                        range(c.n),
+                        c.budget.tolist(),
+                        c.running_cores.tolist(),
+                        c.out_bytes.tolist(),
+                        c.in_bytes.tolist(),
+                        c.n_evicted.tolist(),
+                        c.n_landed.tolist(),
+                        c.n_paused.tolist(),
+                        c.n_resumed.tolist(),
+                    )
+                ]
+        return self._records
 
     def out_bytes_series(self, name: str) -> np.ndarray:
         """Out-migration bytes per step at one site."""
-        return np.array([r.out_bytes for r in self.records[name]])
+        return self.columns[name].out_bytes
 
     def in_bytes_series(self, name: str) -> np.ndarray:
         """In-migration (landing) bytes per step at one site."""
-        return np.array([r.in_bytes for r in self.records[name]])
+        return self.columns[name].in_bytes
 
     def total_transfer_series(self) -> np.ndarray:
         """Per-step migration bytes over all sites (out side counted).
@@ -70,10 +137,12 @@ class DetailedResult:
         Each migration is one transfer; counting the out side only
         avoids double-counting the same bytes on landing.
         """
-        return np.sum(
-            [self.out_bytes_series(name) for name in self.site_names],
-            axis=0,
-        )
+        if self._total_transfer is None:
+            self._total_transfer = np.sum(
+                [self.columns[name].out_bytes for name in self.site_names],
+                axis=0,
+            )
+        return self._total_transfer
 
     def total_transfer_gb(self) -> float:
         """Total realized migration traffic in GB."""
@@ -83,12 +152,17 @@ class DetailedResult:
 class _SiteState:
     """One site's cluster state inside the detailed executor."""
 
-    def __init__(self, name: str, cluster: ClusterSpec):
+    def __init__(
+        self,
+        name: str,
+        cluster: ClusterSpec,
+        eviction_order: EvictionOrder = EvictionOrder.FIRST_PLACED,
+    ):
         self.name = name
         self.cluster = cluster
         self.pool = _ServerPool(cluster)
         self.planner = EvictionPlanner(
-            cluster.n_servers, pause_degradable=True
+            cluster.n_servers, eviction_order, pause_degradable=True
         )
         self.running_cores = 0
         self.paused: list[VM] = []
@@ -119,9 +193,14 @@ class _SiteState:
         self.running_cores -= vm.cores
         self.paused.append(vm)
 
-    def resume_paused(self, budget: int) -> int:
-        """Resume paused VMs while the budget allows; returns count."""
-        resumed = 0
+    def resume_paused(self, budget: int) -> list[VM]:
+        """Resume paused VMs while the budget allows; returns them.
+
+        The returned VMs are exactly the RUNNING VMs whose finish needs
+        re-scheduling — everything else running already carries a
+        finish step.
+        """
+        resumed: list[VM] = []
         still_paused: list[VM] = []
         for vm in self.paused:
             if (
@@ -130,7 +209,7 @@ class _SiteState:
             ):
                 vm.resume()
                 self.running_cores += vm.cores
-                resumed += 1
+                resumed.append(vm)
             else:
                 still_paused.append(vm)
         self.paused = still_paused
@@ -173,6 +252,9 @@ def execute_placement_detailed(
     placement: Placement,
     actual_traces: Mapping[str, PowerTrace],
     cluster: ClusterSpec | None = None,
+    *,
+    engine: str = "event",
+    eviction_order: EvictionOrder = EvictionOrder.FIRST_PLACED,
 ) -> DetailedResult:
     """Run a placement through per-VM site simulators.
 
@@ -183,12 +265,20 @@ def execute_placement_detailed(
         actual_traces: True generation per site, on the problem grid.
         cluster: Per-site cluster shape; sized to each site's
             total_cores with the paper's 40-core servers when omitted.
+        engine: ``"event"`` (default) skips provably no-op steps;
+            ``"dense"`` executes every grid step.  Both produce
+            identical results.
+        eviction_order: Victim choice within a server during eviction
+            (the paper leaves it unspecified; first-placed by default).
 
     Returns:
         Per-site records plus cross-site handoff accounting.
     """
+    if engine not in ("event", "dense"):
+        raise ConfigurationError(f"unknown simulation engine: {engine!r}")
     placement.validate_complete(problem)
     grid = problem.grid
+    n = grid.n
     states: dict[str, _SiteState] = {}
     budgets: dict[str, np.ndarray] = {}
     for site in problem.sites:
@@ -197,42 +287,46 @@ def execute_placement_detailed(
             raise SchedulingError(
                 f"no actual trace for site {site.name!r}"
             )
-        if len(trace) != grid.n:
+        if len(trace) != n:
             raise SchedulingError(
                 f"trace for {site.name} has {len(trace)} steps,"
-                f" expected {grid.n}"
+                f" expected {n}"
             )
         shape = cluster or ClusterSpec(
             n_servers=max(1, site.total_cores // 40)
         )
-        states[site.name] = _SiteState(site.name, shape)
+        states[site.name] = _SiteState(site.name, shape, eviction_order)
         budgets[site.name] = np.floor(
             trace.values * shape.total_cores
         ).astype(int)
 
     arrivals = _build_vms(problem, placement)
-    records: dict[str, list[DetailedSiteRecord]] = {
-        name: [] for name in states
+    columns: dict[str, _DetailedColumns] = {
+        name: _DetailedColumns(n, budgets[name]) for name in states
     }
     # VMs displaced and not yet landed anywhere.
     displaced_pool: list[VM] = []
     finish_at: dict[int, list[tuple[VM, str]]] = {}
+    finish_heap: list[int] = []
     vm_site: dict[int, str] = {}
     homeless_vm_steps = 0
 
     def schedule_finish(vm: VM, site_name: str, step: int) -> None:
         finish = step + vm.remaining_steps
         vm.finish_step = finish
-        finish_at.setdefault(finish, []).append((vm, site_name))
+        bucket = finish_at.get(finish)
+        if bucket is None:
+            finish_at[finish] = [(vm, site_name)]
+            heappush(finish_heap, finish)
+        else:
+            bucket.append((vm, site_name))
         vm_site[vm.vm_id] = site_name
 
     site_order = {name: index for index, name in enumerate(states)}
 
-    for step in range(grid.n):
-        step_stats = {
-            name: dict(out_b=0.0, in_b=0.0, ev=0, land=0, pa=0, re=0)
-            for name in states
-        }
+    def process(step: int) -> None:
+        """One lock-step advance of every site (shared by both engines)."""
+        nonlocal displaced_pool, homeless_vm_steps
         step_budget = {
             name: int(budgets[name][step]) for name in states
         }
@@ -255,6 +349,7 @@ def execute_placement_detailed(
             budget = step_budget[name]
             overflow = state.running_cores - budget
             if overflow > 0:
+                cols = columns[name]
                 to_migrate, to_pause = state.planner.plan(
                     state.pool.servers, overflow
                 )
@@ -265,7 +360,7 @@ def execute_placement_detailed(
                         )
                     vm.finish_step = None
                     state.pause(vm)
-                    step_stats[name]["pa"] += 1
+                    cols.n_paused[step] += 1
                 for vm in to_migrate:
                     if vm.finish_step is not None:
                         vm.remaining_steps = max(
@@ -274,19 +369,18 @@ def execute_placement_detailed(
                     vm.finish_step = None
                     state.evict(vm)
                     displaced_pool.append(vm)
-                    step_stats[name]["out_b"] += vm.memory_bytes
-                    step_stats[name]["ev"] += 1
+                    cols.out_bytes[step] += vm.memory_bytes
+                    cols.n_evicted[step] += 1
 
-        # 3. Resume paused VMs where power recovered, then re-schedule
-        # finishes for anything RUNNING without one (the resumed VMs).
+        # 3. Resume paused VMs where power recovered.  Only the VMs
+        # resumed here lack a finish step (arrivals and landings are
+        # scheduled at placement), so re-scheduling scans exactly them
+        # instead of every server in the fleet.
         for name, state in states.items():
             resumed = state.resume_paused(step_budget[name])
-            step_stats[name]["re"] += resumed
-        for name, state in states.items():
-            for server in state.pool.servers:
-                for vm in server.running_vms():
-                    if vm.finish_step is None:
-                        schedule_finish(vm, name, step)
+            columns[name].n_resumed[step] += len(resumed)
+            for vm in resumed:
+                schedule_finish(vm, name, step)
 
         # 4. Fresh arrivals at their assigned sites.
         for name, state in states.items():
@@ -328,8 +422,9 @@ def execute_placement_detailed(
                         vm.migrations > 0
                     )
                     if was_migrated:
-                        step_stats[state.name]["in_b"] += vm.memory_bytes
-                        step_stats[state.name]["land"] += 1
+                        cols = columns[state.name]
+                        cols.in_bytes[step] += vm.memory_bytes
+                        cols.n_landed[step] += 1
                     landed = True
                     headroom[state.name] = state.free_powered_cores(
                         step_budget[state.name]
@@ -350,22 +445,84 @@ def execute_placement_detailed(
                 homeless_vm_steps += 1
         displaced_pool = still_displaced
 
-        for name in states:
-            stats = step_stats[name]
-            records[name].append(
-                DetailedSiteRecord(
-                    step=step,
-                    budget=step_budget[name],
-                    running_cores=states[name].running_cores,
-                    out_bytes=stats["out_b"],
-                    in_bytes=stats["in_b"],
-                    n_evicted=stats["ev"],
-                    n_landed=stats["land"],
-                    n_paused=stats["pa"],
-                    n_resumed=stats["re"],
-                )
+        for name, state in states.items():
+            columns[name].running_cores[step] = state.running_cores
+
+    if engine == "dense":
+        for step in range(n):
+            process(step)
+    else:
+        # Event-driven: wake at arrivals, scheduled finishes, and — while
+        # any VM is running/paused/displaced — steps where any site's
+        # core budget differs from the previous step.  Between wakes no
+        # site state can change, so skipped records are forward-fills
+        # (plus the displaced pool's homeless accrual).
+        arrival_steps = sorted(
+            {
+                step
+                for per_site in arrivals.values()
+                for step in per_site
+                if step < n
+            }
+        )
+        n_arrival_steps = len(arrival_steps)
+        arrival_index = 0
+        if n > 1 and states:
+            budget_matrix = np.stack(
+                [budgets[name] for name in states]
             )
+            changed_steps = (
+                np.flatnonzero(
+                    (budget_matrix[:, 1:] != budget_matrix[:, :-1]).any(
+                        axis=0
+                    )
+                )
+                + 1
+            ).tolist()
+        else:
+            changed_steps = []
+        n_changed = len(changed_steps)
+        changed_index = 0
+        state_list = list(states.values())
+        last = -1
+        while True:
+            nxt = n
+            while (
+                arrival_index < n_arrival_steps
+                and arrival_steps[arrival_index] <= last
+            ):
+                arrival_index += 1
+            if arrival_index < n_arrival_steps:
+                nxt = arrival_steps[arrival_index]
+            while finish_heap and finish_heap[0] <= last:
+                heappop(finish_heap)
+            if finish_heap and finish_heap[0] < nxt:
+                nxt = finish_heap[0]
+            active = bool(displaced_pool) or any(
+                s.running_cores > 0 or s.paused for s in state_list
+            )
+            if active:
+                changed_index = bisect_right(
+                    changed_steps, last, changed_index
+                )
+                if (
+                    changed_index < n_changed
+                    and changed_steps[changed_index] < nxt
+                ):
+                    nxt = changed_steps[changed_index]
+            window_start = last + 1
+            if window_start < nxt:
+                span = min(nxt, n) - window_start
+                homeless_vm_steps += len(displaced_pool) * span
+                for name, state in states.items():
+                    columns[name].running_cores[
+                        window_start:window_start + span
+                    ] = state.running_cores
+            if nxt >= n:
+                break
+            process(nxt)
+            last = nxt
 
     return DetailedResult(
-        tuple(problem.site_names), records, homeless_vm_steps
+        tuple(problem.site_names), columns, homeless_vm_steps
     )
