@@ -201,6 +201,58 @@ def test_sim_year_fleet():
     assert speedup >= 1.0
 
 
+def test_sim_year_fleet_tracing_overhead():
+    """Year-fleet event engine with tracing off vs on.
+
+    The no-op observability path must stay free: with no sinks the
+    instrumented engine may not regress more than 5% against itself
+    with a live JSONL sink (plus a small absolute floor so a loaded
+    runner doesn't flake on sub-second noise).  Results must be
+    identical either way, and the emitted trace is uploaded by CI.
+    """
+    from repro import obs
+
+    grid = grid_days(YEAR_START, 365)
+    config = DatacenterConfig()
+    sites = [_fleet_site(seed, grid) for seed in range(4)]
+
+    def run():
+        return [
+            Datacenter(config, trace).run(requests, engine="event")
+            for trace, requests in sites
+        ]
+
+    trace_path = REPO_ROOT / "BENCH_trace.jsonl"
+    trace_path.unlink(missing_ok=True)
+    assert not obs.enabled()
+    untraced, untraced_s = _time_once(run)
+    sink = obs.JsonlSink(trace_path)
+    with obs.use(sink):
+        traced, traced_s = _time_once(run)
+    sink.close()
+    for a, b in zip(untraced, traced):
+        assert a.records == b.records
+    assert trace_path.exists() and trace_path.stat().st_size > 0
+    spans = [
+        r
+        for r in obs.load_trace(trace_path)
+        if r["type"] == "span" and r["name"] == "datacenter.run"
+    ]
+    assert len(spans) == len(sites)
+    _record(
+        "sim_year_fleet_tracing",
+        n_sites=len(sites),
+        untraced_s=untraced_s,
+        traced_s=traced_s,
+        overhead=traced_s / untraced_s - 1.0,
+    )
+    # The gate protects the *untraced* path: instrumentation must not
+    # have slowed the engine.  Tracing emits one span + a handful of
+    # aggregate counters per site-year, so even the traced run should
+    # sit within noise of untraced.
+    assert traced_s <= untraced_s * 1.05 + 0.5
+
+
 # ----------------------------------------------------------------------
 # MIP: assembly vs solve, loop vs vectorized
 # ----------------------------------------------------------------------

@@ -16,6 +16,10 @@ A full reproduction of "Redesigning Data Centers for Renewable Energy"
 - :mod:`repro.sched` — the power & network aware co-scheduler: greedy
   baseline, MIP / MIP-24h / MIP-peak (§3.1, Table 1, Fig 7).
 - :mod:`repro.sim` — executing placements against actual generation.
+- :mod:`repro.experiments` — declarative scenarios, the cached staged
+  runner, and parallel scenario batches.
+- :mod:`repro.obs` — span tracing and metrics behind every pipeline
+  (``$REPRO_TRACE``, ``repro report``).
 - :mod:`repro.analysis` — CDFs, percentile ratios, text tables.
 
 Quickstart::
@@ -93,10 +97,20 @@ from .sched import (
     problem_from_forecasts,
 )
 from .sim import (
+    SUMMARY_SCHEMA,
     ExecutionResult,
     PolicyComparison,
     execute_placement,
     summarize_transfers,
+)
+from . import obs
+from .experiments import (
+    ArtifactCache,
+    Runner,
+    RunResult,
+    Scenario,
+    run_scenario,
+    run_scenarios,
 )
 
 __version__ = "0.1.0"
@@ -155,7 +169,15 @@ __all__ = [
     "problem_from_forecasts",
     "ExecutionResult",
     "PolicyComparison",
+    "SUMMARY_SCHEMA",
     "execute_placement",
     "summarize_transfers",
+    "obs",
+    "ArtifactCache",
+    "Runner",
+    "RunResult",
+    "Scenario",
+    "run_scenario",
+    "run_scenarios",
     "__version__",
 ]

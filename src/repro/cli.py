@@ -9,6 +9,13 @@ Subcommands::
     python -m repro schedule --days 7 --apps 150 --jobs 3
     python -m repro sweep --mode simulate --sites BE-wind BE-solar \
         --days 7 14 --seeds 0 1 2 --jobs 4
+    python -m repro report trace.jsonl
+
+The pipeline commands accept ``--trace-out PATH`` (equivalent to
+``$REPRO_TRACE=PATH``) to capture a JSON-lines span/metric trace of the
+run — synthesis, forecast, MIP assembly vs solve, per-site simulation —
+which ``repro report`` renders as a span tree with the slowest spans
+and metric totals.
 
 Every command is deterministic for a given ``--seed`` and prints the
 same style of report the benchmark harness writes.  ``simulate`` /
@@ -33,6 +40,7 @@ from __future__ import annotations
 
 import argparse
 import hashlib
+import os
 import sys
 from datetime import timedelta
 from pathlib import Path
@@ -40,6 +48,7 @@ from typing import Sequence
 
 import numpy as np
 
+from . import obs
 from .analysis import format_table
 from .experiments import (
     ArtifactCache,
@@ -96,6 +105,14 @@ def _add_jobs_option(parser: argparse.ArgumentParser) -> None:
         "--jobs", type=int, default=None,
         help="worker count for parallel stages (default: $REPRO_JOBS,"
         " else serial)",
+    )
+
+
+def _add_trace_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a JSON-lines span/metric trace to PATH (same as"
+        f" ${obs.TRACE_ENV}); render it with 'repro report PATH'",
     )
 
 
@@ -159,6 +176,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_common(simulate)
     _add_cache_options(simulate)
     _add_jobs_option(simulate)
+    _add_trace_option(simulate)
     simulate.add_argument(
         "--kind", choices=("solar", "wind"), default="wind"
     )
@@ -181,6 +199,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_common(schedule)
     _add_cache_options(schedule)
     _add_jobs_option(schedule)
+    _add_trace_option(schedule)
     schedule.add_argument("--apps", type=int, default=150)
     schedule.add_argument(
         "--cores-per-site", type=int, default=28000
@@ -225,6 +244,21 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_options(sweep)
     _add_jobs_option(sweep)
+    _add_trace_option(sweep)
+
+    report = commands.add_parser(
+        "report",
+        help="render the span tree and metrics of a captured trace",
+    )
+    report.add_argument(
+        "path",
+        help="a --trace-out / $REPRO_TRACE JSONL file or a run"
+        " manifest JSON",
+    )
+    report.add_argument(
+        "--top", type=int, default=5,
+        help="how many slowest spans to list (default 5)",
+    )
 
     return parser
 
@@ -507,6 +541,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    print(obs.render_report(obs.load_trace(args.path), top=args.top))
+    return 0
+
+
 _COMMANDS = {
     "sites": _cmd_sites,
     "synthesize": _cmd_synthesize,
@@ -515,18 +554,33 @@ _COMMANDS = {
     "forecast": _cmd_forecast,
     "schedule": _cmd_schedule,
     "sweep": _cmd_sweep,
+    "report": _cmd_report,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    trace_out = getattr(args, "trace_out", None)
+    previous_trace = os.environ.get(obs.TRACE_ENV)
+    if trace_out:
+        # Through the environment (not a local sink) so the sweep's
+        # process-pool workers inherit tracing too.
+        os.environ[obs.TRACE_ENV] = trace_out
+        obs.reset()
     try:
         return _COMMANDS[args.command](args)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early; not an
         # error from the user's point of view.
         return 0
+    finally:
+        if trace_out:
+            if previous_trace is None:
+                os.environ.pop(obs.TRACE_ENV, None)
+            else:
+                os.environ[obs.TRACE_ENV] = previous_trace
+            obs.reset()
 
 
 if __name__ == "__main__":

@@ -46,6 +46,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import obs
 from ..errors import ConfigurationError
 from ..traces import PowerTrace
 from ..units import TimeGrid, bytes_to_gb
@@ -189,11 +190,13 @@ class SimulationResult:
         config: DatacenterConfig,
         columns: StepColumns,
         events: EventLog,
+        site_name: str | None = None,
     ):
         self.grid = grid
         self.config = config
         self.columns = columns
         self.events = events
+        self.site_name = site_name
         self._records: list[StepRecord] | None = None
         self._out_gb: np.ndarray | None = None
         self._in_gb: np.ndarray | None = None
@@ -295,6 +298,38 @@ class SimulationResult:
         total = self.columns.out_bytes + self.columns.in_bytes
         busy = np.minimum(total / rate, step_seconds)
         return float(np.sum(busy) / (self.columns.n * step_seconds))
+
+    def summary_dict(self) -> dict:
+        """JSON-ready summary following the shared result schema.
+
+        See :data:`repro.sim.results.SUMMARY_SCHEMA` for the key
+        contract shared with
+        :meth:`~repro.sim.engine.ExecutionResult.summary_dict` and
+        :meth:`~repro.sim.detailed.DetailedResult.summary_dict`.
+        """
+        out_gb = self.out_gb_series()
+        in_gb = self.in_gb_series()
+        out_total = float(out_gb.sum())
+        in_total = float(in_gb.sum())
+        peak = (
+            float(max(out_gb.max(), in_gb.max())) if out_gb.size else 0.0
+        )
+        site = {
+            "out_gb": out_total,
+            "in_gb": in_total,
+            "peak_step_gb": peak,
+            "silent_power_change_fraction": (
+                self.power_changes_without_migration_fraction()
+            ),
+            "wan_busy_fraction": self.migration_active_fraction(),
+        }
+        return {
+            "total_transfer_gb": out_total + in_total,
+            "out_gb": out_total,
+            "in_gb": in_total,
+            "peak_step_gb": peak,
+            "sites": {self.site_name or "site": site},
+        }
 
 
 class _ServerPool:
@@ -799,8 +834,11 @@ class Datacenter:
         budgets: np.ndarray,
         arrivals_by_step: dict[int, list[VM]],
         cols: StepColumns,
-    ) -> None:
-        """Reference engine: execute every grid step."""
+    ) -> int:
+        """Reference engine: execute every grid step.
+
+        Returns the number of steps processed (all of them).
+        """
         budget_list = budgets.tolist()
         for step in range(n):
             self._step(
@@ -810,6 +848,7 @@ class Datacenter:
                 cols,
                 batched=False,
             )
+        return n
 
     def _run_event(
         self,
@@ -817,7 +856,7 @@ class Datacenter:
         budgets: np.ndarray,
         arrivals_by_step: dict[int, list[VM]],
         cols: StepColumns,
-    ) -> None:
+    ) -> int:
         """Event-driven engine: wake only where state can change.
 
         Wake sources: VM arrivals, the finish-step min-heap, the
@@ -827,7 +866,13 @@ class Datacenter:
         thresholds).  Waking at a stale step is a harmless no-op;
         skipping never drops work (see the wake-threshold proofs in the
         module docstring), so skipped records are exact forward-fills.
+
+        Returns the number of wake steps actually processed; the
+        difference from ``n`` is the skipped-step count the run span
+        reports.  Wakes are counted in a local int — the loop allocates
+        nothing per step for observability.
         """
+        processed = 0
         patience = self.config.queue_patience_steps
         arrival_steps = sorted(arrivals_by_step)
         n_arrivals = len(arrival_steps)
@@ -879,7 +924,7 @@ class Datacenter:
                     )
                     cols.queue_length[window_start:nxt] = len(queue)
             if nxt >= n:
-                return
+                return processed
             step = nxt
             if (
                 arrival_index < n_arrivals
@@ -890,6 +935,7 @@ class Datacenter:
             else:
                 arrivals = ()
             self._step(step, int(budgets[step]), arrivals, cols, batched=True)
+            processed += 1
             if queue and queue[-1][1] == step:
                 # VMs queued this step expire (REJECT) the first step
                 # their patience is exceeded; wake there even if power
@@ -932,8 +978,41 @@ class Datacenter:
         if n:
             cols.norm_power[:] = values
             cols.core_budget[:] = budgets
-        if engine == "dense":
-            self._run_dense(n, budgets, arrivals_by_step, cols)
-        else:
-            self._run_event(n, budgets, arrivals_by_step, cols)
-        return SimulationResult(grid, self.config, cols, self.events)
+        site = self.power_trace.name
+        with obs.span(
+            "datacenter.run",
+            site=site,
+            engine=engine,
+            n_steps=n,
+            n_requests=len(requests),
+        ):
+            if engine == "dense":
+                processed = self._run_dense(n, budgets, arrivals_by_step, cols)
+            else:
+                processed = self._run_event(n, budgets, arrivals_by_step, cols)
+            if obs.enabled():
+                # Aggregates come from the preallocated columns after the
+                # run — the hot loops stay observability-free.
+                obs.count("sim.wakes", processed, site=site, engine=engine)
+                obs.count(
+                    "sim.steps_skipped", n - processed,
+                    site=site, engine=engine,
+                )
+                obs.count(
+                    "sim.evictions", int(cols.n_evicted.sum()), site=site
+                )
+                obs.count(
+                    "sim.migrations_in", int(cols.n_launched.sum()),
+                    site=site,
+                )
+                obs.count("sim.pauses", int(cols.n_paused.sum()), site=site)
+                obs.count("sim.resumes", int(cols.n_resumed.sum()), site=site)
+                obs.count(
+                    "sim.completions", int(cols.n_completed.sum()), site=site
+                )
+                obs.count(
+                    "sim.rejections", int(cols.n_expired.sum()), site=site
+                )
+        return SimulationResult(
+            grid, self.config, cols, self.events, site_name=site
+        )

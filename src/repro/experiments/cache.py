@@ -29,6 +29,7 @@ from typing import Any, Mapping
 
 import numpy as np
 
+from .. import obs
 from ..traces import PowerTrace, SiteCatalog, synthesize_catalog_traces
 from ..units import TimeGrid
 from .scenario import fragment_hash, grid_from_dict, grid_to_dict, trace_fragment
@@ -107,8 +108,10 @@ class ArtifactCache:
                 value = json.load(stream)
         except (OSError, ValueError):
             self.misses += 1
+            obs.count("cache.miss", kind="json")
             return None
         self.hits += 1
+        obs.count("cache.hit", kind="json")
         return value
 
     def put_json(self, key: str, value: Any) -> Path:
@@ -130,8 +133,10 @@ class ArtifactCache:
                 value = {name: bundle[name] for name in bundle.files}
         except (OSError, ValueError, zipfile.BadZipFile):
             self.misses += 1
+            obs.count("cache.miss", kind="npz")
             return None
         self.hits += 1
+        obs.count("cache.hit", kind="npz")
         return value
 
     def put_arrays(
@@ -197,6 +202,7 @@ def get_traces(
     except (KeyError, ValueError):
         cache.hits -= 1
         cache.misses += 1
+        obs.count("cache.miss", kind="traces-meta")
         return None
     return traces
 

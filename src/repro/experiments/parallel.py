@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from .. import obs
 from ..errors import ConfigurationError
 from .cache import ArtifactCache
 from .scenario import Scenario
@@ -127,12 +128,17 @@ def _run_scenario_task(
         use_cache=cache is not None,
         manifest_dir=manifest_dir,
     )
-    manifest = runner.run().manifest
     thread = threading.current_thread()
     if thread is threading.main_thread():
         worker = f"pid:{os.getpid()}"
     else:
         worker = f"thread:{thread.name}"
+    with obs.span(
+        f"task:{scenario.name}",
+        scenario_hash=scenario.content_hash(),
+        backend_worker=worker,
+    ):
+        manifest = runner.run().manifest
     for stage in manifest.stages:
         if stage.worker is None:
             stage.worker = worker

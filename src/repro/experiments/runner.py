@@ -20,6 +20,7 @@ times, cache hits, seeds, and artifact content keys.
 
 from __future__ import annotations
 
+import contextvars
 import re
 import threading
 from concurrent.futures import ThreadPoolExecutor
@@ -29,6 +30,7 @@ from typing import Mapping
 
 import numpy as np
 
+from .. import obs
 from ..cluster import Datacenter, DatacenterConfig, SimulationResult
 from ..errors import ConfigurationError
 from ..sched import Placement, SchedulingProblem, SiteCapacity
@@ -137,7 +139,13 @@ class Runner:
         with ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-stage"
         ) as pool:
-            futures = [pool.submit(task) for task in tasks]
+            # Each task runs in a copy of the submitting context so the
+            # run's trace sinks (and any ambient span) propagate into
+            # the pool threads.
+            futures = [
+                pool.submit(contextvars.copy_context().run, task)
+                for task in tasks
+            ]
             return [future.result() for future in futures]
 
     def _worker_label(self) -> str | None:
@@ -162,11 +170,22 @@ class Runner:
         )
         result = RunResult(scenario=scenario, manifest=manifest)
 
-        result.traces = self._stage_traces(manifest)
-        if scenario.workload.kind == "applications":
-            self._run_applications(manifest, result)
-        else:
-            self._run_vm_requests(manifest, result)
+        # Capture the run's span/metric stream so the manifest carries
+        # it (and so stage timings in the report line up with the
+        # manifest's stage records — they are the same measurements).
+        capture = obs.MemorySink()
+        with obs.add_sink(capture):
+            with obs.timed_span(
+                f"run:{scenario.name}",
+                scenario_hash=manifest.scenario_hash,
+                jobs=self.jobs,
+            ):
+                result.traces = self._stage_traces(manifest)
+                if scenario.workload.kind == "applications":
+                    self._run_applications(manifest, result)
+                else:
+                    self._run_vm_requests(manifest, result)
+        manifest.trace = capture.records
 
         if self.manifest_dir is not None:
             name = _slug(scenario.name)
@@ -435,17 +454,9 @@ class Runner:
 
 
 def _simulation_summary(sim: SimulationResult) -> dict[str, float]:
-    out_gb = sim.out_gb_series()
-    in_gb = sim.in_gb_series()
-    return {
-        "out_gb": float(out_gb.sum()),
-        "in_gb": float(in_gb.sum()),
-        "peak_step_gb": float(max(out_gb.max(), in_gb.max())),
-        "silent_power_change_fraction": (
-            sim.power_changes_without_migration_fraction()
-        ),
-        "wan_busy_fraction": sim.migration_active_fraction(),
-    }
+    """Per-site manifest summary — the ``sites`` entry of
+    :meth:`~repro.cluster.SimulationResult.summary_dict`."""
+    return next(iter(sim.summary_dict()["sites"].values()))
 
 
 def run_scenario(

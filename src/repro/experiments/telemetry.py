@@ -7,17 +7,26 @@ summary of the results — written as JSON next to the text reports.
 Repeatability questions ("did the second bench run actually hit the
 cache?", "which seed produced this table?") are answered by reading the
 manifest instead of re-running the experiment.
+
+Stage timing is built on :mod:`repro.obs`: every
+:meth:`RunManifest.record` opens a ``stage:<name>`` span and fills the
+:class:`StageRecord` from the span's measurements, so the manifest is a
+projection of the same span stream a trace sink sees (no second timer).
+The runner captures that stream with an in-memory sink and attaches it
+as :attr:`RunManifest.trace`, which ``repro report`` renders.
 """
 
 from __future__ import annotations
 
 import json
-import time
+import sys
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from datetime import datetime
 from pathlib import Path
 from typing import Any, Iterable, Iterator, Mapping
+
+from .. import obs
 
 
 @dataclass
@@ -68,6 +77,9 @@ class RunManifest:
             availability, ...).
         cache_dir: Cache root used, or ``None`` when caching was off.
         created: ISO timestamp of when the run started.
+        trace: The run's full observability record stream (span and
+            metric dicts, see :mod:`repro.obs`) as captured by the
+            runner's in-memory sink; rendered by ``repro report``.
     """
 
     scenario_name: str
@@ -81,12 +93,39 @@ class RunManifest:
     created: str = field(
         default_factory=lambda: datetime.now().isoformat(timespec="seconds")
     )
+    trace: list[dict[str, Any]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
 
     @contextmanager
-    def record(self, name: str) -> Iterator[StageRecord]:
-        """Time a stage and append its record.
+    def _span_stage(
+        self, name: str, worker: str | None, attach: bool
+    ) -> Iterator[StageRecord]:
+        """One stage = one ``stage:<name>`` span.
+
+        The :class:`StageRecord` is a projection of the span: its
+        ``seconds`` is the span's wall time and its ``worker`` defaults
+        to the span's thread attribution.  The span always measures
+        (:func:`repro.obs.timed_span`) so manifests work with no sinks
+        active, and carries the stage's cache-hit/artifact attributes
+        when it emits.
+        """
+        stage = StageRecord(name, worker=worker)
+        span = obs.timed_span("stage:" + name)
+        span.__enter__()
+        try:
+            yield stage
+        finally:
+            span.set(cache_hit=stage.cache_hit, artifact=stage.artifact)
+            span.__exit__(*sys.exc_info())
+            stage.seconds = span.wall_s
+            if stage.worker is None:
+                stage.worker = span.worker
+            if attach:
+                self.stages.append(stage)
+
+    def record(self, name: str):
+        """Time a stage (as a span) and append its record.
 
         Usage::
 
@@ -94,18 +133,9 @@ class RunManifest:
                 ...
                 stage.cache_hit = True
         """
-        stage = StageRecord(name)
-        start = time.perf_counter()
-        try:
-            yield stage
-        finally:
-            stage.seconds = time.perf_counter() - start
-            self.stages.append(stage)
+        return self._span_stage(name, worker=None, attach=True)
 
-    @contextmanager
-    def record_detached(
-        self, name: str, worker: str | None = None
-    ) -> Iterator[StageRecord]:
+    def record_detached(self, name: str, worker: str | None = None):
         """Time a stage *without* appending it to :attr:`stages`.
 
         Concurrent stages (policy solves fanned across workers) each
@@ -114,12 +144,7 @@ class RunManifest:
         keeping the manifest's stage order independent of worker
         scheduling.
         """
-        stage = StageRecord(name, worker=worker)
-        start = time.perf_counter()
-        try:
-            yield stage
-        finally:
-            stage.seconds = time.perf_counter() - start
+        return self._span_stage(name, worker=worker, attach=False)
 
     def merge_stages(self, stages: Iterable[StageRecord]) -> None:
         """Append detached per-worker stage records, in the given order."""
@@ -170,6 +195,7 @@ class RunManifest:
             "artifacts": dict(self.artifacts),
             "summary": self.summary,
             "scenario": self.scenario,
+            "trace": list(self.trace),
         }
 
     def to_json(self) -> str:
@@ -205,6 +231,7 @@ class RunManifest:
             summary=dict(data["summary"]),
             cache_dir=data.get("cache_dir"),
             created=data.get("created", ""),
+            trace=list(data.get("trace", [])),
         )
 
     @classmethod

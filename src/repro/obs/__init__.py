@@ -1,0 +1,59 @@
+"""Structured observability: span tracing + metrics through sinks.
+
+The library's instrumentation layer.  Hot paths open :func:`span`\\ s
+(nested, attributed, wall/CPU-timed, exception-flagged) and emit
+:func:`count` / :func:`gauge` / :func:`observe` metric points; both go
+to whatever sinks are active:
+
+- **nothing** (the default) — the no-op path allocates no objects and
+  reads no clocks;
+- :class:`MemorySink` — in-memory record list; tests and the
+  experiment runner (run manifests carry the captured trace);
+- :class:`JsonlSink` — one JSON line per record, selected ambiently by
+  ``$REPRO_TRACE=<path>`` or the CLI's ``--trace-out``.
+
+:func:`timed_span` always measures (the manifest stage timer and the
+MIP assembly/solve split need durations even when nothing listens);
+:func:`span` is the free-when-disabled variant for hot paths.  Scope
+sinks with :func:`use` (replace) or :func:`add_sink` (stack); render
+captured traces with :func:`render_report` / ``repro report``.
+"""
+
+from .core import (
+    NOOP_SPAN,
+    TRACE_ENV,
+    JsonlSink,
+    MemorySink,
+    Span,
+    add_sink,
+    count,
+    current_span_id,
+    enabled,
+    gauge,
+    observe,
+    reset,
+    span,
+    timed_span,
+    use,
+)
+from .report import load_trace, render_report
+
+__all__ = [
+    "NOOP_SPAN",
+    "TRACE_ENV",
+    "JsonlSink",
+    "MemorySink",
+    "Span",
+    "add_sink",
+    "count",
+    "current_span_id",
+    "enabled",
+    "gauge",
+    "observe",
+    "reset",
+    "span",
+    "timed_span",
+    "use",
+    "load_trace",
+    "render_report",
+]

@@ -1,0 +1,322 @@
+"""Spans, metrics, and pluggable sinks (the tracing core).
+
+Everything observable funnels through two primitives:
+
+- a **span**: a named, attributed, nestable interval with wall and CPU
+  time and an exception flag, emitted to the active sinks when it
+  closes;
+- a **metric point**: a counter increment, gauge sample, or histogram
+  observation, attributed to the span that was open when it fired.
+
+Sinks receive plain dicts (one per span / metric point) so every sink
+is a few lines: :class:`MemorySink` appends to a list,
+:class:`JsonlSink` writes one JSON line per record.  The active sink
+set is a :class:`~contextvars.ContextVar`, so ``use()`` / ``add_sink()``
+scopes are per-context — a worker thread sees the caller's sinks only
+when the caller copies its context into the pool (the experiment
+runner does).
+
+The default is **no sinks**, and that path is deliberately free:
+:func:`span` returns a shared no-op singleton (no object allocated, no
+clock read) and :func:`count` / :func:`gauge` / :func:`observe` return
+before building their record.  Code that needs a measurement even when
+nothing listens — the run-manifest stage timer, the MIP assembly/solve
+split — uses :func:`timed_span`, which always reads the clocks and
+emits only if sinks are active.
+
+``$REPRO_TRACE=<path>`` installs a :class:`JsonlSink` as the ambient
+default (resolved lazily, once per process, so worker processes
+inherit tracing through the environment).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from pathlib import Path
+from typing import Any, Iterator
+
+#: Environment variable selecting a JSON-lines trace file.
+TRACE_ENV = "REPRO_TRACE"
+
+_next_span_id = itertools.count(1)
+
+#: Span id of the innermost open span in this context (None at root).
+_CURRENT: ContextVar[int | None] = ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+#: Context-local sink override; ``None`` means "use the env default".
+_SINKS: ContextVar[tuple | None] = ContextVar(
+    "repro_obs_sinks", default=None
+)
+
+#: Lazily resolved ``$REPRO_TRACE`` sinks (per process).
+_env_sinks_cache: tuple | None = None
+
+
+class MemorySink:
+    """Collects every emitted record in order; for tests and manifests."""
+
+    def __init__(self) -> None:
+        self.records: list[dict[str, Any]] = []
+
+    def emit(self, record: dict[str, Any]) -> None:
+        self.records.append(record)
+
+    def spans(self) -> list[dict[str, Any]]:
+        """The span records, in completion order."""
+        return [r for r in self.records if r["type"] == "span"]
+
+    def metrics(self) -> list[dict[str, Any]]:
+        """The metric-point records, in emission order."""
+        return [r for r in self.records if r["type"] != "span"]
+
+
+class JsonlSink:
+    """Appends one JSON object per line to a file.
+
+    The file opens lazily (first record) in append mode with line
+    buffering, so several processes pointed at the same path interleave
+    whole lines instead of corrupting each other.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._file = None
+        self._lock = threading.Lock()
+
+    def emit(self, record: dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            if self._file is None:
+                if self.path.parent != Path("."):
+                    self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._file = open(
+                    self.path, "a", buffering=1, encoding="utf-8"
+                )
+            self._file.write(line + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+
+def _env_sinks() -> tuple:
+    global _env_sinks_cache
+    if _env_sinks_cache is None:
+        path = os.environ.get(TRACE_ENV, "").strip()
+        _env_sinks_cache = (JsonlSink(path),) if path else ()
+    return _env_sinks_cache
+
+
+def _active_sinks() -> tuple:
+    override = _SINKS.get()
+    if override is not None:
+        return override
+    return _env_sinks()
+
+
+def enabled() -> bool:
+    """True when at least one sink is active in this context.
+
+    Hot loops use this to guard aggregate metric emission; span/metric
+    calls are already self-guarding.
+    """
+    return bool(_active_sinks())
+
+
+def reset() -> None:
+    """Drop the cached ``$REPRO_TRACE`` resolution (tests, CLI)."""
+    global _env_sinks_cache
+    if _env_sinks_cache:
+        for sink in _env_sinks_cache:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+    _env_sinks_cache = None
+
+
+@contextmanager
+def use(*sinks) -> Iterator[Any]:
+    """Replace the active sinks within the context.
+
+    ``with obs.use(MemorySink()) as mem: ...`` — the previous sinks
+    (including the env default) are suspended until exit.
+    """
+    token = _SINKS.set(tuple(sinks))
+    try:
+        yield sinks[0] if len(sinks) == 1 else sinks
+    finally:
+        _SINKS.reset(token)
+
+
+@contextmanager
+def add_sink(sink) -> Iterator[Any]:
+    """Add one sink on top of whatever is already active."""
+    token = _SINKS.set(_active_sinks() + (sink,))
+    try:
+        yield sink
+    finally:
+        _SINKS.reset(token)
+
+
+class Span:
+    """One named, attributed, timed interval.
+
+    Use as a context manager; on exit the span knows its ``wall_s``,
+    ``cpu_s``, and ``error`` (the exception type name when the body
+    raised), and emits itself to the sinks active at that moment.
+    """
+
+    __slots__ = (
+        "name", "attrs", "span_id", "parent_id", "worker",
+        "start_s", "wall_s", "cpu_s", "error", "_cpu0", "_token",
+    )
+
+    def __init__(self, name: str, attrs: dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+        self.span_id = next(_next_span_id)
+        self.parent_id: int | None = None
+        thread = threading.current_thread()
+        self.worker = (
+            None
+            if thread is threading.main_thread()
+            else f"thread:{thread.name}"
+        )
+        self.start_s = 0.0
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+        self.error: str | None = None
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes mid-flight (skips ``None`` values)."""
+        for key, value in attrs.items():
+            if value is not None:
+                self.attrs[key] = value
+        return self
+
+    def __enter__(self) -> "Span":
+        self.parent_id = _CURRENT.get()
+        self._token = _CURRENT.set(self.span_id)
+        self._cpu0 = time.process_time()
+        self.start_s = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.wall_s = time.perf_counter() - self.start_s
+        self.cpu_s = time.process_time() - self._cpu0
+        if exc_type is not None:
+            self.error = exc_type.__name__
+        _CURRENT.reset(self._token)
+        sinks = _active_sinks()
+        if sinks:
+            record = self.to_dict()
+            for sink in sinks:
+                sink.emit(record)
+        return False
+
+    def to_dict(self) -> dict[str, Any]:
+        """The span's sink record (plain JSON types)."""
+        record: dict[str, Any] = {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "pid": os.getpid(),
+            "start_s": self.start_s,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "error": self.error,
+            "worker": self.worker,
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return record
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned by :func:`span` when disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+
+#: The singleton no-op span — identity-checkable in tests.
+NOOP_SPAN = _NoopSpan()
+
+
+def span(name: str, **attrs: Any):
+    """Open a span — free when no sinks are active.
+
+    Returns the shared :data:`NOOP_SPAN` singleton (no allocation, no
+    clock read) when tracing is disabled, so instrumented hot paths
+    cost a tuple-emptiness check.  Use :func:`timed_span` when the
+    measurement itself is needed regardless of sinks.
+    """
+    if not _active_sinks():
+        return NOOP_SPAN
+    return Span(name, attrs)
+
+
+def timed_span(name: str, **attrs: Any) -> Span:
+    """Open a span that always measures.
+
+    ``wall_s`` / ``cpu_s`` / ``error`` are valid after exit even with
+    no sinks (emission is still skipped then) — the primitive behind
+    the run-manifest stage timer and the MIP assembly/solve split.
+    """
+    return Span(name, attrs)
+
+
+def current_span_id() -> int | None:
+    """Id of the innermost open span in this context, if any."""
+    return _CURRENT.get()
+
+
+def _metric(kind: str, name: str, value, attrs: dict[str, Any]) -> None:
+    sinks = _active_sinks()
+    if not sinks:
+        return
+    record: dict[str, Any] = {
+        "type": kind,
+        "name": name,
+        "value": value,
+        "span_id": _CURRENT.get(),
+        "pid": os.getpid(),
+    }
+    if attrs:
+        record["attrs"] = attrs
+    for sink in sinks:
+        sink.emit(record)
+
+
+def count(name: str, value: int = 1, **attrs: Any) -> None:
+    """Increment a counter (no-op without sinks)."""
+    _metric("counter", name, value, attrs)
+
+
+def gauge(name: str, value: float, **attrs: Any) -> None:
+    """Sample a gauge (no-op without sinks)."""
+    _metric("gauge", name, value, attrs)
+
+
+def observe(name: str, value: float, **attrs: Any) -> None:
+    """Record one histogram observation (no-op without sinks)."""
+    _metric("histogram", name, value, attrs)

@@ -1,0 +1,165 @@
+"""Render a recorded trace as a span tree with metric rollups.
+
+Input is the flat record stream a sink captured — either a ``.jsonl``
+trace file written by :class:`~repro.obs.JsonlSink` (one JSON object
+per line) or the ``trace`` field of a run-manifest JSON, which the
+experiment runner fills from an in-memory sink.  Output is the text
+the ``repro report`` subcommand prints: the span tree (children
+indented under parents, wall/CPU milliseconds, error flags, worker
+labels), the top-k slowest spans, and counters/gauges/histograms
+aggregated by name.
+
+Spans from different processes never share a parent (context does not
+cross ``fork``/``spawn``), so the tree is keyed by ``(pid, span_id)``
+and each process's roots render side by side.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+
+def load_trace(path: str | Path) -> list[dict[str, Any]]:
+    """Load trace records from a ``.jsonl`` trace or a manifest JSON.
+
+    Raises:
+        ValueError: when the file is neither a JSON-lines trace nor a
+            manifest with a ``trace`` field.
+    """
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix == ".jsonl":
+        return [json.loads(line) for line in text.splitlines() if line.strip()]
+    data = json.loads(text)
+    if isinstance(data, dict) and isinstance(data.get("trace"), list):
+        return list(data["trace"])
+    raise ValueError(
+        f"{path} holds no trace: expected a .jsonl span stream or a"
+        " run-manifest JSON with a 'trace' field"
+    )
+
+
+def _span_key(record: Mapping[str, Any]) -> tuple:
+    return (record.get("pid"), record["span_id"])
+
+
+def _format_span(record: Mapping[str, Any], depth: int) -> str:
+    label = "  " * depth + str(record.get("name", "?"))
+    wall_ms = 1000.0 * float(record.get("wall_s", 0.0))
+    cpu_ms = 1000.0 * float(record.get("cpu_s", 0.0))
+    parts = [f"{label:<44} {wall_ms:>10.1f} ms  cpu {cpu_ms:>8.1f} ms"]
+    if record.get("error"):
+        parts.append(f"!{record['error']}")
+    extras = []
+    attrs = record.get("attrs") or {}
+    for key, value in attrs.items():
+        extras.append(f"{key}={value}")
+    if record.get("worker"):
+        extras.append(f"[{record['worker']}]")
+    if extras:
+        parts.append(" ".join(extras))
+    return "  ".join(parts)
+
+
+def _render_tree(spans: list[dict[str, Any]]) -> list[str]:
+    by_key = {_span_key(s): s for s in spans}
+    children: dict[tuple, list[dict[str, Any]]] = {}
+    roots: list[dict[str, Any]] = []
+    for record in spans:
+        parent = (record.get("pid"), record.get("parent_id"))
+        if record.get("parent_id") is not None and parent in by_key:
+            children.setdefault(parent, []).append(record)
+        else:
+            roots.append(record)
+
+    def start(record: Mapping[str, Any]) -> float:
+        return float(record.get("start_s", 0.0))
+
+    lines: list[str] = []
+
+    def walk(record: dict[str, Any], depth: int) -> None:
+        lines.append(_format_span(record, depth))
+        for child in sorted(
+            children.get(_span_key(record), []), key=start
+        ):
+            walk(child, depth + 1)
+
+    # Roots render per process in first-seen order, by start within.
+    pid_order: dict[Any, int] = {}
+    for record in roots:
+        pid_order.setdefault(record.get("pid"), len(pid_order))
+    for record in sorted(
+        roots, key=lambda r: (pid_order[r.get("pid")], start(r))
+    ):
+        walk(record, 0)
+    return lines
+
+
+def _render_metrics(metrics: list[dict[str, Any]]) -> list[str]:
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, list[float]] = {}
+    for record in metrics:
+        name = str(record.get("name", "?"))
+        value = float(record.get("value", 0.0))
+        kind = record.get("type")
+        if kind == "counter":
+            counters[name] = counters.get(name, 0.0) + value
+        elif kind == "gauge":
+            gauges[name] = value
+        elif kind == "histogram":
+            histograms.setdefault(name, []).append(value)
+    lines: list[str] = []
+    if counters:
+        lines.append("Counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name:<42} {counters[name]:>14,.0f}")
+    if gauges:
+        lines.append("Gauges (last value):")
+        for name in sorted(gauges):
+            lines.append(f"  {name:<42} {gauges[name]:>14,.3f}")
+    if histograms:
+        lines.append("Histograms:")
+        for name in sorted(histograms):
+            values = histograms[name]
+            lines.append(
+                f"  {name:<30} n={len(values)}"
+                f" min={min(values):.3g}"
+                f" mean={sum(values) / len(values):.3g}"
+                f" max={max(values):.3g}"
+            )
+    return lines
+
+
+def render_report(
+    records: Iterable[Mapping[str, Any]], top: int = 5
+) -> str:
+    """Text report of a trace record stream (see module docstring)."""
+    records = [dict(r) for r in records]
+    spans = [r for r in records if r.get("type") == "span"]
+    metrics = [r for r in records if r.get("type") != "span"]
+    lines = [
+        f"Trace: {len(spans)} spans, {len(metrics)} metric points",
+        "",
+    ]
+    if spans:
+        lines.append("Span tree (wall / cpu):")
+        lines.extend(_render_tree(spans))
+        slowest = sorted(
+            spans, key=lambda r: float(r.get("wall_s", 0.0)), reverse=True
+        )[: max(0, top)]
+        if slowest:
+            lines.append("")
+            lines.append(f"Top {len(slowest)} slowest spans:")
+            for record in slowest:
+                wall_ms = 1000.0 * float(record.get("wall_s", 0.0))
+                lines.append(
+                    f"  {wall_ms:>10.1f} ms  {record.get('name', '?')}"
+                )
+    metric_lines = _render_metrics(metrics)
+    if metric_lines:
+        lines.append("")
+        lines.extend(metric_lines)
+    return "\n".join(lines)

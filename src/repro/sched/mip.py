@@ -34,7 +34,6 @@ with identical solver input.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
@@ -42,6 +41,7 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import Bounds, LinearConstraint, milp
 
+from .. import obs
 from ..errors import SolverError
 from .problem import Placement, SchedulingProblem
 
@@ -509,67 +509,83 @@ class MIPScheduler:
         n_steps = problem.grid.n
         bpc_gb = problem.bytes_per_core / 1e9
 
-        assembly_start = time.perf_counter()
-        matrix, lb, ub = _assemble(
-            problem, layout, allocation_cap, stable_background,
-            previous_assignment,
-        )
+        with obs.timed_span(
+            "mip.schedule",
+            n_apps=len(apps),
+            n_sites=len(sites),
+            n_steps=n_steps,
+        ):
+            with obs.timed_span("mip.assemble") as assemble_span:
+                matrix, lb, ub = _assemble(
+                    problem, layout, allocation_cap, stable_background,
+                    previous_assignment,
+                )
 
-        # Objective.
-        c = np.zeros(layout.n_vars)
-        c[layout.o_dp : layout.o_dn] = bpc_gb
-        c[layout.o_dn : layout.o_dn + len(sites) * n_steps] = bpc_gb
-        c[layout.o_u : layout.o_dp] = self.epsilon * bpc_gb
-        if layout.peak:
-            c[layout.o_m] = self.peak_weight
-        if layout.reassign:
-            # Moving a VM into a site it wasn't at costs its memory
-            # once (m+ counts arrivals; counting one side avoids
-            # double-charging the same move).
-            move_gb = np.array(
-                [app.vm_type.memory_bytes / 1e9 for app in apps]
+                # Objective.
+                c = np.zeros(layout.n_vars)
+                c[layout.o_dp : layout.o_dn] = bpc_gb
+                c[layout.o_dn : layout.o_dn + len(sites) * n_steps] = (
+                    bpc_gb
+                )
+                c[layout.o_u : layout.o_dp] = self.epsilon * bpc_gb
+                if layout.peak:
+                    c[layout.o_m] = self.peak_weight
+                if layout.reassign:
+                    # Moving a VM into a site it wasn't at costs its
+                    # memory once (m+ counts arrivals; counting one side
+                    # avoids double-charging the same move).
+                    move_gb = np.array(
+                        [app.vm_type.memory_bytes / 1e9 for app in apps]
+                    )
+                    n_pairs = layout.n_apps * layout.n_sites
+                    c[layout.o_mp : layout.o_mp + n_pairs] = (
+                        switch_weight * np.repeat(move_gb, len(sites))
+                    )
+
+                # Bounds and integrality.
+                lower = np.zeros(layout.n_vars)
+                upper = np.full(layout.n_vars, np.inf)
+                upper[: layout.o_u] = np.repeat(
+                    np.array(
+                        [float(app.vm_count) for app in apps]
+                    ),
+                    len(sites),
+                )
+                integrality = np.zeros(layout.n_vars)
+                if self.integer_vms:
+                    integrality[: layout.o_u] = 1
+                assemble_span.set(
+                    n_rows=matrix.shape[0],
+                    n_cols=matrix.shape[1],
+                    nnz=matrix.nnz,
+                )
+
+            with obs.timed_span("mip.solve") as solve_span:
+                result = milp(
+                    c,
+                    constraints=LinearConstraint(matrix, lb, ub),
+                    integrality=integrality,
+                    bounds=Bounds(lower, upper),
+                    options={
+                        "time_limit": self.time_limit_s,
+                        "mip_rel_gap": self.mip_rel_gap,
+                    },
+                )
+                solve_span.set(status=int(result.status))
+            self.last_timings = MIPTimings(
+                assembly_s=assemble_span.wall_s,
+                solve_s=solve_span.wall_s,
+                n_rows=matrix.shape[0],
+                n_cols=matrix.shape[1],
+                nnz=matrix.nnz,
             )
-            n_pairs = layout.n_apps * layout.n_sites
-            c[layout.o_mp : layout.o_mp + n_pairs] = (
-                switch_weight * np.repeat(move_gb, len(sites))
-            )
+            if result.x is None:
+                raise SolverError(
+                    f"MIP failed (status {result.status}):"
+                    f" {result.message}"
+                )
 
-        # Bounds and integrality.
-        lower = np.zeros(layout.n_vars)
-        upper = np.full(layout.n_vars, np.inf)
-        upper[: layout.o_u] = np.repeat(
-            np.array([float(app.vm_count) for app in apps]), len(sites)
-        )
-        integrality = np.zeros(layout.n_vars)
-        if self.integer_vms:
-            integrality[: layout.o_u] = 1
-        assembly_s = time.perf_counter() - assembly_start
-
-        solve_start = time.perf_counter()
-        result = milp(
-            c,
-            constraints=LinearConstraint(matrix, lb, ub),
-            integrality=integrality,
-            bounds=Bounds(lower, upper),
-            options={
-                "time_limit": self.time_limit_s,
-                "mip_rel_gap": self.mip_rel_gap,
-            },
-        )
-        solve_s = time.perf_counter() - solve_start
-        self.last_timings = MIPTimings(
-            assembly_s=assembly_s,
-            solve_s=solve_s,
-            n_rows=matrix.shape[0],
-            n_cols=matrix.shape[1],
-            nnz=matrix.nnz,
-        )
-        if result.x is None:
-            raise SolverError(
-                f"MIP failed (status {result.status}): {result.message}"
-            )
-
-        return self._extract(problem, layout, result.x)
+            return self._extract(problem, layout, result.x)
 
     def _extract(
         self, problem: SchedulingProblem, layout: _Layout, x: np.ndarray

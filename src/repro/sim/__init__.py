@@ -14,7 +14,12 @@ from .detailed import (
     DetailedSiteRecord,
     execute_placement_detailed,
 )
-from .results import PolicyComparison, TransferSummary, summarize_transfers
+from .results import (
+    SUMMARY_SCHEMA,
+    PolicyComparison,
+    TransferSummary,
+    summarize_transfers,
+)
 
 __all__ = [
     "ExecutionResult",
@@ -24,6 +29,7 @@ __all__ = [
     "DetailedSiteRecord",
     "execute_placement_detailed",
     "PolicyComparison",
+    "SUMMARY_SCHEMA",
     "TransferSummary",
     "summarize_transfers",
 ]

@@ -35,6 +35,7 @@ from typing import Mapping
 
 import numpy as np
 
+from .. import obs
 from ..cluster import ClusterSpec
 from ..cluster.datacenter import _ServerPool
 from ..cluster.migration import EvictionOrder, EvictionPlanner
@@ -147,6 +148,40 @@ class DetailedResult:
     def total_transfer_gb(self) -> float:
         """Total realized migration traffic in GB."""
         return float(self.total_transfer_series().sum()) / 1e9
+
+    def summary_dict(self) -> dict:
+        """JSON-ready summary following the shared result schema.
+
+        See :data:`repro.sim.results.SUMMARY_SCHEMA` for the key
+        contract shared with
+        :meth:`~repro.sim.engine.ExecutionResult.summary_dict` and
+        :meth:`~repro.cluster.datacenter.SimulationResult.summary_dict`.
+        ``homeless_vm_steps`` is this class's extra key.
+        """
+        per_site = {
+            name: {
+                "out_gb": float(self.columns[name].out_bytes.sum()) / 1e9,
+                "in_gb": float(self.columns[name].in_bytes.sum()) / 1e9,
+            }
+            for name in self.site_names
+        }
+        step_total = np.sum(
+            [
+                self.columns[name].out_bytes + self.columns[name].in_bytes
+                for name in self.site_names
+            ],
+            axis=0,
+        )
+        return {
+            "total_transfer_gb": self.total_transfer_gb(),
+            "out_gb": sum(s["out_gb"] for s in per_site.values()),
+            "in_gb": sum(s["in_gb"] for s in per_site.values()),
+            "peak_step_gb": (
+                float(step_total.max()) / 1e9 if step_total.size else 0.0
+            ),
+            "sites": per_site,
+            "homeless_vm_steps": int(self.homeless_vm_steps),
+        }
 
 
 class _SiteState:
@@ -448,9 +483,17 @@ def execute_placement_detailed(
         for name, state in states.items():
             columns[name].running_cores[step] = state.running_cores
 
+    run_span = obs.span(
+        "sim.detailed", engine=engine, n_steps=n, n_sites=len(states)
+    )
+    run_span.__enter__()
+    # Wake count lives in a plain local int — the step loops allocate
+    # nothing per step for observability.
+    processed = 0
     if engine == "dense":
         for step in range(n):
             process(step)
+        processed = n
     else:
         # Event-driven: wake at arrivals, scheduled finishes, and — while
         # any VM is running/paused/displaced — steps where any site's
@@ -521,8 +564,27 @@ def execute_placement_detailed(
             if nxt >= n:
                 break
             process(nxt)
+            processed += 1
             last = nxt
 
+    if obs.enabled():
+        obs.count("detailed.wakes", processed, engine=engine)
+        obs.count("detailed.steps_skipped", n - processed, engine=engine)
+        cols = columns.values()
+        obs.count(
+            "detailed.evictions", int(sum(c.n_evicted.sum() for c in cols))
+        )
+        obs.count(
+            "detailed.landings", int(sum(c.n_landed.sum() for c in cols))
+        )
+        obs.count(
+            "detailed.pauses", int(sum(c.n_paused.sum() for c in cols))
+        )
+        obs.count(
+            "detailed.resumes", int(sum(c.n_resumed.sum() for c in cols))
+        )
+        obs.gauge("detailed.homeless_vm_steps", int(homeless_vm_steps))
+    run_span.__exit__(None, None, None)
     return DetailedResult(
         tuple(problem.site_names), columns, homeless_vm_steps
     )

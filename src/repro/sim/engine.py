@@ -108,9 +108,27 @@ class ExecutionResult:
         return float(self.total_transfer_series().sum()) / 1e9
 
     def summary_dict(self) -> dict:
-        """JSON-ready summary (used by the run manifest)."""
+        """JSON-ready summary (used by the run manifest).
+
+        Follows :data:`repro.sim.results.SUMMARY_SCHEMA` — the key
+        contract shared with
+        :meth:`repro.cluster.SimulationResult.summary_dict` and
+        :meth:`repro.sim.DetailedResult.summary_dict`.
+        """
+        step_total = self.total_transfer_series()
         return {
             "total_transfer_gb": self.total_transfer_gb(),
+            "out_gb": float(
+                sum(site.out_bytes.sum() for site in self.sites)
+            )
+            / 1e9,
+            "in_gb": float(
+                sum(site.in_bytes.sum() for site in self.sites)
+            )
+            / 1e9,
+            "peak_step_gb": (
+                float(step_total.max()) / 1e9 if step_total.size else 0.0
+            ),
             "sites": {
                 site.name: {
                     "stable_availability": site.stable_availability(),

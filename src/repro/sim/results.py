@@ -8,6 +8,26 @@ import numpy as np
 
 from ..errors import SchedulingError
 
+#: The key contract every result ``summary_dict()`` follows —
+#: :meth:`repro.cluster.SimulationResult.summary_dict`,
+#: :meth:`repro.sim.DetailedResult.summary_dict`, and
+#: :meth:`repro.sim.ExecutionResult.summary_dict` all return these
+#: top-level keys (plus class-specific extras), and every entry of
+#: their ``"sites"`` mapping carries at least the per-site keys.  All
+#: traffic values are GB; ``peak_step_gb`` is the largest single-step
+#: total.  Consumers (manifests, reports, notebooks) can aggregate any
+#: result class through this shared schema.
+SUMMARY_SCHEMA = {
+    "top_level": (
+        "total_transfer_gb",
+        "out_gb",
+        "in_gb",
+        "peak_step_gb",
+        "sites",
+    ),
+    "per_site": ("out_gb", "in_gb"),
+}
+
 
 @dataclass(frozen=True)
 class TransferSummary:
