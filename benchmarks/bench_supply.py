@@ -1,0 +1,216 @@
+"""Benchmarks of the supply-stack plumbing at fleet scale.
+
+Not a paper figure — these gate the supply layer's cost on the paths
+every run takes.  The composition point sits inside ``Datacenter.run``
+for all runs, supply-backed or not, so the empty-stack (pass-through)
+case must stay free: a year-horizon fleet run with an empty
+``SupplyStack`` may not regress more than 5% against the legacy
+no-supply call (plus a small absolute floor so a loaded runner doesn't
+flake on sub-second noise), and must stay result-identical.
+
+The battery benches are recorded without gates: closed-loop dispatch
+makes every step stateful (the event engine's skip proofs are unsound
+when SoC evolves each wake), so a battery-backed year costs roughly a
+dense year — the bench documents that price and the open-loop
+evaluation throughput next to it.
+
+Every run writes machine-readable ``BENCH_supply.json`` at the repo
+root; CI uploads it as an artifact and fails the bench-smoke job if the
+empty-stack gate trips.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cluster import Datacenter, DatacenterConfig
+from repro.experiments.defaults import YEAR_START
+from repro.supply import BatteryDispatch, SupplyStack
+from repro.traces import synthesize_wind
+from repro.units import grid_days
+from repro.workload import VMClass, VMRequest, VMType
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON_PATH = REPO_ROOT / "BENCH_supply.json"
+
+_RESULTS: dict[str, dict] = {}
+
+_VM_TYPES = (
+    VMType("D2", 2, 8.0),
+    VMType("D4", 4, 16.0),
+    VMType("D8", 8, 32.0),
+)
+
+
+def _record(name: str, **extra) -> None:
+    _RESULTS[name] = extra
+
+
+def _time_once(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_json_writer():
+    """Write ``BENCH_supply.json`` after the module's benches ran."""
+    yield
+    if not _RESULTS:
+        return
+    payload = {
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "machine": {
+            "cpus": os.cpu_count() or 1,
+            "python": sys.version.split()[0],
+        },
+        "benches": dict(sorted(_RESULTS.items())),
+    }
+    BENCH_JSON_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n"
+    )
+    print(f"\n[supply trajectory written to {BENCH_JSON_PATH}]")
+
+
+def _fleet_site(site_seed: int, grid) -> tuple:
+    """One fleet site-year: three sparse week-scale batch campaigns.
+
+    Mirrors ``bench_sim_sched._fleet_site`` — the shape whose skipped
+    steps make the event engine fast, i.e. where added per-run
+    composition overhead would show up proportionally largest.
+    """
+    rng = np.random.default_rng(site_seed)
+    trace = synthesize_wind(grid, seed=site_seed, name=f"site{site_seed}")
+    requests = []
+    vm_id = 0
+    for campaign in range(3):
+        day = int(rng.integers(campaign * 120, campaign * 120 + 60))
+        arrival = day * 96
+        for _ in range(400):
+            lifetime = int(rng.integers(96, 3 * 96))
+            vm_type = _VM_TYPES[rng.integers(0, len(_VM_TYPES))]
+            vm_class = (
+                VMClass.STABLE if rng.random() < 0.5 else VMClass.DEGRADABLE
+            )
+            requests.append(
+                VMRequest(
+                    vm_id,
+                    arrival + int(rng.integers(0, 48)),
+                    lifetime,
+                    vm_type,
+                    vm_class,
+                )
+            )
+            vm_id += 1
+    return trace, requests
+
+
+def test_supply_empty_stack_overhead():
+    """Year-fleet event run: empty supply stack vs the legacy call.
+
+    The CI gate.  An empty stack is a pass-through — ``Datacenter.run``
+    must detect it and take the exact legacy precomputed-budget path,
+    so the comparison is plumbing cost only: results identical, wall
+    clock within 5% (+0.5s noise floor).
+    """
+    grid = grid_days(YEAR_START, 365)
+    config = DatacenterConfig()
+    sites = [_fleet_site(seed, grid) for seed in range(4)]
+
+    def run(supply):
+        return [
+            Datacenter(config, trace, supply=supply, supply_mode="open").run(
+                requests, engine="event"
+            )
+            for trace, requests in sites
+        ]
+
+    legacy, legacy_s = _time_once(lambda: run(None))
+    stacked, stacked_s = _time_once(lambda: run(SupplyStack()))
+    for legacy_result, stacked_result in zip(legacy, stacked):
+        assert legacy_result.records == stacked_result.records
+        assert stacked_result.supply is None
+    _record(
+        "supply_empty_stack_year_fleet",
+        n_steps=grid.n,
+        n_sites=len(sites),
+        legacy_s=legacy_s,
+        empty_stack_s=stacked_s,
+        overhead=stacked_s / legacy_s - 1.0,
+    )
+    assert stacked_s <= legacy_s * 1.05 + 0.5
+
+
+def test_supply_battery_closed_loop_year():
+    """One battery-backed site-year, closed loop, both engines.
+
+    No gate — closed-loop dispatch is stateful at every step, so both
+    engines walk all 35,040 of them; the bench records that price next
+    to the legacy event run, and keeps the engines result-identical.
+    """
+    grid = grid_days(YEAR_START, 365)
+    config = DatacenterConfig()
+    trace, requests = _fleet_site(11, grid)
+    stack = SupplyStack(
+        (BatteryDispatch(capacity_mwh=800.0, max_power_mw=200.0),)
+    )
+
+    _, legacy_s = _time_once(
+        lambda: Datacenter(config, trace).run(requests, engine="event")
+    )
+    event, event_s = _time_once(
+        lambda: Datacenter(config, trace, supply=stack).run(
+            requests, engine="event"
+        )
+    )
+    dense, dense_s = _time_once(
+        lambda: Datacenter(config, trace, supply=stack).run(
+            requests, engine="dense"
+        )
+    )
+    assert event.records == dense.records
+    np.testing.assert_array_equal(
+        event.supply.soc_mwh, dense.supply.soc_mwh
+    )
+    _record(
+        "supply_battery_closed_loop_year",
+        n_steps=grid.n,
+        legacy_event_s=legacy_s,
+        closed_event_s=event_s,
+        closed_dense_s=dense_s,
+        charge_mwh=event.supply.charge_total_mwh,
+        discharge_mwh=event.supply.discharge_total_mwh,
+    )
+
+
+def test_supply_open_loop_evaluation_year():
+    """Open-loop battery evaluation over a year trace (35,040 steps).
+
+    The per-step Python dispatch loop is the cost of a non-empty
+    open-loop stack (empty stacks never enter it); the bench records
+    its throughput.  No gate — this is new capability, not a refactor
+    of a hot path.
+    """
+    grid = grid_days(YEAR_START, 365)
+    trace = synthesize_wind(grid, seed=5, name="site")
+    stack = SupplyStack(
+        (BatteryDispatch(capacity_mwh=800.0, max_power_mw=200.0),)
+    )
+    evaluation, eval_s = _time_once(lambda: stack.evaluate_open_loop(trace))
+    assert len(evaluation.delivered) == grid.n
+    _record(
+        "supply_open_loop_eval_year",
+        n_steps=grid.n,
+        eval_s=eval_s,
+        steps_per_s=grid.n / eval_s,
+        charge_mwh=evaluation.charge_total_mwh,
+        discharge_mwh=evaluation.discharge_total_mwh,
+    )

@@ -104,6 +104,12 @@ from .sim import (
     summarize_transfers,
 )
 from . import obs
+from .supply import (
+    BatteryDispatch,
+    GridFirmPower,
+    SupplySpec,
+    SupplyStack,
+)
 from .experiments import (
     ArtifactCache,
     Runner,
@@ -173,6 +179,10 @@ __all__ = [
     "execute_placement",
     "summarize_transfers",
     "obs",
+    "BatteryDispatch",
+    "GridFirmPower",
+    "SupplySpec",
+    "SupplyStack",
     "ArtifactCache",
     "Runner",
     "RunResult",

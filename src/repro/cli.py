@@ -34,6 +34,12 @@ invocation with unchanged parameters reuses them, and each run writes a
 ``RunManifest`` JSON (per-stage wall times, cache hits, seeds, artifact
 hashes) under ``<cache-dir>/manifests``.  Use ``--no-cache`` to bypass
 the cache, ``--cache-dir`` / ``--manifest-dir`` to relocate it.
+
+``simulate`` / ``schedule`` / ``sweep`` also accept ``--battery-mwh``,
+``--battery-power-mw`` and ``--grid-budget-mwh``, composing a
+:mod:`repro.supply` stack (physical battery and/or bounded grid
+top-up, §2.3) behind every site's trace; ``simulate`` then reports the
+stack's energy accounting next to the migration metrics.
 """
 
 from __future__ import annotations
@@ -56,6 +62,7 @@ from .experiments import (
     PolicySpec,
     Runner,
     Scenario,
+    SupplySpec,
     WorkloadSpec,
     cached_catalog_traces,
     default_cache_dir,
@@ -105,6 +112,36 @@ def _add_jobs_option(parser: argparse.ArgumentParser) -> None:
         "--jobs", type=int, default=None,
         help="worker count for parallel stages (default: $REPRO_JOBS,"
         " else serial)",
+    )
+
+
+def _add_supply_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "supply stack",
+        "firm top-up behind the renewable trace (§2.3): a physical"
+        " battery and/or a bounded grid-energy budget",
+    )
+    group.add_argument(
+        "--battery-mwh", type=float, default=0.0, metavar="MWH",
+        help="battery capacity in MWh (0 disables the battery)",
+    )
+    group.add_argument(
+        "--battery-power-mw", type=float, default=None, metavar="MW",
+        help="battery charge/discharge power limit"
+        " (default: capacity over 4 hours)",
+    )
+    group.add_argument(
+        "--grid-budget-mwh", type=float, default=0.0, metavar="MWH",
+        help="total grid energy purchasable over the run"
+        " (0 disables grid top-up)",
+    )
+
+
+def _supply_from_args(args: argparse.Namespace) -> SupplySpec:
+    return SupplySpec(
+        battery_mwh=args.battery_mwh,
+        battery_power_mw=args.battery_power_mw,
+        grid_budget_mwh=args.grid_budget_mwh,
     )
 
 
@@ -184,6 +221,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--utilization", type=float, default=0.70,
         help="admission utilization cap",
     )
+    _add_supply_options(simulate)
 
     forecast = commands.add_parser(
         "forecast", help="Figure-5 forecast MAPE by horizon"
@@ -204,6 +242,7 @@ def _build_parser() -> argparse.ArgumentParser:
     schedule.add_argument(
         "--cores-per-site", type=int, default=28000
     )
+    _add_supply_options(schedule)
 
     sweep = commands.add_parser(
         "sweep",
@@ -242,6 +281,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="executor backend (auto: process when jobs > 1)",
     )
+    _add_supply_options(sweep)
     _add_cache_options(sweep)
     _add_jobs_option(sweep)
     _add_trace_option(sweep)
@@ -348,6 +388,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         workload=WorkloadSpec(
             kind="vm_requests", utilization=args.utilization
         ),
+        supply=_supply_from_args(args),
         seed=args.seed,
     )
     cache = _cache_from_args(args)
@@ -362,23 +403,39 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     out_gb = sim.out_gb_series()
     in_gb = sim.in_gb_series()
     arrivals = sum(record.n_arrivals for record in sim.records)
+    rows = [
+        ["VM arrivals", arrivals],
+        ["VM evictions", int(sim.columns.n_evicted.sum())],
+        ["out-migration GB", round(out_gb.sum())],
+        ["in-migration GB", round(in_gb.sum())],
+        ["peak step GB", round(max(out_gb.max(), in_gb.max()))],
+        [
+            "silent power changes",
+            f"{100 * sim.power_changes_without_migration_fraction():.0f}%",
+        ],
+        [
+            "WAN busy @200Gbps",
+            f"{100 * sim.migration_active_fraction():.2f}%",
+        ],
+    ]
+    if sim.supply is not None:
+        rows.extend(
+            [
+                ["battery charge MWh",
+                 f"{sim.supply.charge_total_mwh:.2f}"],
+                ["battery discharge MWh",
+                 f"{sim.supply.discharge_total_mwh:.2f}"],
+                ["grid import MWh",
+                 f"{sim.supply.grid_import_total_mwh:.2f}"],
+                ["curtailed MWh",
+                 f"{sim.supply.curtailed_total_mwh:.2f}"],
+                ["final SoC MWh", f"{sim.supply.final_soc_mwh:.2f}"],
+            ]
+        )
     print(
         format_table(
             ["Metric", "Value"],
-            [
-                ["VM arrivals", arrivals],
-                ["out-migration GB", round(out_gb.sum())],
-                ["in-migration GB", round(in_gb.sum())],
-                ["peak step GB", round(max(out_gb.max(), in_gb.max()))],
-                [
-                    "silent power changes",
-                    f"{100 * sim.power_changes_without_migration_fraction():.0f}%",
-                ],
-                [
-                    "WAN busy @200Gbps",
-                    f"{100 * sim.migration_active_fraction():.2f}%",
-                ],
-            ],
+            rows,
             title=f"Single-site {args.kind} simulation,"
             f" {args.days:g} days",
         )
@@ -430,6 +487,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
             ),
         ),
         compute=ComputeSpec(cores_per_site=args.cores_per_site),
+        supply=_supply_from_args(args),
         seed=args.seed,
     )
     cache = _cache_from_args(args)
@@ -450,7 +508,12 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 
 
 def _sweep_scenarios(args: argparse.Namespace) -> list[Scenario]:
-    """Expand the sweep's parameter grid into scenarios."""
+    """Expand the sweep's parameter grid into scenarios.
+
+    The supply flags are scalars shared by every scenario in the grid
+    (a sweep compares sites/days/seeds under one supply stack).
+    """
+    supply = _supply_from_args(args)
     scenarios: list[Scenario] = []
     if args.mode == "simulate":
         sites = args.sites or ["BE-wind"]
@@ -468,6 +531,7 @@ def _sweep_scenarios(args: argparse.Namespace) -> list[Scenario]:
                                     kind="vm_requests",
                                     utilization=utilization,
                                 ),
+                                supply=supply,
                                 seed=seed,
                             )
                         )
@@ -497,6 +561,7 @@ def _sweep_scenarios(args: argparse.Namespace) -> list[Scenario]:
                                 time_limit_s=60.0,
                             ),
                         ),
+                        supply=supply,
                         seed=seed,
                     )
                 )

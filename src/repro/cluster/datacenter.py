@@ -48,6 +48,7 @@ import numpy as np
 
 from .. import obs
 from ..errors import ConfigurationError
+from ..supply import SupplyDispatcher, SupplyEvaluation, SupplyStack
 from ..traces import PowerTrace
 from ..units import TimeGrid, bytes_to_gb
 from ..workload import VMRequest
@@ -191,12 +192,16 @@ class SimulationResult:
         columns: StepColumns,
         events: EventLog,
         site_name: str | None = None,
+        supply: SupplyEvaluation | None = None,
     ):
         self.grid = grid
         self.config = config
         self.columns = columns
         self.events = events
         self.site_name = site_name
+        #: Per-step supply telemetry (SoC/charge/discharge/curtailment)
+        #: when the site ran with a non-empty supply stack, else None.
+        self.supply = supply
         self._records: list[StepRecord] | None = None
         self._out_gb: np.ndarray | None = None
         self._in_gb: np.ndarray | None = None
@@ -323,6 +328,8 @@ class SimulationResult:
             ),
             "wan_busy_fraction": self.migration_active_fraction(),
         }
+        if self.supply is not None:
+            site["supply"] = self.supply.summary()
         return {
             "total_transfer_gb": out_total + in_total,
             "out_gb": out_total,
@@ -445,11 +452,34 @@ class Datacenter:
         power_trace: Normalized generation; the cluster is fully powered
             at 1.0, matching the paper's scaling of the ELIA trace to
             the farm's max capacity.
+        supply: Optional supply stack composed behind the trace.  An
+            empty (or absent) stack is a strict pass-through: the run is
+            bit-identical to the legacy raw-trace path.
+        supply_mode: ``"closed"`` (default): the simulator queries the
+            stack each processed step with its current demand, so the
+            battery charges from real surplus and discharges into real
+            dips; this forces per-step execution (SoC evolves every
+            step, so no step is provably a no-op) under either engine.
+            ``"open"``: the stack's precomputed delivered series
+            replaces the trace values up front and the engines run
+            untouched, skips and all.
     """
 
-    def __init__(self, config: DatacenterConfig, power_trace: PowerTrace):
+    def __init__(
+        self,
+        config: DatacenterConfig,
+        power_trace: PowerTrace,
+        supply: SupplyStack | None = None,
+        supply_mode: str = "closed",
+    ):
+        if supply_mode not in ("closed", "open"):
+            raise ConfigurationError(
+                f"unknown supply mode: {supply_mode!r}"
+            )
         self.config = config
         self.power_trace = power_trace
+        self.supply = supply
+        self.supply_mode = supply_mode
         self.pool = _ServerPool(config.cluster)
         self.admission = AdmissionControl(
             config.cluster.total_cores, config.admission_utilization
@@ -945,6 +975,69 @@ class Datacenter:
                     heappush(expiry_heap, expiry)
             last = step
 
+    def _demand_cores(self, step: int, arrivals: Sequence[VM]) -> int:
+        """Cores the site could productively power this step.
+
+        Work that wants power right now: currently running cores minus
+        those completing this step, plus paused VMs awaiting resume,
+        queued VMs awaiting launch, and this step's arrivals — capped
+        at the cluster size.  An upper estimate (packing and the
+        admission cap may keep some of it from starting), which errs
+        toward discharging for work that then queues rather than
+        browning out work that could run.
+        """
+        finishing = 0
+        bucket = self._finish_at.get(step)
+        if bucket:
+            seen: set[int] = set()
+            for vm in bucket:
+                if (
+                    vm.state is VMState.RUNNING
+                    and vm.finish_step == step
+                    and vm.vm_id not in seen
+                ):
+                    seen.add(vm.vm_id)
+                    finishing += vm.cores
+        demand = self._running_cores - finishing
+        for vm in self._paused:
+            if vm.state is VMState.PAUSED:
+                demand += vm.cores
+        for vm, _ in self._queue:
+            demand += vm.cores
+        for vm in arrivals:
+            demand += vm.cores
+        return min(max(demand, 0), self.config.cluster.total_cores)
+
+    def _run_closed(
+        self,
+        n: int,
+        arrivals_by_step: dict[int, list[VM]],
+        cols: StepColumns,
+        dispatcher: SupplyDispatcher,
+        batched: bool,
+    ) -> int:
+        """Closed-loop engine: dispatch the supply stack every step.
+
+        Battery SoC (and grid budget) evolve from every step's balance,
+        so no step is provably a no-op and the event engine's skip
+        machinery cannot apply — both engines execute all ``n`` steps
+        here, differing only in the (result-identical) batched
+        completion path.
+        """
+        core_budget = self.power_model.core_budget
+        norm_for_cores = self.power_model.norm_for_cores
+        dispatch = dispatcher.dispatch
+        for step in range(n):
+            arrivals = arrivals_by_step.get(step, ())
+            demand_norm = norm_for_cores(self._demand_cores(step, arrivals))
+            delivered = dispatch(step, demand_norm)
+            delivered = min(max(delivered, 0.0), 1.0)
+            budget = core_budget(delivered)
+            cols.norm_power[step] = delivered
+            cols.core_budget[step] = budget
+            self._step(step, budget, arrivals, cols, batched=batched)
+        return n
+
     def run(
         self, requests: Sequence[VMRequest], *, engine: str = "event"
     ) -> SimulationResult:
@@ -972,12 +1065,30 @@ class Datacenter:
             arrivals_by_step.setdefault(request.arrival_step, []).append(
                 VM(request)
             )
-        values = np.asarray(self.power_trace.values, dtype=float)
-        budgets = self._budget_series(values)
+        supply = self.supply
+        if supply is not None and supply.stateless:
+            supply = None
+        closed = supply is not None and self.supply_mode == "closed"
+        evaluation: SupplyEvaluation | None = None
+        dispatcher: SupplyDispatcher | None = None
         cols = StepColumns(n)
-        if n:
-            cols.norm_power[:] = values
-            cols.core_budget[:] = budgets
+        if closed:
+            # Budgets cannot be precomputed — each step's delivered
+            # power depends on live demand; _run_closed fills the
+            # power/budget columns as it dispatches.
+            dispatcher = supply.dispatcher(self.power_trace)
+            evaluation = dispatcher.evaluation
+            budgets = None
+        else:
+            if supply is not None:
+                evaluation = supply.evaluate_open_loop(self.power_trace)
+                values = np.asarray(evaluation.delivered, dtype=float)
+            else:
+                values = np.asarray(self.power_trace.values, dtype=float)
+            budgets = self._budget_series(values)
+            if n:
+                cols.norm_power[:] = values
+                cols.core_budget[:] = budgets
         site = self.power_trace.name
         with obs.span(
             "datacenter.run",
@@ -986,10 +1097,17 @@ class Datacenter:
             n_steps=n,
             n_requests=len(requests),
         ):
-            if engine == "dense":
+            if closed:
+                processed = self._run_closed(
+                    n, arrivals_by_step, cols, dispatcher,
+                    batched=(engine == "event"),
+                )
+            elif engine == "dense":
                 processed = self._run_dense(n, budgets, arrivals_by_step, cols)
             else:
                 processed = self._run_event(n, budgets, arrivals_by_step, cols)
+            if evaluation is not None:
+                evaluation.emit_metrics(site=site)
             if obs.enabled():
                 # Aggregates come from the preallocated columns after the
                 # run — the hot loops stay observability-free.
@@ -1014,5 +1132,6 @@ class Datacenter:
                     "sim.rejections", int(cols.n_expired.sum()), site=site
                 )
         return SimulationResult(
-            grid, self.config, cols, self.events, site_name=site
+            grid, self.config, cols, self.events, site_name=site,
+            supply=evaluation,
         )

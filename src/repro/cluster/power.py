@@ -34,6 +34,25 @@ class PowerModel(Protocol):
         """Cores that may be powered when generation is ``norm_power``."""
         ...
 
+    def norm_for_cores(self, cores: int) -> float:
+        """Smallest normalized power whose budget covers ``cores``."""
+        ...
+
+
+def _raise_to_cover(model: PowerModel, norm: float, cores: int) -> float:
+    """Nudge ``norm`` up until ``model.core_budget(norm) >= cores``.
+
+    Closed-form inverses of the budget maps land within one float ulp of
+    the true threshold, but the forward map truncates, so a value that is
+    an ulp low yields ``cores - 1``.  A few ``nextafter`` steps close the
+    gap exactly; the loop is bounded because the forward map is monotone
+    and reaches ``cores`` by ``norm = 1``.
+    """
+    norm = min(max(norm, 0.0), 1.0)
+    while model.core_budget(norm) < cores and norm < 1.0:
+        norm = min(np.nextafter(norm, np.inf), 1.0)
+    return norm
+
 
 def _validated_series(values: np.ndarray) -> np.ndarray:
     """Range-check a normalized power series (vectorized)."""
@@ -76,6 +95,15 @@ class LinearCorePower:
         return (
             np.minimum(values, 1.0) * self.cluster.total_cores
         ).astype(np.int64)
+
+    def norm_for_cores(self, cores: int) -> float:
+        """Inverse budget map: least norm power covering ``cores``."""
+        total = self.cluster.total_cores
+        if cores <= 0:
+            return 0.0
+        if cores >= total:
+            return 1.0
+        return _raise_to_cover(self, cores / total, cores)
 
 
 class ServerGranularPower:
@@ -140,3 +168,25 @@ class ServerGranularPower:
         )
         add = (full_servers < n_servers) & (remaining_w > idle_w)
         return cores + np.where(add, partial, 0)
+
+    def norm_for_cores(self, cores: int) -> float:
+        """Inverse budget map: least norm power covering ``cores``.
+
+        Costs ``cores`` greedily the way :meth:`core_budget` fills them
+        — whole servers first, then a partial server paying its idle
+        draw — and converts the watts back to a normalized value.
+        """
+        spec = self.cluster.server
+        if cores <= 0:
+            return 0.0
+        cores = min(cores, self.cluster.total_cores)
+        idle_w = spec.max_power_w * spec.idle_fraction
+        core_w = spec.core_power_w
+        full_server_w = idle_w + core_w * spec.cores
+        full_servers, partial = divmod(cores, spec.cores)
+        budget_w = full_servers * full_server_w
+        if partial:
+            budget_w += idle_w + core_w * partial
+        return _raise_to_cover(
+            self, budget_w / self.cluster.max_power_w, cores
+        )

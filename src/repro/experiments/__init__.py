@@ -70,6 +70,7 @@ from .scenario import (
     Scenario,
     WorkloadSpec,
 )
+from ..supply import SupplySpec
 from .telemetry import FleetManifest, RunManifest, StageRecord, TaskRecord
 
 __all__ = [
@@ -99,6 +100,7 @@ __all__ = [
     "ForecasterSpec",
     "PolicySpec",
     "Scenario",
+    "SupplySpec",
     "WorkloadSpec",
     "FleetManifest",
     "RunManifest",

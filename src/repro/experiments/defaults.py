@@ -44,4 +44,7 @@ DEFAULT_UTILIZATION = 0.70
 #: experiments-3: event-driven simulation core (sorted-bucket server
 #: pool changes placement tie-breaking within a free-core bucket) and
 #: vectorized MIP assembly.
-CACHE_CODE_VERSION = "repro-0.1.0/experiments-3"
+#: experiments-4: supply layer — scenarios carry a supply spec (in the
+#: forecast fragment and content hash), so artifacts cached by
+#: supply-unaware code must not collide with the new schema.
+CACHE_CODE_VERSION = "repro-0.1.0/experiments-4"

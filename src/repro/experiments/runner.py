@@ -41,6 +41,7 @@ from ..sim import (
     execute_placement,
     summarize_transfers,
 )
+from ..supply import SupplyStack
 from ..traces import PowerTrace
 from ..workload import (
     generate_applications,
@@ -154,6 +155,30 @@ class Runner:
             return None
         return f"thread:{threading.current_thread().name}"
 
+    def _supply_stack(self) -> SupplyStack | None:
+        """The scenario's live supply stack, or None when disabled.
+
+        One frozen stack instance serves every concurrent task — all
+        mutable dispatch state lives in per-run dispatcher/evaluation
+        objects, never on the stack itself.
+        """
+        spec = self.scenario.supply
+        return spec.build() if spec.enabled else None
+
+    def _firmed_values(
+        self,
+        stack: SupplyStack | None,
+        grid,
+        values: np.ndarray,
+        like: PowerTrace,
+    ) -> np.ndarray:
+        """Open-loop-firm a normalized series under ``like``'s scaling."""
+        if stack is None:
+            return values
+        return stack.apply(
+            PowerTrace(grid, values, like.name, like.kind, like.capacity_mw)
+        ).values
+
     # ------------------------------------------------------------------
 
     def run(self) -> RunResult:
@@ -259,8 +284,19 @@ class Runner:
         problem = self._build_problem(apps, capacity)
         result.problem = problem
 
+        # The fluid execution engine has no per-step demand signal, so
+        # the supply stack firms the *actual* capacities open-loop —
+        # the same composition the forecast capacities went through, so
+        # planner and executor differ only by forecast error.
+        supply = self._supply_stack()
         actual = {
-            name: np.floor(traces[name].values * cores)
+            name: np.floor(
+                self._firmed_values(
+                    supply, scenario.grid,
+                    traces[name].values, traces[name],
+                )
+                * cores
+            )
             for name in scenario.sites
         }
 
@@ -295,7 +331,11 @@ class Runner:
                             forecast = task_forecaster.forecast(
                                 traces[site_name], issue_step, horizon
                             )
-                            return np.floor(forecast.values * cores)
+                            values = self._firmed_values(
+                                supply, forecast.grid,
+                                forecast.values, traces[site_name],
+                            )
+                            return np.floor(values * cores)
 
                         scheduler = policy.build(
                             capacity_provider=day_ahead_provider
@@ -356,6 +396,7 @@ class Runner:
         scenario = self.scenario
         cores = scenario.compute.cores_per_site
         key = scenario.forecast_key()
+        supply = self._supply_stack()
         with manifest.record("forecast") as stage:
             stage.artifact = key
             capacity = None
@@ -363,15 +404,16 @@ class Runner:
                 capacity = self.cache.get_arrays(key)
                 stage.cache_hit = capacity is not None
             if capacity is None:
-                capacity = {
-                    name: np.floor(
-                        forecaster.forecast(
-                            traces[name], 0, scenario.grid.n
-                        ).values
-                        * cores
+                capacity = {}
+                for name in scenario.sites:
+                    forecast = forecaster.forecast(
+                        traces[name], 0, scenario.grid.n
                     )
-                    for name in scenario.sites
-                }
+                    values = self._firmed_values(
+                        supply, forecast.grid,
+                        forecast.values, traces[name],
+                    )
+                    capacity[name] = np.floor(values * cores)
                 if self.cache is not None:
                     self.cache.put_arrays(key, capacity)
         manifest.artifacts["forecast"] = key
@@ -407,6 +449,8 @@ class Runner:
         scenario = self.scenario
         spec = scenario.workload
         config = DatacenterConfig(admission_utilization=spec.utilization)
+        supply = self._supply_stack()
+        supply_mode = scenario.supply.mode
 
         def site_task(index, name):
             def simulate():
@@ -430,7 +474,10 @@ class Runner:
                 with manifest.record_detached(
                     f"simulate:{name}", worker
                 ) as stage:
-                    simulation = Datacenter(config, trace).run(requests)
+                    simulation = Datacenter(
+                        config, trace,
+                        supply=supply, supply_mode=supply_mode,
+                    ).run(requests)
                 stages.append(stage)
                 return simulation, stages
 

@@ -32,6 +32,7 @@ from ..forecast import (
     PersistenceForecaster,
 )
 from ..forecast.models import HorizonNoise
+from ..supply import SupplySpec
 from ..traces import SiteCatalog, default_european_catalog
 from ..units import TimeGrid
 from .defaults import (
@@ -279,6 +280,10 @@ class Scenario:
         policies: Scheduling policies to evaluate (``applications``
             mode; may be empty for ``vm_requests`` scenarios).
         compute: Cluster shape per site.
+        supply: Per-site supply stack (battery / firm grid) composed
+            behind every trace; the default is disabled (pass-through,
+            hash-stable with pre-supply scenarios only via the cache
+            version bump).
         seed: Master seed; per-stage seeds derive from it unless pinned.
         trace_seed: Explicit trace-synthesis seed (default ``seed``).
         workload_seed: Explicit workload seed (default ``seed + 1``).
@@ -292,6 +297,7 @@ class Scenario:
     forecaster: ForecasterSpec = field(default_factory=ForecasterSpec)
     policies: tuple[PolicySpec, ...] = ()
     compute: ComputeSpec = field(default_factory=ComputeSpec)
+    supply: SupplySpec = field(default_factory=SupplySpec)
     seed: int = 0
     trace_seed: int | None = None
     workload_seed: int | None = None
@@ -359,6 +365,7 @@ class Scenario:
             "forecaster": asdict(self.forecaster),
             "policies": [asdict(p) for p in self.policies],
             "compute": asdict(self.compute),
+            "supply": self.supply.to_dict(),
             "seed": self.seed,
             "trace_seed": self.trace_seed,
             "workload_seed": self.workload_seed,
@@ -390,6 +397,7 @@ class Scenario:
                     PolicySpec(**p) for p in data.get("policies", [])
                 ),
                 compute=ComputeSpec(**data["compute"]),
+                supply=SupplySpec.from_dict(data.get("supply", {})),
                 seed=int(data["seed"]),
                 trace_seed=data.get("trace_seed"),
                 workload_seed=data.get("workload_seed"),
@@ -433,13 +441,20 @@ class Scenario:
         return fragment_hash(self.trace_fragment())
 
     def forecast_fragment(self) -> dict[str, Any]:
-        """Inputs that determine the forecast capacity series."""
+        """Inputs that determine the forecast capacity series.
+
+        The supply spec participates: capacities are derived from the
+        stack firmed open-loop into the forecast, so a battery change
+        must invalidate cached capacity arrays (and, transitively,
+        every solve built on them).
+        """
         return {
             "kind": "forecast-capacity",
             "trace": self.trace_fragment(),
             "forecaster": asdict(self.forecaster),
             "seed": self.effective_forecast_seed,
             "cores_per_site": self.compute.cores_per_site,
+            "supply": self.supply.to_dict(),
         }
 
     def forecast_key(self) -> str:

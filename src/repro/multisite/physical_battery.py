@@ -17,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..supply import BatteryDispatch, SupplyStack
 from ..traces import PowerTrace
 
 
@@ -100,53 +101,38 @@ def smooth_with_battery(
     Returns:
         The smoothed trace and the battery's energy accounting.
     """
-    if not 0.0 < target_fraction <= 2.0:
-        raise ConfigurationError(
-            f"target fraction must be in (0,2]: {target_fraction}"
-        )
-    step_hours = trace.grid.step_hours
-    generation = trace.power_mw()
-    target = target_fraction * float(generation.mean())
+    # The smoothing *is* an open-loop evaluation of a one-battery
+    # supply stack: BatteryDispatch.step mirrors the original greedy
+    # controller operation for operation, so the delegation is
+    # bit-identical (pinned by tests/test_physical_battery.py).
+    stack = SupplyStack(
+        (
+            BatteryDispatch(
+                capacity_mwh=battery.capacity_mwh,
+                max_power_mw=battery.max_power_mw,
+                efficiency=battery.round_trip_efficiency,
+                initial_charge_fraction=battery.initial_charge_fraction,
+            ),
+        ),
+        target_fraction,
+    )
+    evaluation = stack.evaluate_open_loop(trace)
     efficiency = battery.round_trip_efficiency
-
-    stored = battery.initial_charge_fraction * battery.capacity_mwh
-    output = np.empty(len(generation))
-    soc = np.empty(len(generation))
-    charged = 0.0
-    discharged = 0.0
-    for i, gen in enumerate(generation):
-        if gen >= target:
-            # Charge the surplus within power and headroom limits.
-            surplus_mw = min(gen - target, battery.max_power_mw)
-            headroom_mwh = battery.capacity_mwh - stored
-            charge_mwh = min(surplus_mw * step_hours, headroom_mwh)
-            stored += charge_mwh
-            charged += charge_mwh
-            output[i] = gen - charge_mwh / step_hours
-        else:
-            # Discharge toward the target within limits; stored energy
-            # delivers at round-trip efficiency.
-            deficit_mw = min(target - gen, battery.max_power_mw)
-            deliverable_mwh = stored * efficiency
-            discharge_mwh = min(deficit_mw * step_hours, deliverable_mwh)
-            stored -= discharge_mwh / efficiency if efficiency else 0.0
-            discharged += discharge_mwh
-            output[i] = gen + discharge_mwh / step_hours
-        soc[i] = stored
+    discharged = evaluation.discharge_total_mwh
     # Delivering `discharged` MWh drew `discharged / efficiency` from
     # storage; the difference is the realized round-trip loss.
     losses = discharged * (1.0 / efficiency - 1.0) if efficiency else 0.0
     smoothed = PowerTrace(
         trace.grid,
-        np.clip(output / trace.capacity_mw, 0.0, 1.0),
+        evaluation.delivered,
         f"{trace.name}+battery",
         trace.kind,
         trace.capacity_mw,
     )
     return BatterySimulation(
         output=smoothed,
-        state_of_charge_mwh=soc,
-        charged_mwh=charged,
+        state_of_charge_mwh=evaluation.soc_mwh,
+        charged_mwh=evaluation.charge_total_mwh,
         discharged_mwh=discharged,
         losses_mwh=max(losses, 0.0),
     )

@@ -6,7 +6,9 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from ..cluster import ClusterSpec
+from ..cluster.power import LinearCorePower
 from ..errors import ConfigurationError
+from ..supply import SupplyStack
 from ..traces import PowerTrace
 from ..traces.sites import Site, SiteCatalog
 
@@ -44,10 +46,21 @@ class VBSite:
         """Core capacity of the co-located cluster."""
         return self.cluster.total_cores
 
-    def core_budget_series(self) -> "list[int]":
-        """Powered-core budget per step under the linear power model."""
-        total = self.total_cores
-        return [int(v * total) for v in self.trace.values]
+    def core_budget_series(
+        self, supply: SupplyStack | None = None
+    ) -> "list[int]":
+        """Powered-core budget per step under the linear power model.
+
+        Computed through the shared
+        :class:`~repro.cluster.power.LinearCorePower` vectorized path
+        (bit-identical to the former inline ``int(v * total)`` loop).
+        A ``supply`` stack, when given, firms the trace open-loop
+        before conversion — the same composition every other consumer
+        applies.
+        """
+        trace = self.trace if supply is None else supply.apply(self.trace)
+        model = LinearCorePower(self.cluster)
+        return model.core_budget_series(trace.values).tolist()
 
 
 def build_vb_sites(

@@ -9,6 +9,7 @@ import numpy as np
 
 from ..errors import SchedulingError
 from ..forecast import Forecaster
+from ..supply import SupplyStack
 from ..traces import PowerTrace
 from ..units import TimeGrid
 from ..workload import Application
@@ -189,6 +190,7 @@ def problem_from_forecasts(
     issue_index: int = 0,
     bytes_per_core: float | None = None,
     utilization_cap: float = 0.9,
+    supply: "Mapping[str, SupplyStack] | SupplyStack | None" = None,
 ) -> SchedulingProblem:
     """Build a problem whose site capacities come from forecasts.
 
@@ -203,12 +205,36 @@ def problem_from_forecasts(
         bytes_per_core: Traffic per displaced core; derived from the
             apps when omitted.
         utilization_cap: Per-site allocation cap.
+        supply: Optional :class:`~repro.supply.SupplyStack` (one for
+            every site, or a per-site mapping) firmed *open-loop* into
+            each forecast before it becomes a capacity series, so the
+            MIP plans against battery-firmed capacity — the same stack
+            the executor then dispatches against the actual traces.
+            Empty stacks are pass-throughs.
     """
     sites = []
     for name, trace in traces.items():
         forecast = forecaster.forecast(trace, issue_index, grid.n)
         cores = total_cores[name]
-        capacity = np.floor(forecast.values * cores)
+        values = forecast.values
+        if isinstance(supply, SupplyStack):
+            stack: SupplyStack | None = supply
+        elif supply is not None:
+            stack = supply.get(name)
+        else:
+            stack = None
+        if stack is not None and not stack.stateless:
+            # Firm the forecast under the actual trace's physical
+            # scaling (MW capacity): planner and executor see the same
+            # battery physics, differing only by forecast error.
+            firmed = stack.apply(
+                PowerTrace(
+                    forecast.grid, values, trace.name, trace.kind,
+                    trace.capacity_mw,
+                )
+            )
+            values = firmed.values
+        capacity = np.floor(values * cores)
         sites.append(SiteCapacity(name, cores, capacity))
     if bytes_per_core is None:
         bytes_per_core = default_bytes_per_core(apps)

@@ -42,6 +42,7 @@ from ..cluster.migration import EvictionOrder, EvictionPlanner
 from ..cluster.vm import VM, VMState
 from ..errors import ConfigurationError, SchedulingError
 from ..sched.problem import Placement, SchedulingProblem
+from ..supply import SupplyDispatcher, SupplyEvaluation, SupplyStack
 from ..traces import PowerTrace
 from ..workload import VMClass, VMRequest
 
@@ -95,10 +96,14 @@ class DetailedResult:
         site_names: tuple[str, ...],
         columns: dict[str, _DetailedColumns],
         homeless_vm_steps: int,
+        supply: dict[str, SupplyEvaluation] | None = None,
     ):
         self.site_names = site_names
         self.columns = columns
         self.homeless_vm_steps = homeless_vm_steps
+        #: Per-site supply telemetry for sites that ran with a
+        #: non-empty supply stack (empty dict otherwise).
+        self.supply = supply or {}
         self._records: dict[str, list[DetailedSiteRecord]] | None = None
         self._total_transfer: np.ndarray | None = None
 
@@ -158,13 +163,15 @@ class DetailedResult:
         :meth:`~repro.cluster.datacenter.SimulationResult.summary_dict`.
         ``homeless_vm_steps`` is this class's extra key.
         """
-        per_site = {
+        per_site: dict[str, dict] = {
             name: {
                 "out_gb": float(self.columns[name].out_bytes.sum()) / 1e9,
                 "in_gb": float(self.columns[name].in_bytes.sum()) / 1e9,
             }
             for name in self.site_names
         }
+        for name, evaluation in self.supply.items():
+            per_site[name]["supply"] = evaluation.summary()
         step_total = np.sum(
             [
                 self.columns[name].out_bytes + self.columns[name].in_bytes
@@ -282,6 +289,24 @@ def _build_vms(
     return arrivals
 
 
+def _norm_covering_cores(cores: int, total_cores: int) -> float:
+    """Least normalized power whose floored budget covers ``cores``.
+
+    The detailed executor's budget map is ``floor(norm * total)``; the
+    closed-form inverse ``cores / total`` can truncate one core low, so
+    nudge upward by ulps until it covers (bounded — the map is monotone
+    and reaches ``cores`` by 1.0).
+    """
+    if cores <= 0:
+        return 0.0
+    if cores >= total_cores:
+        return 1.0
+    norm = cores / total_cores
+    while int(np.floor(norm * total_cores)) < cores and norm < 1.0:
+        norm = min(float(np.nextafter(norm, np.inf)), 1.0)
+    return norm
+
+
 def execute_placement_detailed(
     problem: SchedulingProblem,
     placement: Placement,
@@ -290,6 +315,8 @@ def execute_placement_detailed(
     *,
     engine: str = "event",
     eviction_order: EvictionOrder = EvictionOrder.FIRST_PLACED,
+    supply: "Mapping[str, SupplyStack] | SupplyStack | None" = None,
+    supply_mode: str = "closed",
 ) -> DetailedResult:
     """Run a placement through per-VM site simulators.
 
@@ -305,17 +332,31 @@ def execute_placement_detailed(
             identical results.
         eviction_order: Victim choice within a server during eviction
             (the paper leaves it unspecified; first-placed by default).
+        supply: Optional supply stack(s) composed behind the actual
+            traces — one stack for every site, or a per-site mapping
+            (sites absent from the mapping run on the raw trace).
+            Empty stacks are strict pass-throughs.
+        supply_mode: ``"closed"`` (default) dispatches each site's
+            stack every step against that site's live demand, which
+            forces per-step execution (battery SoC evolves every step,
+            so the event engine's no-op-window proof does not hold);
+            ``"open"`` firms each trace up front and leaves both
+            engines untouched.
 
     Returns:
         Per-site records plus cross-site handoff accounting.
     """
     if engine not in ("event", "dense"):
         raise ConfigurationError(f"unknown simulation engine: {engine!r}")
+    if supply_mode not in ("closed", "open"):
+        raise ConfigurationError(f"unknown supply mode: {supply_mode!r}")
     placement.validate_complete(problem)
     grid = problem.grid
     n = grid.n
     states: dict[str, _SiteState] = {}
     budgets: dict[str, np.ndarray] = {}
+    evaluations: dict[str, SupplyEvaluation] = {}
+    dispatchers: dict[str, SupplyDispatcher] = {}
     for site in problem.sites:
         trace = actual_traces.get(site.name)
         if trace is None:
@@ -331,8 +372,25 @@ def execute_placement_detailed(
             n_servers=max(1, site.total_cores // 40)
         )
         states[site.name] = _SiteState(site.name, shape, eviction_order)
+        if isinstance(supply, SupplyStack):
+            stack: SupplyStack | None = supply
+        elif supply is not None:
+            stack = supply.get(site.name)
+        else:
+            stack = None
+        if stack is not None and stack.stateless:
+            stack = None
+        values = trace.values
+        if stack is not None:
+            if supply_mode == "closed":
+                dispatchers[site.name] = stack.dispatcher(trace)
+                evaluations[site.name] = dispatchers[site.name].evaluation
+            else:
+                evaluation = stack.evaluate_open_loop(trace)
+                evaluations[site.name] = evaluation
+                values = evaluation.delivered
         budgets[site.name] = np.floor(
-            trace.values * shape.total_cores
+            values * shape.total_cores
         ).astype(int)
 
     arrivals = _build_vms(problem, placement)
@@ -359,12 +417,54 @@ def execute_placement_detailed(
 
     site_order = {name: index for index, name in enumerate(states)}
 
+    def site_demand_cores(step: int) -> dict[str, int]:
+        """Per-site cores wanting power this step (closed loop only).
+
+        Running cores minus those completing this step, plus paused VMs
+        and this step's assigned arrivals.  Displaced VMs are excluded —
+        they have no home site until they land, so no single battery
+        should discharge on their behalf.
+        """
+        finishing: dict[str, int] = {}
+        for vm, _bucket_site in finish_at.get(step, []):
+            if vm.state is VMState.RUNNING and vm.finish_step == step:
+                home = vm_site[vm.vm_id]
+                finishing[home] = finishing.get(home, 0) + vm.cores
+        demand: dict[str, int] = {}
+        for name, state in states.items():
+            cores = state.running_cores - finishing.get(name, 0)
+            for vm in state.paused:
+                if vm.state is VMState.PAUSED:
+                    cores += vm.cores
+            for vm in arrivals[name].get(step, []):
+                cores += vm.cores
+            demand[name] = min(max(cores, 0), state.cluster.total_cores)
+        return demand
+
     def process(step: int) -> None:
         """One lock-step advance of every site (shared by both engines)."""
         nonlocal displaced_pool, homeless_vm_steps
-        step_budget = {
-            name: int(budgets[name][step]) for name in states
-        }
+        if dispatchers:
+            demand = site_demand_cores(step)
+            step_budget = {}
+            for name, state in states.items():
+                dispatcher = dispatchers.get(name)
+                if dispatcher is None:
+                    step_budget[name] = int(budgets[name][step])
+                    continue
+                total = state.cluster.total_cores
+                delivered = dispatcher.dispatch(
+                    step, _norm_covering_cores(demand[name], total)
+                )
+                delivered = min(max(delivered, 0.0), 1.0)
+                budget = int(np.floor(delivered * total))
+                # Record the dispatched (firmed) budget, not the base.
+                budgets[name][step] = budget
+                step_budget[name] = budget
+        else:
+            step_budget = {
+                name: int(budgets[name][step]) for name in states
+            }
         # 1. Completions.  The bucket's site name can be stale when a
         # VM was evicted and re-landed with an unchanged finish step
         # (same-step handoff); vm_site holds the authoritative host.
@@ -490,7 +590,10 @@ def execute_placement_detailed(
     # Wake count lives in a plain local int — the step loops allocate
     # nothing per step for observability.
     processed = 0
-    if engine == "dense":
+    if engine == "dense" or dispatchers:
+        # Closed-loop supply dispatch makes every step stateful (SoC /
+        # grid budget evolve from every balance), so the event engine's
+        # skip windows are unsound there — both engines run dense.
         for step in range(n):
             process(step)
         processed = n
@@ -584,7 +687,10 @@ def execute_placement_detailed(
             "detailed.resumes", int(sum(c.n_resumed.sum() for c in cols))
         )
         obs.gauge("detailed.homeless_vm_steps", int(homeless_vm_steps))
+    for name, evaluation in evaluations.items():
+        evaluation.emit_metrics(site=name)
     run_span.__exit__(None, None, None)
     return DetailedResult(
-        tuple(problem.site_names), columns, homeless_vm_steps
+        tuple(problem.site_names), columns, homeless_vm_steps,
+        supply=evaluations or None,
     )

@@ -17,6 +17,12 @@ from ..errors import SchedulingError
 #: traffic values are GB; ``peak_step_gb`` is the largest single-step
 #: total.  Consumers (manifests, reports, notebooks) can aggregate any
 #: result class through this shared schema.
+#:
+#: Sites that ran behind a non-empty supply stack additionally carry a
+#: ``"supply"`` block (``per_site_supply`` keys, all MWh) with the
+#: stack's energy accounting from
+#: :meth:`repro.supply.SupplyEvaluation.summary`; raw-trace sites omit
+#: the block entirely, keeping legacy summaries byte-identical.
 SUMMARY_SCHEMA = {
     "top_level": (
         "total_transfer_gb",
@@ -26,6 +32,13 @@ SUMMARY_SCHEMA = {
         "sites",
     ),
     "per_site": ("out_gb", "in_gb"),
+    "per_site_supply": (
+        "charge_mwh",
+        "discharge_mwh",
+        "grid_import_mwh",
+        "curtailed_mwh",
+        "final_soc_mwh",
+    ),
 }
 
 

@@ -1,0 +1,45 @@
+"""Composable power-supply layer: generation, top-ups, dispatch.
+
+Every layer that previously converted a raw renewable trace to core
+budgets through its own path now shares this one:
+
+- :class:`SupplyStack` — ordered :class:`SupplyComponent` composition
+  over a base :class:`~repro.traces.PowerTrace`, with open-loop
+  (precomputed series) and closed-loop (per-step demand-driven)
+  evaluation producing :class:`SupplyEvaluation` telemetry.
+- :class:`BatteryDispatch` / :class:`GridFirmPower` — stateful top-ups
+  with SoC / budget dynamics.
+- :class:`SupplySpec` — the serializable, content-hashable form used
+  by `experiments.Scenario` and the CLI.
+"""
+
+from .components import (
+    BatteryDispatch,
+    BatteryState,
+    GridBudgetState,
+    GridFirmPower,
+    SupplyComponent,
+)
+from .spec import DEFAULT_BATTERY_HOURS, NO_SUPPLY, SUPPLY_MODES, SupplySpec
+from .stack import (
+    SupplyDispatcher,
+    SupplyEvaluation,
+    SupplyStack,
+    supply_stack,
+)
+
+__all__ = [
+    "BatteryDispatch",
+    "BatteryState",
+    "DEFAULT_BATTERY_HOURS",
+    "GridBudgetState",
+    "GridFirmPower",
+    "NO_SUPPLY",
+    "SUPPLY_MODES",
+    "SupplyComponent",
+    "SupplyDispatcher",
+    "SupplyEvaluation",
+    "SupplySpec",
+    "SupplyStack",
+    "supply_stack",
+]

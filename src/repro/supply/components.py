@@ -1,0 +1,175 @@
+"""Stateful supply components: firm top-ups composed behind generation.
+
+A component sits between the base renewable trace and the datacenter:
+offered a power *balance* each step (surplus when generation exceeds
+the dispatch target, deficit when it falls short), it may absorb part
+of a surplus (a battery charging) or contribute toward a deficit (a
+battery discharging, a firm grid purchase drawing down its budget).
+
+Components are frozen parameter objects; all mutable dispatch state
+lives in the small state records returned by :meth:`initial_state`, so
+one component instance can drive any number of concurrent runs.  The
+arithmetic of :class:`BatteryDispatch` deliberately mirrors
+:func:`repro.multisite.physical_battery.smooth_with_battery` operation
+for operation — the offline smoothing analysis and the in-loop
+dispatch are the same physics, and the physical-battery module now
+delegates here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from ..errors import ConfigurationError
+
+
+@runtime_checkable
+class SupplyComponent(Protocol):
+    """One stage of a supply stack.
+
+    ``step`` is offered the current power balance in MW (positive:
+    surplus available to absorb; negative: deficit to fill) and returns
+    the component's power delta in MW — negative when absorbing (at
+    most the surplus), positive when contributing (at most the
+    deficit).  Components are evaluated in stack order, each seeing the
+    balance left over by the previous one.
+    """
+
+    def initial_state(self) -> object:
+        """Fresh mutable dispatch state for one run."""
+        ...
+
+    def step(self, state: object, balance_mw: float, step_hours: float) -> float:
+        """Dispatch one step; returns the delta in MW (see class doc)."""
+        ...
+
+
+class BatteryState:
+    """Mutable state-of-charge record for one :class:`BatteryDispatch` run."""
+
+    __slots__ = ("soc_mwh",)
+
+    def __init__(self, soc_mwh: float):
+        self.soc_mwh = soc_mwh
+
+
+@dataclass(frozen=True)
+class BatteryDispatch:
+    """A stationary battery dispatched greedily against the balance.
+
+    Charges from surplus and discharges into deficits, within the
+    power rating, the capacity, and the stored energy; delivered
+    energy pays the round-trip efficiency on discharge (stored MWh
+    deplete by ``discharged / efficiency``), exactly like
+    :class:`repro.multisite.physical_battery.BatterySpec`.
+
+    Attributes:
+        capacity_mwh: Usable energy capacity.
+        max_power_mw: Charge and discharge power limit.
+        efficiency: Round-trip efficiency, applied on discharge.
+        initial_charge_fraction: State of charge at the start of a run.
+    """
+
+    capacity_mwh: float
+    max_power_mw: float
+    efficiency: float = 0.85
+    initial_charge_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.capacity_mwh < 0:
+            raise ConfigurationError(
+                f"capacity must be >= 0: {self.capacity_mwh}"
+            )
+        if self.max_power_mw <= 0:
+            raise ConfigurationError(
+                f"power rating must be positive: {self.max_power_mw}"
+            )
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ConfigurationError(
+                f"efficiency must be in (0,1]: {self.efficiency}"
+            )
+        if not 0.0 <= self.initial_charge_fraction <= 1.0:
+            raise ConfigurationError(
+                "initial charge must be in [0,1]:"
+                f" {self.initial_charge_fraction}"
+            )
+
+    def initial_state(self) -> BatteryState:
+        """Fresh SoC at the configured initial fraction."""
+        return BatteryState(self.initial_charge_fraction * self.capacity_mwh)
+
+    def step(
+        self, state: BatteryState, balance_mw: float, step_hours: float
+    ) -> float:
+        """Charge from a surplus / discharge into a deficit.
+
+        The branch structure and operation order replicate
+        ``smooth_with_battery`` so the open-loop evaluation of a
+        one-battery stack is bit-identical to the legacy smoothing.
+        """
+        if balance_mw >= 0.0:
+            surplus_mw = min(balance_mw, self.max_power_mw)
+            headroom_mwh = self.capacity_mwh - state.soc_mwh
+            charge_mwh = min(surplus_mw * step_hours, headroom_mwh)
+            state.soc_mwh += charge_mwh
+            return -charge_mwh / step_hours
+        deficit_mw = min(-balance_mw, self.max_power_mw)
+        deliverable_mwh = state.soc_mwh * self.efficiency
+        discharge_mwh = min(deficit_mw * step_hours, deliverable_mwh)
+        state.soc_mwh -= discharge_mwh / self.efficiency if self.efficiency else 0.0
+        return discharge_mwh / step_hours
+
+
+class GridBudgetState:
+    """Remaining purchasable energy for one :class:`GridFirmPower` run."""
+
+    __slots__ = ("remaining_mwh",)
+
+    def __init__(self, remaining_mwh: float):
+        self.remaining_mwh = remaining_mwh
+
+
+@dataclass(frozen=True)
+class GridFirmPower:
+    """A firm grid purchase: a finite energy budget drawn on deficits.
+
+    The in-loop, causal counterpart of the offline waterfilling in
+    :mod:`repro.multisite.battery` — it spends the budget
+    chronologically as deficits arrive (no future knowledge), so its
+    leverage lower-bounds what the offline allocator achieves.
+
+    Attributes:
+        budget_mwh: Total energy purchasable over the run.
+        max_power_mw: Import power limit; unlimited when ``None``.
+    """
+
+    budget_mwh: float
+    max_power_mw: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.budget_mwh < 0:
+            raise ConfigurationError(
+                f"budget must be >= 0: {self.budget_mwh}"
+            )
+        if self.max_power_mw is not None and self.max_power_mw <= 0:
+            raise ConfigurationError(
+                f"power limit must be positive: {self.max_power_mw}"
+            )
+
+    def initial_state(self) -> GridBudgetState:
+        """Fresh budget counter."""
+        return GridBudgetState(self.budget_mwh)
+
+    def step(
+        self, state: GridBudgetState, balance_mw: float, step_hours: float
+    ) -> float:
+        """Fill a deficit from the remaining budget; never absorbs."""
+        if balance_mw >= 0.0 or state.remaining_mwh <= 0.0:
+            return 0.0
+        draw_mw = -balance_mw
+        if self.max_power_mw is not None:
+            draw_mw = min(draw_mw, self.max_power_mw)
+        draw_mwh = min(draw_mw * step_hours, state.remaining_mwh)
+        state.remaining_mwh -= draw_mwh
+        return draw_mwh / step_hours

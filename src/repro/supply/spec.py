@@ -1,0 +1,139 @@
+"""Serializable supply specifications for the experiments layer.
+
+A :class:`SupplySpec` is the declarative, content-hashable description
+of a supply stack — what lives in a
+:class:`~repro.experiments.scenario.Scenario` and behind the CLI's
+``--battery-mwh`` / ``--grid-budget-mwh`` flags.  ``build()`` turns it
+into the live :class:`~repro.supply.stack.SupplyStack`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .components import BatteryDispatch, GridFirmPower, SupplyComponent
+from .stack import SupplyStack
+
+#: Supported dispatch modes. ``closed`` lets the simulators query the
+#: stack each wake with live demand; ``open`` precomputes the delivered
+#: series against the firming target (what the scheduler always uses).
+SUPPLY_MODES = ("closed", "open")
+
+#: Hours of storage a default-rated battery can sustain at full power —
+#: the "4-hour system" convention shared with
+#: :func:`repro.multisite.physical_battery.battery_capacity_for_stable_parity`.
+DEFAULT_BATTERY_HOURS = 4.0
+
+
+@dataclass(frozen=True)
+class SupplySpec:
+    """Declarative description of a site's supply stack.
+
+    Attributes:
+        battery_mwh: Battery energy capacity; 0 disables the battery.
+        battery_power_mw: Battery power rating; ``None`` defaults to a
+            4-hour system (``battery_mwh / 4``).
+        battery_efficiency: Round-trip efficiency, paid on discharge.
+        battery_initial_fraction: Initial state of charge.
+        grid_budget_mwh: Firm grid energy purchasable over the run;
+            0 disables the grid component.
+        grid_power_mw: Grid import power limit; ``None`` is unlimited.
+        mode: ``"closed"`` (in-loop dispatch against live demand) or
+            ``"open"`` (precomputed series against the firming target).
+        target_fraction: Open-loop firming target as a fraction of
+            mean generation.
+    """
+
+    battery_mwh: float = 0.0
+    battery_power_mw: float | None = None
+    battery_efficiency: float = 0.85
+    battery_initial_fraction: float = 0.5
+    grid_budget_mwh: float = 0.0
+    grid_power_mw: float | None = None
+    mode: str = "closed"
+    target_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.mode not in SUPPLY_MODES:
+            raise ConfigurationError(
+                f"unknown supply mode {self.mode!r}; expected one of"
+                f" {SUPPLY_MODES}"
+            )
+        if self.battery_mwh < 0:
+            raise ConfigurationError(
+                f"battery capacity must be >= 0: {self.battery_mwh}"
+            )
+        if self.grid_budget_mwh < 0:
+            raise ConfigurationError(
+                f"grid budget must be >= 0: {self.grid_budget_mwh}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when the spec produces a non-empty stack."""
+        return self.battery_mwh > 0 or self.grid_budget_mwh > 0
+
+    def components(self) -> tuple[SupplyComponent, ...]:
+        """The component tuple this spec describes (may be empty)."""
+        parts: list[SupplyComponent] = []
+        if self.battery_mwh > 0:
+            power = self.battery_power_mw
+            if power is None:
+                power = self.battery_mwh / DEFAULT_BATTERY_HOURS
+            parts.append(
+                BatteryDispatch(
+                    capacity_mwh=self.battery_mwh,
+                    max_power_mw=power,
+                    efficiency=self.battery_efficiency,
+                    initial_charge_fraction=self.battery_initial_fraction,
+                )
+            )
+        if self.grid_budget_mwh > 0:
+            parts.append(
+                GridFirmPower(
+                    budget_mwh=self.grid_budget_mwh,
+                    max_power_mw=self.grid_power_mw,
+                )
+            )
+        return tuple(parts)
+
+    def build(self) -> SupplyStack:
+        """The live stack (empty pass-through when nothing is enabled)."""
+        return SupplyStack(self.components(), self.target_fraction)
+
+    # ------------------------------------------------------------------
+    # Serialization (scenario content hashing)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready form; feeds Scenario content hashes verbatim."""
+        return {
+            "battery_mwh": self.battery_mwh,
+            "battery_power_mw": self.battery_power_mw,
+            "battery_efficiency": self.battery_efficiency,
+            "battery_initial_fraction": self.battery_initial_fraction,
+            "grid_budget_mwh": self.grid_budget_mwh,
+            "grid_power_mw": self.grid_power_mw,
+            "mode": self.mode,
+            "target_fraction": self.target_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SupplySpec":
+        """Inverse of :meth:`to_dict`; unknown keys rejected."""
+        known = {
+            "battery_mwh", "battery_power_mw", "battery_efficiency",
+            "battery_initial_fraction", "grid_budget_mwh", "grid_power_mw",
+            "mode", "target_fraction",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown supply spec fields: {sorted(unknown)}"
+            )
+        return cls(**data)
+
+
+#: The disabled spec: empty stack, pass-through everywhere.
+NO_SUPPLY = SupplySpec()

@@ -1,0 +1,305 @@
+"""The composable supply stack: generation → top-ups → delivered power.
+
+A :class:`SupplyStack` turns a base renewable :class:`PowerTrace` into
+the power a datacenter actually sees, by threading a per-step power
+balance through an ordered list of
+:class:`~repro.supply.components.SupplyComponent`\\ s (batteries, firm
+grid purchases).  It evaluates in two modes:
+
+**Open loop** (:meth:`SupplyStack.evaluate_open_loop`): no demand
+signal.  Components dispatch against a fixed firming target
+(``target_fraction`` × mean generation, the standard firming baseline
+of :func:`repro.multisite.physical_battery.smooth_with_battery`), and
+the result is a precomputed delivered series — what the scheduler's
+forecast capacities and the simulators' precomputed budget series
+consume.  With an empty stack the delivered series **is** the base
+trace's value array, untouched, so the legacy core-budget path is
+reproduced bit for bit.
+
+**Closed loop** (:meth:`SupplyStack.dispatcher`): the simulator calls
+:meth:`SupplyDispatcher.dispatch` at every step with its *current*
+demand, so the battery charges from real surplus (generation beyond
+what the site can use) and discharges into real dips (generation below
+what is running).  Storage interacting with load in the loop is what
+the open-loop analysis cannot express — the point of this layer.
+
+Both modes fill a :class:`SupplyEvaluation`: per-step delivered power
+plus SoC / charge / discharge / grid-import / curtailment columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from .. import obs
+from ..errors import ConfigurationError
+from ..traces import PowerTrace
+from .components import BatteryDispatch, GridFirmPower, SupplyComponent
+
+
+class SupplyEvaluation:
+    """Per-step accounting of one supply-stack evaluation.
+
+    Attributes:
+        delivered: Normalized delivered power per step (what the power
+            model converts to a core budget).
+        soc_mwh: Total battery state of charge after each step.
+        charge_mwh: Battery charge per step.
+        discharge_mwh: Battery discharge per step.
+        grid_import_mwh: Firm grid energy drawn per step.
+        curtailed_mwh: Surplus neither used nor stored per step
+            (meaningful in closed loop, where demand is known; open
+            loop passes surplus through to the cluster and records 0).
+    """
+
+    __slots__ = (
+        "delivered", "soc_mwh", "charge_mwh", "discharge_mwh",
+        "grid_import_mwh", "curtailed_mwh",
+    )
+
+    def __init__(self, delivered: np.ndarray):
+        n = len(delivered)
+        self.delivered = delivered
+        self.soc_mwh = np.zeros(n)
+        self.charge_mwh = np.zeros(n)
+        self.discharge_mwh = np.zeros(n)
+        self.grid_import_mwh = np.zeros(n)
+        self.curtailed_mwh = np.zeros(n)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def charge_total_mwh(self) -> float:
+        """Total energy sent into batteries."""
+        return float(self.charge_mwh.sum())
+
+    @property
+    def discharge_total_mwh(self) -> float:
+        """Total energy delivered from batteries."""
+        return float(self.discharge_mwh.sum())
+
+    @property
+    def grid_import_total_mwh(self) -> float:
+        """Total firm grid energy drawn."""
+        return float(self.grid_import_mwh.sum())
+
+    @property
+    def curtailed_total_mwh(self) -> float:
+        """Total surplus neither used nor stored."""
+        return float(self.curtailed_mwh.sum())
+
+    @property
+    def final_soc_mwh(self) -> float:
+        """Battery state of charge at the end of the run."""
+        if len(self.soc_mwh) == 0:
+            return 0.0
+        return float(self.soc_mwh[-1])
+
+    def summary(self) -> dict:
+        """JSON-ready totals (the ``supply`` block of result summaries)."""
+        return {
+            "charge_mwh": self.charge_total_mwh,
+            "discharge_mwh": self.discharge_total_mwh,
+            "grid_import_mwh": self.grid_import_total_mwh,
+            "curtailed_mwh": self.curtailed_total_mwh,
+            "final_soc_mwh": self.final_soc_mwh,
+        }
+
+    def emit_metrics(self, **attrs) -> None:
+        """Emit the run's supply counters through :mod:`repro.obs`."""
+        obs.count("supply.charge_mwh", self.charge_total_mwh, **attrs)
+        obs.count("supply.discharge_mwh", self.discharge_total_mwh, **attrs)
+        obs.count("supply.curtailed_mwh", self.curtailed_total_mwh, **attrs)
+        if self.grid_import_total_mwh:
+            obs.count(
+                "supply.grid_import_mwh",
+                self.grid_import_total_mwh,
+                **attrs,
+            )
+        obs.gauge("supply.final_soc_mwh", self.final_soc_mwh, **attrs)
+
+
+class SupplyDispatcher:
+    """Closed-loop per-step dispatch of one stack against one trace.
+
+    Created by :meth:`SupplyStack.dispatcher`; the simulator calls
+    :meth:`dispatch` once per processed step, in step order, with its
+    current normalized demand.  All telemetry accumulates into
+    :attr:`evaluation`.
+    """
+
+    def __init__(self, stack: "SupplyStack", trace: PowerTrace):
+        self._components: tuple[SupplyComponent, ...] = stack.components
+        self._states = [c.initial_state() for c in stack.components]
+        self._values = trace.values
+        self._capacity_mw = trace.capacity_mw
+        self._step_hours = trace.grid.step_hours
+        # Un-dispatched steps (none, in a full run) default to base.
+        self.evaluation = SupplyEvaluation(np.array(trace.values))
+
+    def dispatch(self, step: int, demand_norm: float) -> float:
+        """Deliver power for one step given the site's current demand.
+
+        Args:
+            step: Grid index being processed.
+            demand_norm: Normalized power the site could productively
+                use this step (running + resumable + launchable cores,
+                through the power model's inverse).
+
+        Returns:
+            Normalized delivered power: base generation minus charging
+            plus discharge / grid import.
+        """
+        h = self._step_hours
+        capacity = self._capacity_mw
+        base_mw = float(self._values[step]) * capacity
+        demand_norm = max(demand_norm, 0.0)
+        demand_mw = demand_norm * capacity
+        balance_mw = base_mw - demand_mw
+        covered = balance_mw >= 0.0
+        delivered_mw = base_mw
+        ev = self.evaluation
+        soc_mwh = 0.0
+        for component, state in zip(self._components, self._states):
+            delta_mw = component.step(state, balance_mw, h)
+            balance_mw += delta_mw
+            delivered_mw += delta_mw
+            if isinstance(component, BatteryDispatch):
+                if delta_mw < 0.0:
+                    ev.charge_mwh[step] -= delta_mw * h
+                elif delta_mw > 0.0:
+                    ev.discharge_mwh[step] += delta_mw * h
+                soc_mwh += state.soc_mwh
+            elif isinstance(component, GridFirmPower) and delta_mw > 0.0:
+                ev.grid_import_mwh[step] += delta_mw * h
+        ev.soc_mwh[step] = soc_mwh
+        if balance_mw > 0.0:
+            ev.curtailed_mwh[step] = balance_mw * h
+        delivered = delivered_mw / capacity
+        if covered and delivered < demand_norm:
+            # Components only absorb on a surplus step, never below the
+            # demand — but the MW round trip (base - (base - demand),
+            # then / capacity) can land one ulp under demand_norm,
+            # which would floor away a powered core the site is owed.
+            delivered = demand_norm
+        ev.delivered[step] = delivered
+        return delivered
+
+
+@dataclass(frozen=True)
+class SupplyStack:
+    """An ordered composition of supply components over base generation.
+
+    Attributes:
+        components: Top-up stages, dispatched in order (each sees the
+            balance left by the previous).  Empty means pass-through:
+            the delivered series is the base trace, bit for bit.
+        target_fraction: Open-loop firming target as a fraction of mean
+            generation (the :func:`smooth_with_battery` convention).
+    """
+
+    components: tuple[SupplyComponent, ...] = field(default_factory=tuple)
+    target_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "components", tuple(self.components))
+        if not 0.0 < self.target_fraction <= 2.0:
+            raise ConfigurationError(
+                f"target fraction must be in (0,2]: {self.target_fraction}"
+            )
+
+    @property
+    def stateless(self) -> bool:
+        """True when the stack is a pure pass-through (no components)."""
+        return not self.components
+
+    # ------------------------------------------------------------------
+    # Open loop
+    # ------------------------------------------------------------------
+
+    def evaluate_open_loop(self, trace: PowerTrace) -> SupplyEvaluation:
+        """Precompute the delivered series against the firming target.
+
+        With no components this returns the trace's own value array as
+        ``delivered`` (no arithmetic touches it — the bit-identity the
+        golden tests pin).  Otherwise every step offers the balance
+        against ``target_fraction × mean generation`` to the
+        components; surplus the components do not absorb passes
+        through to the cluster (curtailment stays zero — unallocated
+        cores power down, the paper's absorption mechanism).
+        """
+        if not self.components:
+            return SupplyEvaluation(trace.values)
+        with obs.span(
+            "supply.evaluate",
+            n_steps=trace.grid.n,
+            n_components=len(self.components),
+        ):
+            h = trace.grid.step_hours
+            capacity = trace.capacity_mw
+            generation = trace.power_mw()
+            target_mw = self.target_fraction * float(generation.mean())
+            states = [c.initial_state() for c in self.components]
+            delivered_mw = np.empty(len(generation))
+            ev = SupplyEvaluation(delivered_mw)  # filled below
+            batteries = [
+                isinstance(c, BatteryDispatch) for c in self.components
+            ]
+            grids = [isinstance(c, GridFirmPower) for c in self.components]
+            for i, gen in enumerate(generation):
+                balance_mw = gen - target_mw
+                out_mw = gen
+                soc_mwh = 0.0
+                for j, (component, state) in enumerate(
+                    zip(self.components, states)
+                ):
+                    delta_mw = component.step(state, balance_mw, h)
+                    balance_mw += delta_mw
+                    out_mw += delta_mw
+                    if batteries[j]:
+                        if delta_mw < 0.0:
+                            ev.charge_mwh[i] -= delta_mw * h
+                        elif delta_mw > 0.0:
+                            ev.discharge_mwh[i] += delta_mw * h
+                        soc_mwh += state.soc_mwh
+                    elif grids[j] and delta_mw > 0.0:
+                        ev.grid_import_mwh[i] += delta_mw * h
+                ev.soc_mwh[i] = soc_mwh
+                delivered_mw[i] = out_mw
+            ev.delivered = np.clip(delivered_mw / capacity, 0.0, 1.0)
+        return ev
+
+    def apply(self, trace: PowerTrace) -> PowerTrace:
+        """Open-loop delivered power as a new trace (``+supply`` suffix).
+
+        Pass-through stacks return the trace unchanged (same object).
+        """
+        if not self.components:
+            return trace
+        evaluation = self.evaluate_open_loop(trace)
+        return PowerTrace(
+            trace.grid,
+            evaluation.delivered,
+            f"{trace.name}+supply",
+            trace.kind,
+            trace.capacity_mw,
+        )
+
+    # ------------------------------------------------------------------
+    # Closed loop
+    # ------------------------------------------------------------------
+
+    def dispatcher(self, trace: PowerTrace) -> SupplyDispatcher:
+        """Fresh closed-loop dispatch state bound to ``trace``."""
+        return SupplyDispatcher(self, trace)
+
+
+def supply_stack(
+    components: Sequence[SupplyComponent] = (),
+    target_fraction: float = 0.5,
+) -> SupplyStack:
+    """Convenience constructor accepting any component sequence."""
+    return SupplyStack(tuple(components), target_fraction)
