@@ -1,0 +1,193 @@
+"""Benchmarks of the columnar fleet engine at study scale.
+
+Not a paper figure — these gate the batched cross-site refactor: one
+:class:`~repro.sim.fleet.FleetEngine` program advancing every site
+against N independent ``Datacenter.run`` calls (the "looped" baseline
+it replaced), on the year-long hundreds-of-sites study §3 motivates.
+
+Every run writes machine-readable ``BENCH_fleet.json`` at the repo
+root; CI uploads it as an artifact and fails the bench-smoke job if
+the fleet engine is slower than the looped event engine on the
+64-site year (both are result-identical, so slower would mean the
+batching machinery costs more than it saves).
+
+Two baselines on purpose, reported side by side:
+
+* ``speedup_vs_looped`` — against per-site *event-driven* runs, the
+  strongest baseline (it already skips idle steps).  The fleet's win
+  here comes from shared site-major column matrices, one wake heap,
+  and vectorized cross-site budget scans; expect 1.1–2x depending on
+  wake density.  This is the hard CI gate (>= 1x).
+* ``speedup_vs_dense_looped`` — against per-site *dense* runs that
+  walk all 35,040 steps, the pre-event-engine reference.  This is the
+  headline >= 3x acceptance number for the refactor.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cluster import Datacenter, DatacenterConfig
+from repro.experiments.defaults import YEAR_START
+from repro.sim import FleetEngine, FleetSite
+from repro.traces import synthesize_wind
+from repro.units import grid_days
+from repro.workload import VMClass, VMRequest, VMType
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON_PATH = REPO_ROOT / "BENCH_fleet.json"
+
+_RESULTS: dict[str, dict] = {}
+
+_VM_TYPES = (
+    VMType("D2", 2, 8.0),
+    VMType("D4", 4, 16.0),
+    VMType("D8", 8, 32.0),
+)
+
+
+def _record(name: str, **extra) -> None:
+    _RESULTS[name] = extra
+
+
+def _time_once(fn):
+    gc.collect()
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_json_writer():
+    """Write ``BENCH_fleet.json`` after the module's benches ran."""
+    yield
+    if not _RESULTS:
+        return
+    payload = {
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "machine": {
+            "cpus": os.cpu_count() or 1,
+            "python": sys.version.split()[0],
+        },
+        "benches": dict(sorted(_RESULTS.items())),
+    }
+    BENCH_JSON_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n"
+    )
+    print(f"\n[fleet trajectory written to {BENCH_JSON_PATH}]")
+
+
+def _fleet_site(site_seed: int, grid, config) -> FleetSite:
+    """One fleet site-year: three sparse week-scale batch campaigns
+    (the same workload shape the sim-core year bench uses)."""
+    rng = np.random.default_rng(site_seed)
+    trace = synthesize_wind(grid, seed=site_seed, name=f"site{site_seed}")
+    requests = []
+    vm_id = 0
+    for campaign in range(3):
+        day = int(rng.integers(campaign * 120, campaign * 120 + 60))
+        arrival = day * 96
+        for _ in range(400):
+            lifetime = int(rng.integers(96, 3 * 96))
+            vm_type = _VM_TYPES[rng.integers(0, len(_VM_TYPES))]
+            vm_class = (
+                VMClass.STABLE if rng.random() < 0.5 else VMClass.DEGRADABLE
+            )
+            requests.append(
+                VMRequest(
+                    vm_id,
+                    arrival + int(rng.integers(0, 48)),
+                    lifetime,
+                    vm_type,
+                    vm_class,
+                )
+            )
+            vm_id += 1
+    return FleetSite(
+        name=f"site{site_seed}",
+        config=config,
+        trace=trace,
+        requests=list(requests),
+    )
+
+
+def test_fleet_vs_looped_64site_year():
+    """64 sites x 1 year: fleet vs per-site event and dense loops.
+
+    The CI gate lives here: the fleet engine must not be slower than
+    the looped event engine (1.0x hard), and the dense-loop ratio is
+    the refactor's >= 3x acceptance headroom.
+    """
+    grid = grid_days(YEAR_START, 365)
+    config = DatacenterConfig()
+    sites = [_fleet_site(seed, grid, config) for seed in range(64)]
+
+    def looped(engine: str):
+        return {
+            site.name: Datacenter(site.config, site.trace).run(
+                site.requests, engine=engine
+            )
+            for site in sites
+        }
+
+    fleet, fleet_s = _time_once(lambda: FleetEngine(sites).run())
+    event, event_s = _time_once(lambda: looped("event"))
+    dense, dense_s = _time_once(lambda: looped("dense"))
+
+    # Result-identical by construction — verify before trusting times.
+    for site in sites:
+        assert fleet[site.name].summary_dict() == event[site.name].summary_dict()
+        assert fleet[site.name].summary_dict() == dense[site.name].summary_dict()
+
+    speedup_vs_looped = event_s / fleet_s
+    speedup_vs_dense = dense_s / fleet_s
+    _record(
+        "fleet_64site_year",
+        n_sites=len(sites),
+        n_steps=grid.n,
+        n_requests_per_site=len(sites[0].requests),
+        fleet_s=fleet_s,
+        looped_event_s=event_s,
+        dense_looped_s=dense_s,
+        speedup_vs_looped=speedup_vs_looped,
+        speedup_vs_dense_looped=speedup_vs_dense,
+    )
+    # Hard gate: slower than the looped event engine would mean the
+    # batching machinery costs more than it saves.
+    assert speedup_vs_looped >= 1.0
+    # Acceptance headroom vs the dense per-site reference loop.
+    assert speedup_vs_dense >= 3.0
+
+
+def test_fleet_500site_year():
+    """The 500-site x 1-year study in one engine call (EXPERIMENTS.md
+    walkthrough).  Records absolute wall time; no looped baseline —
+    the 64-site bench carries the comparison."""
+    grid = grid_days(YEAR_START, 365)
+    config = DatacenterConfig()
+    sites = [_fleet_site(seed, grid, config) for seed in range(500)]
+
+    fleet, fleet_s = _time_once(lambda: FleetEngine(sites).run())
+    assert len(fleet) == 500
+    completions = sum(
+        int(result.columns.n_completed.sum()) for result in fleet.values()
+    )
+    assert completions > 0
+    _record(
+        "fleet_500site_year",
+        n_sites=len(sites),
+        n_steps=grid.n,
+        n_requests_per_site=len(sites[0].requests),
+        total_completions=completions,
+        fleet_s=fleet_s,
+        site_years_per_second=len(sites) / fleet_s,
+    )

@@ -53,7 +53,7 @@ from ..traces import PowerTrace
 from ..units import TimeGrid, bytes_to_gb
 from ..workload import VMRequest
 from .admission import AdmissionControl
-from .events import EventKind, EventLog
+from .events import EventKind, EventLog, NullEventLog
 from .livemigration import LiveMigrationModel, estimate_migration
 from .migration import EvictionOrder, EvictionPlanner
 from .power import LinearCorePower, PowerModel, ServerGranularPower
@@ -155,6 +155,10 @@ class StepColumns:
         "n_resumed", "n_completed", "n_expired", "queue_length",
     )
 
+    #: Column name → float dtype flag (int64 otherwise); the layout the
+    #: fleet engine's site-major block allocation mirrors.
+    FLOAT_COLUMNS = ("norm_power", "out_bytes", "in_bytes")
+
     def __init__(self, n: int):
         self.n = n
         self.norm_power = np.zeros(n)
@@ -173,6 +177,20 @@ class StepColumns:
         self.n_completed = np.zeros(n, dtype=np.int64)
         self.n_expired = np.zeros(n, dtype=np.int64)
         self.queue_length = np.zeros(n, dtype=np.int64)
+
+    @classmethod
+    def from_views(cls, n: int, views: dict) -> "StepColumns":
+        """Wrap preallocated per-column arrays (site rows of a fleet
+        engine's site-major matrices) without allocating.
+
+        ``views`` must supply one zeroed length-``n`` array per column
+        slot (every name in ``__slots__`` except ``n``).
+        """
+        cols = object.__new__(cls)
+        cols.n = n
+        for name in cls.__slots__[1:]:
+            setattr(cols, name, views[name])
+        return cols
 
 
 class SimulationResult:
@@ -339,6 +357,55 @@ class SimulationResult:
         }
 
 
+@dataclass
+class EngineState:
+    """Prepared per-run state of one site's event engine.
+
+    Everything :meth:`Datacenter.run` derives from the request list and
+    the supply mode before stepping — the per-step column store, the
+    precomputed budget series (open loop), the arrival schedule, and
+    the closed-loop dispatcher — extracted so external engines (the
+    cross-site :class:`repro.sim.fleet.FleetEngine`) can drive the same
+    site machinery wake by wake.  The finish min-heap lives on the
+    :class:`Datacenter` itself (state transitions push into it); the
+    queue-expiry heap and arrival cursor live here because they belong
+    to one run's traversal, not to the cluster.
+
+    Attributes:
+        n: Grid length.
+        grid: The run's time grid.
+        cols: Columnar per-step measurements (possibly views into a
+            fleet-shared site-major block).
+        budgets: Precomputed core-budget series; ``None`` in closed
+            loop, where budgets depend on live demand.
+        arrivals_by_step: Step → VMs arriving there.
+        arrival_steps: Sorted arrival steps.
+        n_requests: Requests offered (for telemetry).
+        closed: True when a stateful stack dispatches per step.
+        dispatcher: Closed-loop dispatch state, when ``closed``.
+        evaluation: Supply telemetry columns (either mode), or None.
+        arrival_index: Cursor into :attr:`arrival_steps`.
+        expiry_heap: Min-heap of queue-patience expiry steps.
+        last: Last processed step (-1 before the first wake).
+        processed: Wake steps executed so far.
+    """
+
+    n: int
+    grid: TimeGrid
+    cols: StepColumns
+    budgets: np.ndarray | None
+    arrivals_by_step: dict[int, list[VM]]
+    arrival_steps: list[int]
+    n_requests: int
+    closed: bool
+    dispatcher: SupplyDispatcher | None
+    evaluation: SupplyEvaluation | None
+    arrival_index: int = 0
+    expiry_heap: list[int] = field(default_factory=list)
+    last: int = -1
+    processed: int = 0
+
+
 class _ServerPool:
     """Servers bucketed by free cores for O(1)-ish placement queries.
 
@@ -458,11 +525,18 @@ class Datacenter:
         supply_mode: ``"closed"`` (default): the simulator queries the
             stack each processed step with its current demand, so the
             battery charges from real surplus and discharges into real
-            dips; this forces per-step execution (SoC evolves every
-            step, so no step is provably a no-op) under either engine.
+            dips.  The dense engine executes every step; the event
+            engine dispatches per step too, except over windows where
+            the stack is provably *pinned* (battery at a SoC bound,
+            grid budget exhausted) for the window's balance sign — there
+            the dispatch is a bit-exact no-op and whole spans are
+            skipped (see :meth:`_run_closed_event`).
             ``"open"``: the stack's precomputed delivered series
             replaces the trace values up front and the engines run
             untouched, skips and all.
+        record_events: Keep the per-VM event log (default).  Fleet-scale
+            runs pass ``False`` to record columns only — results are
+            identical except :attr:`events` stays empty.
     """
 
     def __init__(
@@ -471,6 +545,7 @@ class Datacenter:
         power_trace: PowerTrace,
         supply: SupplyStack | None = None,
         supply_mode: str = "closed",
+        record_events: bool = True,
     ):
         if supply_mode not in ("closed", "open"):
             raise ConfigurationError(
@@ -493,7 +568,7 @@ class Datacenter:
             config.eviction_order,
             config.pause_degradable,
         )
-        self.events = EventLog()
+        self.events = EventLog() if record_events else NullEventLog()
         self._queue: deque[tuple[VM, int]] = deque()
         self._paused: deque[VM] = deque()
         self._running_cores = 0
@@ -1038,6 +1113,365 @@ class Datacenter:
             self._step(step, budget, arrivals, cols, batched=batched)
         return n
 
+    def _run_closed_event(
+        self,
+        n: int,
+        arrivals_by_step: dict[int, list[VM]],
+        cols: StepColumns,
+        dispatcher: SupplyDispatcher,
+    ) -> int:
+        """Closed-loop event engine: skip windows the stack cannot touch.
+
+        Per-step dispatch is unavoidable while any component's state can
+        move, but once the stack is *pinned* for a balance sign — every
+        battery at the relevant SoC bound, every grid budget exhausted —
+        a dispatch on that sign returns exactly ``base / capacity``,
+        mutates nothing, and accrues no telemetry.  A window is skipped
+        when (a) it ends before the next arrival / finish / expiry
+        event, (b) every step's balance keeps a sign the stack is
+        pinned for (demand is constant between events, so the sign
+        series is precomputable), and (c) the window's would-be budget
+        series never crosses an eviction / resume / launch wake
+        threshold (the open-loop event engine's scan, applied to the
+        reconstructed budgets).  Skipped steps get vectorized fills of
+        the step columns and the supply telemetry, bit-identical to
+        per-step dispatch (golden-tested against :meth:`_run_closed`).
+        """
+        processed = 0
+        patience = self.config.queue_patience_steps
+        arrival_steps = sorted(arrivals_by_step)
+        n_arrival_steps = len(arrival_steps)
+        arrival_index = 0
+        finish_heap = self._finish_heap
+        expiry_heap: list[int] = []
+        queue = self._queue
+        core_budget = self.power_model.core_budget
+        norm_for_cores = self.power_model.norm_for_cores
+        dispatch = dispatcher.dispatch
+        base_mw = dispatcher.base_mw_series()
+        capacity = dispatcher.capacity_mw
+        # A pinned window behaves open-loop: delivered is the base
+        # round trip (modulo the rare covered-demand ulp clamp), so
+        # the whole-run clip and budget series can be precomputed once
+        # and windows commit views into them instead of recomputing.
+        rt_full = base_mw / capacity
+        clipped_full = np.clip(rt_full, 0.0, 1.0)
+        budgets_full = self._budget_series(clipped_full)
+        step = 0
+        while step < n:
+            if (
+                arrival_index < n_arrival_steps
+                and arrival_steps[arrival_index] == step
+            ):
+                arrivals: Sequence[VM] = arrivals_by_step[step]
+                arrival_index += 1
+            else:
+                arrivals = ()
+            demand_norm = norm_for_cores(self._demand_cores(step, arrivals))
+            delivered = dispatch(step, demand_norm)
+            delivered = min(max(delivered, 0.0), 1.0)
+            budget = core_budget(delivered)
+            cols.norm_power[step] = delivered
+            cols.core_budget[step] = budget
+            self._step(step, budget, arrivals, cols, batched=True)
+            processed += 1
+            if queue and queue[-1][1] == step:
+                expiry = step + patience + 1
+                if expiry < n:
+                    heappush(expiry_heap, expiry)
+            start = step + 1
+            if start >= n:
+                break
+            pinned_surplus = dispatcher.pinned(True)
+            pinned_deficit = dispatcher.pinned(False)
+            if not pinned_surplus and not pinned_deficit:
+                step = start
+                continue
+            # Window end: the next step where something can happen
+            # regardless of power (arrival, scheduled finish, queue
+            # expiry).  Stale heap tops are spent events.
+            stop = n
+            if arrival_index < n_arrival_steps:
+                stop = arrival_steps[arrival_index]
+            while finish_heap and finish_heap[0] <= step:
+                heappop(finish_heap)
+            if finish_heap and finish_heap[0] < stop:
+                stop = finish_heap[0]
+            while expiry_heap and expiry_heap[0] <= step:
+                heappop(expiry_heap)
+            if expiry_heap and expiry_heap[0] < stop:
+                stop = expiry_heap[0]
+            if stop <= start:
+                step = start
+                continue
+            # Demand is constant between events (running / paused /
+            # queued only mutate at processed steps, and no VM finishes
+            # inside the window), so one covered mask describes every
+            # step the window could cover.  ``covered`` doubles as the
+            # balance sign: balance >= 0  ⟺  base_mw >= demand_mw.
+            demand_norm = max(
+                norm_for_cores(self._demand_cores(start, ())), 0.0
+            )
+            demand_mw = demand_norm * capacity
+            covered = base_mw[start:stop] >= demand_mw
+            if not (pinned_surplus and pinned_deficit):
+                off_sign = ~covered if pinned_surplus else covered
+                flip = int(np.argmax(off_sign))
+                if off_sign[flip]:
+                    stop = start + flip
+                if stop <= start:
+                    step = start
+                    continue
+                covered = covered[: stop - start]
+            # With the stack pinned, dispatch returns the base round
+            # trip, clamped up to the demand on covered steps (the same
+            # ulp guard the scalar path applies).  The clamp fires only
+            # when the round trip lands an ulp under the demand, so the
+            # common case commits precomputed views untouched.
+            rt = rt_full[start:stop]
+            clamp = covered & (rt < demand_norm)
+            if clamp.any():
+                delivered_w = np.where(clamp, demand_norm, rt)
+                clipped = np.clip(delivered_w, 0.0, 1.0)
+                budgets_w = self._budget_series(clipped)
+            else:
+                delivered_w = rt
+                clipped = clipped_full[start:stop]
+                budgets_w = budgets_full[start:stop]
+            # The open-loop engine's budget-crossing scan, applied to
+            # the window's would-be budgets.
+            running = self._running_cores
+            wake = budgets_w < running if running > 0 else None
+            threshold = None
+            if self._paused:
+                threshold = running + self._paused[0].cores
+            if queue:
+                launch_threshold = self._launch_wake_threshold()
+                if launch_threshold is not None and (
+                    threshold is None or launch_threshold < threshold
+                ):
+                    threshold = launch_threshold
+            if threshold is not None:
+                above = budgets_w >= threshold
+                wake = above if wake is None else (wake | above)
+            if wake is not None:
+                hit = int(np.argmax(wake))
+                if wake[hit]:
+                    stop = start + hit
+            if stop <= start:
+                step = start
+                continue
+            width = stop - start
+            cols.norm_power[start:stop] = clipped[:width]
+            cols.core_budget[start:stop] = budgets_w[:width]
+            cols.running_cores[start:stop] = running
+            cols.allocated_cores[start:stop] = self._allocated_cores
+            cols.queue_length[start:stop] = len(queue)
+            balance = base_mw[start:stop] - demand_mw
+            dispatcher.fill_skipped(
+                start, stop, balance, delivered_w[:width]
+            )
+            step = stop
+        return processed
+
+    # ------------------------------------------------------------------
+    # Run preparation / finalization (shared with the fleet engine)
+    # ------------------------------------------------------------------
+
+    @property
+    def closed_loop(self) -> bool:
+        """True when this site dispatches supply against live demand.
+
+        Closed-loop budgets cannot be precomputed, so such sites cannot
+        join a fleet group's shared budget matrix.
+        """
+        supply = self.supply
+        return (
+            supply is not None
+            and not supply.stateless
+            and self.supply_mode == "closed"
+        )
+
+    def prepare_run(
+        self,
+        requests: Sequence[VMRequest],
+        cols: StepColumns | None = None,
+    ) -> EngineState:
+        """Build the per-run engine state :meth:`run` executes over.
+
+        Extracted so external engines — the cross-site
+        :class:`repro.sim.fleet.FleetEngine` — can prepare many sites
+        and interleave their wakes.  Materializes VM objects per
+        arrival step, resolves the supply mode (closed-loop dispatcher
+        vs open-loop precomputed delivery), and precomputes the budget
+        series and power columns for open-loop runs.
+
+        Args:
+            requests: VM arrivals to replay.
+            cols: Optional preallocated column store (the fleet engine
+                passes views into one site-major block); allocated
+                fresh when omitted.
+        """
+        grid = self.power_trace.grid
+        n = grid.n
+        arrivals_by_step: dict[int, list[VM]] = {}
+        for request in requests:
+            if request.arrival_step >= n:
+                continue
+            arrivals_by_step.setdefault(request.arrival_step, []).append(
+                VM(request)
+            )
+        supply = self.supply
+        if supply is not None and supply.stateless:
+            supply = None
+        closed = self.closed_loop
+        evaluation: SupplyEvaluation | None = None
+        dispatcher: SupplyDispatcher | None = None
+        if cols is None:
+            cols = StepColumns(n)
+        if closed:
+            # Budgets cannot be precomputed — each step's delivered
+            # power depends on live demand; the closed engines fill the
+            # power/budget columns as they dispatch.
+            dispatcher = supply.dispatcher(self.power_trace)
+            evaluation = dispatcher.evaluation
+            budgets = None
+        else:
+            if supply is not None:
+                evaluation = supply.evaluate_open_loop(self.power_trace)
+                values = np.asarray(evaluation.delivered, dtype=float)
+            else:
+                values = np.asarray(self.power_trace.values, dtype=float)
+            budgets = self._budget_series(values)
+            if n:
+                cols.norm_power[:] = values
+                cols.core_budget[:] = budgets
+        return EngineState(
+            n=n,
+            grid=grid,
+            cols=cols,
+            budgets=budgets,
+            arrivals_by_step=arrivals_by_step,
+            arrival_steps=sorted(arrivals_by_step),
+            n_requests=len(requests),
+            closed=closed,
+            dispatcher=dispatcher,
+            evaluation=evaluation,
+        )
+
+    def finish_run(self, state: EngineState, engine: str) -> SimulationResult:
+        """Emit post-run telemetry and assemble the result."""
+        site = self.power_trace.name
+        cols = state.cols
+        if state.evaluation is not None:
+            state.evaluation.emit_metrics(site=site)
+        if obs.enabled():
+            # Aggregates come from the preallocated columns after the
+            # run — the hot loops stay observability-free.
+            obs.count("sim.wakes", state.processed, site=site, engine=engine)
+            obs.count(
+                "sim.steps_skipped", state.n - state.processed,
+                site=site, engine=engine,
+            )
+            obs.count(
+                "sim.evictions", int(cols.n_evicted.sum()), site=site
+            )
+            obs.count(
+                "sim.migrations_in", int(cols.n_launched.sum()),
+                site=site,
+            )
+            obs.count("sim.pauses", int(cols.n_paused.sum()), site=site)
+            obs.count("sim.resumes", int(cols.n_resumed.sum()), site=site)
+            obs.count(
+                "sim.completions", int(cols.n_completed.sum()), site=site
+            )
+            obs.count(
+                "sim.rejections", int(cols.n_expired.sum()), site=site
+            )
+        return SimulationResult(
+            state.grid, self.config, cols, self.events, site_name=site,
+            supply=state.evaluation,
+        )
+
+    # ------------------------------------------------------------------
+    # Wake-by-wake advancement (driven by the fleet engine)
+    # ------------------------------------------------------------------
+
+    def next_event_step(self, state: EngineState) -> int:
+        """Next arrival / finish / expiry at or after ``state.last + 1``.
+
+        Returns ``state.n`` when no further event is scheduled.  Pops
+        stale heap tops (spent finish buckets, past expiries) as the
+        open-loop event loop does.
+        """
+        nxt = state.n
+        if state.arrival_index < len(state.arrival_steps):
+            nxt = state.arrival_steps[state.arrival_index]
+        last = state.last
+        heap = self._finish_heap
+        while heap and heap[0] <= last:
+            heappop(heap)
+        if heap and heap[0] < nxt:
+            nxt = heap[0]
+        heap = state.expiry_heap
+        while heap and heap[0] <= last:
+            heappop(heap)
+        if heap and heap[0] < nxt:
+            nxt = heap[0]
+        return nxt
+
+    def wake_bounds(self) -> tuple[int, int | None]:
+        """Budget thresholds that make a skipped step impossible.
+
+        Returns ``(lower, upper)``: a budget *below* ``lower`` forces
+        evictions, one *at or above* ``upper`` can resume or launch
+        work (``None`` when neither resumes nor launches are possible).
+        Both derive from the state at the last processed step, exactly
+        like the window scan in :meth:`_run_event`.
+        """
+        running = self._running_cores
+        upper: int | None = None
+        if self._paused:
+            upper = running + self._paused[0].cores
+        if self._queue:
+            launch = self._launch_wake_threshold()
+            if launch is not None and (upper is None or launch < upper):
+                upper = launch
+        return running, upper
+
+    def process_wake(self, state: EngineState, step: int) -> None:
+        """Execute one wake step under the precomputed budget series.
+
+        The caller (fleet engine) is responsible for having filled the
+        forward-fill window ``(state.last, step)`` before advancing.
+        """
+        if (
+            state.arrival_index < len(state.arrival_steps)
+            and state.arrival_steps[state.arrival_index] == step
+        ):
+            arrivals: Sequence[VM] = state.arrivals_by_step[step]
+            state.arrival_index += 1
+        else:
+            arrivals = ()
+        self._step(
+            step, int(state.budgets[step]), arrivals, state.cols,
+            batched=True,
+        )
+        state.processed += 1
+        queue = self._queue
+        if queue and queue[-1][1] == step:
+            # VMs queued this step expire (REJECT) the first step their
+            # patience is exceeded; wake there even if power never
+            # recovers.
+            expiry = step + self.config.queue_patience_steps + 1
+            if expiry < state.n:
+                heappush(state.expiry_heap, expiry)
+        state.last = step
+
+    def carried_state(self) -> tuple[int, int, int]:
+        """(running, allocated, queue length) for forward-fill windows."""
+        return self._running_cores, self._allocated_cores, len(self._queue)
+
     def run(
         self, requests: Sequence[VMRequest], *, engine: str = "event"
     ) -> SimulationResult:
@@ -1056,82 +1490,33 @@ class Datacenter:
         """
         if engine not in ("event", "dense"):
             raise ConfigurationError(f"unknown simulation engine: {engine!r}")
-        grid = self.power_trace.grid
-        n = grid.n
-        arrivals_by_step: dict[int, list[VM]] = {}
-        for request in requests:
-            if request.arrival_step >= n:
-                continue
-            arrivals_by_step.setdefault(request.arrival_step, []).append(
-                VM(request)
-            )
-        supply = self.supply
-        if supply is not None and supply.stateless:
-            supply = None
-        closed = supply is not None and self.supply_mode == "closed"
-        evaluation: SupplyEvaluation | None = None
-        dispatcher: SupplyDispatcher | None = None
-        cols = StepColumns(n)
-        if closed:
-            # Budgets cannot be precomputed — each step's delivered
-            # power depends on live demand; _run_closed fills the
-            # power/budget columns as it dispatches.
-            dispatcher = supply.dispatcher(self.power_trace)
-            evaluation = dispatcher.evaluation
-            budgets = None
-        else:
-            if supply is not None:
-                evaluation = supply.evaluate_open_loop(self.power_trace)
-                values = np.asarray(evaluation.delivered, dtype=float)
-            else:
-                values = np.asarray(self.power_trace.values, dtype=float)
-            budgets = self._budget_series(values)
-            if n:
-                cols.norm_power[:] = values
-                cols.core_budget[:] = budgets
-        site = self.power_trace.name
+        state = self.prepare_run(requests)
+        n = state.n
+        cols = state.cols
+        arrivals_by_step = state.arrivals_by_step
         with obs.span(
             "datacenter.run",
-            site=site,
+            site=self.power_trace.name,
             engine=engine,
             n_steps=n,
-            n_requests=len(requests),
+            n_requests=state.n_requests,
         ):
-            if closed:
-                processed = self._run_closed(
-                    n, arrivals_by_step, cols, dispatcher,
-                    batched=(engine == "event"),
-                )
+            if state.closed:
+                if engine == "event":
+                    state.processed = self._run_closed_event(
+                        n, arrivals_by_step, cols, state.dispatcher
+                    )
+                else:
+                    state.processed = self._run_closed(
+                        n, arrivals_by_step, cols, state.dispatcher,
+                        batched=False,
+                    )
             elif engine == "dense":
-                processed = self._run_dense(n, budgets, arrivals_by_step, cols)
+                state.processed = self._run_dense(
+                    n, state.budgets, arrivals_by_step, cols
+                )
             else:
-                processed = self._run_event(n, budgets, arrivals_by_step, cols)
-            if evaluation is not None:
-                evaluation.emit_metrics(site=site)
-            if obs.enabled():
-                # Aggregates come from the preallocated columns after the
-                # run — the hot loops stay observability-free.
-                obs.count("sim.wakes", processed, site=site, engine=engine)
-                obs.count(
-                    "sim.steps_skipped", n - processed,
-                    site=site, engine=engine,
+                state.processed = self._run_event(
+                    n, state.budgets, arrivals_by_step, cols
                 )
-                obs.count(
-                    "sim.evictions", int(cols.n_evicted.sum()), site=site
-                )
-                obs.count(
-                    "sim.migrations_in", int(cols.n_launched.sum()),
-                    site=site,
-                )
-                obs.count("sim.pauses", int(cols.n_paused.sum()), site=site)
-                obs.count("sim.resumes", int(cols.n_resumed.sum()), site=site)
-                obs.count(
-                    "sim.completions", int(cols.n_completed.sum()), site=site
-                )
-                obs.count(
-                    "sim.rejections", int(cols.n_expired.sum()), site=site
-                )
-        return SimulationResult(
-            grid, self.config, cols, self.events, site_name=site,
-            supply=evaluation,
-        )
+            return self.finish_run(state, engine)

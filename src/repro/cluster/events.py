@@ -85,3 +85,19 @@ class EventLog:
     def for_vm(self, vm_id: int) -> list[Event]:
         """Every event touching one VM, in order."""
         return [Event(*r) for r in self._rows if r[2] == vm_id]
+
+
+class NullEventLog(EventLog):
+    """An event log that drops appends.
+
+    The fleet engine runs sites with per-step columns only — at 500
+    sites × 1 year the per-VM audit trail is pure overhead — so sites
+    constructed with ``record_events=False`` record into this sink.
+    Queries all see an empty log.
+    """
+
+    def record(
+        self, step: int, kind: EventKind, vm_id: int, bytes_moved: float = 0.0
+    ) -> None:
+        """Drop the event."""
+        return

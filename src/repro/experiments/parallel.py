@@ -22,6 +22,15 @@ whose writes are atomic (temp file + ``os.replace``), so concurrent
 workers computing the same key race benignly — last writer wins with
 bit-identical content.
 
+Traces are staged **once per unique trace key** by the batch parent
+(cache lookup or synthesis), then handed to every task: serial and
+thread workers receive the in-memory mapping directly, and process
+workers receive a :class:`~repro.experiments.cache.SharedTraces`
+handle to a ``multiprocessing.shared_memory`` segment — one memcpy
+per site on attach instead of pickling year-long arrays through the
+executor pipe or re-synthesizing them per worker.  The parent unlinks
+every segment after the batch drains.
+
 The worker count resolves explicit argument > ``$REPRO_JOBS`` >
 ``os.cpu_count()``.  Every batch returns the per-scenario manifests
 plus a :class:`~repro.experiments.telemetry.FleetManifest` (wall time,
@@ -36,11 +45,19 @@ import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from .. import obs
 from ..errors import ConfigurationError
-from .cache import ArtifactCache
+from ..traces import PowerTrace, synthesize_catalog_traces
+from .cache import (
+    ArtifactCache,
+    SharedTraces,
+    get_traces,
+    load_shared_traces,
+    put_traces,
+    stage_shared_traces,
+)
 from .scenario import Scenario
 from .telemetry import FleetManifest, RunManifest, TaskRecord
 
@@ -102,10 +119,26 @@ def resolve_backend(backend: str = "auto", jobs: int = 1) -> str:
     return backend
 
 
+@dataclass(frozen=True)
+class StagedTraces:
+    """Traces the batch parent staged for one trace key.
+
+    Exactly one of ``traces`` (in-process backends: the mapping itself,
+    zero-copy) or ``shared`` (process backend: a shared-memory handle)
+    is set.  ``cache_hit`` carries the parent's artifact-cache lookup
+    outcome into each worker's ``traces`` stage record.
+    """
+
+    cache_hit: bool | None = None
+    traces: Mapping[str, PowerTrace] | None = None
+    shared: SharedTraces | None = None
+
+
 def _run_scenario_task(
     scenario_json: str,
     cache_dir: str | None,
     manifest_dir: str | None,
+    staged: StagedTraces | None = None,
 ) -> tuple[dict, float, str]:
     """Execute one scenario inside a worker.
 
@@ -122,11 +155,21 @@ def _run_scenario_task(
     start = time.perf_counter()
     scenario = Scenario.from_json(scenario_json)
     cache = ArtifactCache(cache_dir) if cache_dir is not None else None
+    traces = None
+    traces_from_cache = None
+    if staged is not None:
+        traces_from_cache = staged.cache_hit
+        if staged.shared is not None:
+            traces = load_shared_traces(staged.shared)
+        else:
+            traces = staged.traces
     runner = Runner(
         scenario,
         cache=cache,
         use_cache=cache is not None,
         manifest_dir=manifest_dir,
+        traces=traces,
+        traces_from_cache=traces_from_cache,
     )
     thread = threading.current_thread()
     if thread is threading.main_thread():
@@ -249,13 +292,50 @@ def run_scenarios(
     manifest_dir_arg = (
         str(manifest_dir) if manifest_dir is not None else None
     )
-    payloads = [
-        (scenario.to_json(), cache_dir, manifest_dir_arg)
-        for scenario in scenarios
-    ]
 
     start = time.perf_counter()
-    outcomes = executor.map(_run_scenario_task, payloads)
+    # Stage traces once per unique trace key: cache lookup (or
+    # synthesis + cache write) in the parent, then hand every task a
+    # lightweight payload — process workers get a shared-memory handle
+    # instead of pickled year-long arrays.
+    keys = [scenario.trace_key() for scenario in scenarios]
+    use_shm = executor.resolved_backend == "process"
+    staged: dict[str, StagedTraces] = {}
+    segments = []
+    try:
+        for scenario, key in zip(scenarios, keys):
+            if key in staged:
+                continue
+            hit = None
+            traces = None
+            if cache is not None:
+                traces = get_traces(cache, key)
+                hit = traces is not None
+            if traces is None:
+                traces = synthesize_catalog_traces(
+                    scenario.catalog(),
+                    scenario.grid,
+                    seed=scenario.effective_trace_seed,
+                )
+                if cache is not None:
+                    put_traces(cache, key, traces)
+            if use_shm:
+                descriptor, segment = stage_shared_traces(traces)
+                segments.append(segment)
+                staged[key] = StagedTraces(
+                    cache_hit=hit, shared=descriptor
+                )
+            else:
+                staged[key] = StagedTraces(cache_hit=hit, traces=traces)
+        payloads = [
+            (scenario.to_json(), cache_dir, manifest_dir_arg, staged[key])
+            for scenario, key in zip(scenarios, keys)
+        ]
+        outcomes = executor.map(_run_scenario_task, payloads)
+    finally:
+        for segment in segments:
+            segment.close()
+            segment.unlink()
     wall_seconds = time.perf_counter() - start
 
     manifests = [RunManifest.from_dict(data) for data, _, _ in outcomes]

@@ -12,6 +12,11 @@ through the canonical pipeline —
 
     traces -> workload:<site> -> simulate:<site> -> analyze
 
+Multi-site ``vm_requests`` scenarios collapse the per-site simulate
+stages into one ``simulate:fleet`` stage: all sites advance through the
+columnar :class:`~repro.sim.fleet.FleetEngine`, result-identical to the
+per-site loop.
+
 — consulting the artifact cache for the expensive stages (trace
 synthesis, forecast capacities, MIP solves) and recording a
 :class:`~repro.experiments.telemetry.RunManifest` with per-stage wall
@@ -37,6 +42,8 @@ from ..sched import Placement, SchedulingProblem, SiteCapacity
 from ..sched.problem import default_bytes_per_core
 from ..sim import (
     ExecutionResult,
+    FleetEngine,
+    FleetSite,
     PolicyComparison,
     execute_placement,
     summarize_transfers,
@@ -111,6 +118,15 @@ class Runner:
             identical to a serial run because every concurrent task is
             self-contained (its own forecaster instance, scheduler, and
             detached stage records merged back in declaration order).
+        traces: Pre-staged per-site traces.  When given, the ``traces``
+            stage uses them directly instead of consulting the cache or
+            synthesizing — the caller guarantees they match the
+            scenario's trace fragment (:func:`run_scenarios` stages
+            them once per unique trace key and ships them to workers
+            through shared memory).
+        traces_from_cache: Whether the pre-staged ``traces`` came out
+            of the artifact cache; recorded as the traces stage's
+            ``cache_hit`` so batch telemetry stays faithful.
     """
 
     def __init__(
@@ -120,6 +136,8 @@ class Runner:
         use_cache: bool = True,
         manifest_dir: str | Path | None = None,
         jobs: int = 1,
+        traces: Mapping[str, PowerTrace] | None = None,
+        traces_from_cache: bool | None = None,
     ):
         self.scenario = scenario
         self.cache = (cache or ArtifactCache()) if use_cache else None
@@ -127,6 +145,8 @@ class Runner:
             Path(manifest_dir) if manifest_dir is not None else None
         )
         self.jobs = max(1, int(jobs))
+        self.preloaded_traces = dict(traces) if traces is not None else None
+        self.preloaded_from_cache = traces_from_cache
 
     def _fan_out(self, tasks):
         """Run ``() -> value`` thunks, concurrently when ``jobs > 1``.
@@ -232,7 +252,10 @@ class Runner:
         with manifest.record("traces") as stage:
             stage.artifact = key
             traces = None
-            if self.cache is not None:
+            if self.preloaded_traces is not None:
+                traces = self.preloaded_traces
+                stage.cache_hit = self.preloaded_from_cache
+            elif self.cache is not None:
                 traces = get_traces(self.cache, key)
                 stage.cache_hit = traces is not None
             if traces is None:
@@ -452,11 +475,10 @@ class Runner:
         supply = self._supply_stack()
         supply_mode = scenario.supply.mode
 
-        def site_task(index, name):
-            def simulate():
+        def workload_task(index, name):
+            def build():
                 worker = self._worker_label()
                 trace = result.traces[name]
-                stages = []
                 with manifest.record_detached(
                     f"workload:{name}", worker
                 ) as stage:
@@ -470,26 +492,63 @@ class Runner:
                         workload,
                         seed=scenario.effective_workload_seed + index,
                     )
-                stages.append(stage)
-                with manifest.record_detached(
-                    f"simulate:{name}", worker
-                ) as stage:
-                    simulation = Datacenter(
-                        config, trace,
-                        supply=supply, supply_mode=supply_mode,
-                    ).run(requests)
-                stages.append(stage)
-                return simulation, stages
+                return requests, stage
 
-            return simulate
+            return build
 
-        outcomes = self._fan_out(
-            site_task(index, name)
-            for index, name in enumerate(scenario.sites)
-        )
-        for name, (simulation, stages) in zip(scenario.sites, outcomes):
-            manifest.merge_stages(stages)
-            result.simulations[name] = simulation
+        if len(scenario.sites) > 1:
+            # Multi-site scenarios advance every site through one
+            # columnar fleet program — identical results to the
+            # per-site loop (golden-tested), one simulate stage.
+            workloads = self._fan_out(
+                workload_task(index, name)
+                for index, name in enumerate(scenario.sites)
+            )
+            fleet_sites = []
+            for name, (requests, stage) in zip(scenario.sites, workloads):
+                manifest.merge_stages([stage])
+                fleet_sites.append(
+                    FleetSite(
+                        name=name,
+                        config=config,
+                        trace=result.traces[name],
+                        requests=requests,
+                        supply=supply,
+                        supply_mode=supply_mode,
+                    )
+                )
+            with manifest.record("simulate:fleet"):
+                result.simulations = FleetEngine(
+                    fleet_sites, record_events=True
+                ).run()
+        else:
+
+            def site_task(index, name):
+                def simulate():
+                    worker = self._worker_label()
+                    requests, workload_stage = workload_task(
+                        index, name
+                    )()
+                    with manifest.record_detached(
+                        f"simulate:{name}", worker
+                    ) as stage:
+                        simulation = Datacenter(
+                            config, result.traces[name],
+                            supply=supply, supply_mode=supply_mode,
+                        ).run(requests)
+                    return simulation, [workload_stage, stage]
+
+                return simulate
+
+            outcomes = self._fan_out(
+                site_task(index, name)
+                for index, name in enumerate(scenario.sites)
+            )
+            for name, (simulation, stages) in zip(
+                scenario.sites, outcomes
+            ):
+                manifest.merge_stages(stages)
+                result.simulations[name] = simulation
 
         with manifest.record("analyze"):
             manifest.summary = {

@@ -41,6 +41,11 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import Bounds, LinearConstraint, milp
 
+try:  # Direct HiGHS bindings: only needed for warm-started re-solves.
+    import highspy
+except ImportError:  # pragma: no cover - environment-dependent
+    highspy = None
+
 from .. import obs
 from ..errors import SolverError
 from .problem import Placement, SchedulingProblem
@@ -107,13 +112,19 @@ class _Layout:
 
 @dataclass(frozen=True)
 class MIPTimings:
-    """Assembly/solve split of the last :meth:`MIPScheduler.schedule`."""
+    """Assembly/solve split of the last :meth:`MIPScheduler.schedule`.
+
+    ``warm_start_used`` is True when the solve was seeded with the
+    previous round's solution through the direct HiGHS bindings (the
+    shape matched and HiGHS accepted the seed).
+    """
 
     assembly_s: float
     solve_s: float
     n_rows: int
     n_cols: int
     nnz: int
+    warm_start_used: bool = False
 
 
 def _active_mask(problem: SchedulingProblem) -> np.ndarray:
@@ -432,6 +443,15 @@ class MIPScheduler:
             accepted when the limit strikes.
         mip_rel_gap: Relative optimality gap at which HiGHS may stop.
         epsilon: Anchor weight pinning u to its lower bound.
+        warm_start: Seed each solve with the previous solution when the
+            problem shape (rows x cols) is unchanged — the replanning
+            case, where solve time dominates assembly 13:1 at 200 sites
+            and successive rounds differ only in capacity forecasts.
+            Needs the ``highspy`` bindings (``scipy.optimize.milp``
+            cannot accept a seed); silently falls back to a cold
+            ``milp`` solve when they are missing, the shape changed, or
+            HiGHS rejects the seed.  :attr:`MIPTimings.warm_start_used`
+            reports what actually happened.
 
     After each :meth:`schedule` call, :attr:`last_timings` holds the
     assembly/solve wall-clock split (:class:`MIPTimings`).
@@ -444,6 +464,7 @@ class MIPScheduler:
         time_limit_s: float = 120.0,
         mip_rel_gap: float = 1e-3,
         epsilon: float = 1e-6,
+        warm_start: bool = False,
     ):
         if peak_weight < 0:
             raise SolverError(f"peak weight must be >= 0: {peak_weight}")
@@ -454,7 +475,12 @@ class MIPScheduler:
         self.time_limit_s = time_limit_s
         self.mip_rel_gap = mip_rel_gap
         self.epsilon = epsilon
+        self.warm_start = warm_start
         self.last_timings: MIPTimings | None = None
+        # Previous solution vector + the (rows, cols) shape it solved,
+        # reused as a HiGHS seed only on an exact shape match.
+        self._warm_solution: np.ndarray | None = None
+        self._warm_shape: tuple[int, int] | None = None
 
     # ------------------------------------------------------------------
 
@@ -561,31 +587,137 @@ class MIPScheduler:
                 )
 
             with obs.timed_span("mip.solve") as solve_span:
-                result = milp(
-                    c,
-                    constraints=LinearConstraint(matrix, lb, ub),
-                    integrality=integrality,
-                    bounds=Bounds(lower, upper),
-                    options={
-                        "time_limit": self.time_limit_s,
-                        "mip_rel_gap": self.mip_rel_gap,
-                    },
-                )
-                solve_span.set(status=int(result.status))
+                x: np.ndarray | None = None
+                warm_used = False
+                if self.warm_start:
+                    seeded = self._solve_highspy(
+                        c, matrix, lb, ub, integrality, lower, upper
+                    )
+                    if seeded is not None:
+                        x, warm_used = seeded
+                if x is None:
+                    result = milp(
+                        c,
+                        constraints=LinearConstraint(matrix, lb, ub),
+                        integrality=integrality,
+                        bounds=Bounds(lower, upper),
+                        options={
+                            "time_limit": self.time_limit_s,
+                            "mip_rel_gap": self.mip_rel_gap,
+                        },
+                    )
+                    solve_span.set(status=int(result.status))
+                    if result.x is None:
+                        self.last_timings = MIPTimings(
+                            assembly_s=assemble_span.wall_s,
+                            solve_s=solve_span.wall_s,
+                            n_rows=matrix.shape[0],
+                            n_cols=matrix.shape[1],
+                            nnz=matrix.nnz,
+                        )
+                        raise SolverError(
+                            f"MIP failed (status {result.status}):"
+                            f" {result.message}"
+                        )
+                    x = result.x
+                else:
+                    solve_span.set(status=0, warm_start=True)
             self.last_timings = MIPTimings(
                 assembly_s=assemble_span.wall_s,
                 solve_s=solve_span.wall_s,
                 n_rows=matrix.shape[0],
                 n_cols=matrix.shape[1],
                 nnz=matrix.nnz,
+                warm_start_used=warm_used,
             )
-            if result.x is None:
-                raise SolverError(
-                    f"MIP failed (status {result.status}):"
-                    f" {result.message}"
-                )
+            if self.warm_start:
+                self._warm_solution = np.asarray(x, dtype=float)
+                self._warm_shape = matrix.shape
 
-            return self._extract(problem, layout, result.x)
+            return self._extract(problem, layout, x)
+
+    def _solve_highspy(
+        self,
+        c: np.ndarray,
+        matrix: sparse.csr_matrix,
+        lb: np.ndarray,
+        ub: np.ndarray,
+        integrality: np.ndarray,
+        lower: np.ndarray,
+        upper: np.ndarray,
+    ) -> tuple[np.ndarray, bool] | None:
+        """Solve through the direct HiGHS bindings, seeding the stored
+        solution when the problem shape matches.
+
+        Returns ``(x, warm_start_used)``, or ``None`` to make the
+        caller fall back to a cold :func:`scipy.optimize.milp` solve —
+        when ``highspy`` is not installed, the model fails to build, or
+        HiGHS does not finish with a feasible solution.  Any exception
+        inside the bindings is treated as "fall back", never raised:
+        the warm path is an optimization, not a dependency.
+        """
+        if highspy is None:
+            return None
+        try:
+            n_rows, n_cols = matrix.shape
+            csc = matrix.tocsc()
+            inf = highspy.kHighsInf
+            lp = highspy.HighsLp()
+            lp.num_col_ = n_cols
+            lp.num_row_ = n_rows
+            lp.col_cost_ = np.asarray(c, dtype=float)
+            lp.col_lower_ = np.asarray(lower, dtype=float)
+            lp.col_upper_ = np.where(np.isfinite(upper), upper, inf)
+            lp.row_lower_ = np.where(np.isfinite(lb), lb, -inf)
+            lp.row_upper_ = np.where(np.isfinite(ub), ub, inf)
+            lp.a_matrix_.format_ = highspy.MatrixFormat.kColwise
+            lp.a_matrix_.start_ = csc.indptr
+            lp.a_matrix_.index_ = csc.indices
+            lp.a_matrix_.value_ = csc.data
+            if integrality.any():
+                lp.integrality_ = [
+                    highspy.HighsVarType.kInteger
+                    if flag
+                    else highspy.HighsVarType.kContinuous
+                    for flag in integrality
+                ]
+            solver = highspy.Highs()
+            solver.setOptionValue("output_flag", False)
+            solver.setOptionValue("time_limit", float(self.time_limit_s))
+            solver.setOptionValue("mip_rel_gap", float(self.mip_rel_gap))
+            if solver.passModel(lp) != highspy.HighsStatus.kOk:
+                return None
+            warm_used = False
+            if (
+                self._warm_solution is not None
+                and self._warm_shape == (n_rows, n_cols)
+            ):
+                seed = highspy.HighsSolution()
+                seed.value_valid = True
+                seed.col_value = list(self._warm_solution)
+                warm_used = (
+                    solver.setSolution(seed) == highspy.HighsStatus.kOk
+                )
+            solver.run()
+            status = solver.getModelStatus()
+            if status not in (
+                highspy.HighsModelStatus.kOptimal,
+                highspy.HighsModelStatus.kObjectiveBound,
+                highspy.HighsModelStatus.kObjectiveTarget,
+                highspy.HighsModelStatus.kTimeLimit,
+            ):
+                return None
+            info = solver.getInfo()
+            if info.primal_solution_status != (
+                highspy.SolutionStatus.kSolutionStatusFeasible
+            ):
+                return None
+            x = np.asarray(solver.getSolution().col_value, dtype=float)
+            if x.shape != (n_cols,):
+                return None
+            return x, warm_used
+        except Exception:  # pragma: no cover - binding-version drift
+            return None
 
     def _extract(
         self, problem: SchedulingProblem, layout: _Layout, x: np.ndarray
@@ -686,6 +818,10 @@ class RollingMIPScheduler:
         stable_bg = {name: np.zeros(n) for name in problem.site_names}
         total_bg = {name: np.zeros(n) for name in problem.site_names}
 
+        # One scheduler serves every chunk so warm-start state (the
+        # previous round's solution) survives across re-solves; with
+        # warm_start off this is just instance reuse.
+        solver = MIPScheduler(**self.mip_kwargs)
         chunk = self.window_steps
         for start in range(0, n, chunk):
             batch = [
@@ -741,7 +877,6 @@ class RollingMIPScheduler:
                 problem.bytes_per_core,
                 problem.utilization_cap,
             )
-            solver = MIPScheduler(**self.mip_kwargs)
             sub_placement = solver.schedule(
                 sub_problem,
                 allocation_cap=caps,

@@ -14,6 +14,7 @@ from .detailed import (
     DetailedSiteRecord,
     execute_placement_detailed,
 )
+from .fleet import FleetEngine, FleetSite
 from .results import (
     SUMMARY_SCHEMA,
     PolicyComparison,
@@ -28,6 +29,8 @@ __all__ = [
     "DetailedResult",
     "DetailedSiteRecord",
     "execute_placement_detailed",
+    "FleetEngine",
+    "FleetSite",
     "PolicyComparison",
     "SUMMARY_SCHEMA",
     "TransferSummary",

@@ -12,13 +12,16 @@ the paper prescribes.
 Like the single-site simulator, the executor has two result-identical
 engines sharing one step implementation: ``engine="dense"`` advances
 every grid step; ``engine="event"`` (the default) wakes only at VM
-arrivals, scheduled completions (min-heap), and *budget-change steps*
-while any site holds running/paused VMs or the displaced pool is
-non-empty.  Between wakes no site state can change — budgets are
-constant, so overflow, resume eligibility, and displaced-landing
-feasibility are all unchanged from the last processed step — and the
-skipped records are exact forward-fills (the displaced pool still
-accrues homeless VM-steps over the span).
+arrivals, scheduled completions (min-heap), and *budget-threshold
+crossings* found by the fleet engine's site-major scan
+(:func:`repro.sim.fleet.crossing_scan`): a site's budget dropping below
+its running cores, or rising to where a paused VM could resume or a
+displaced VM could land.  Between wakes no site state can change —
+budgets stay inside every site's thresholds, so overflow, resume
+eligibility, and displaced-landing feasibility are all unchanged from
+the last processed step — and the skipped records are exact
+forward-fills (the displaced pool still accrues homeless VM-steps over
+the span).
 
 The fluid engine answers "how many bytes"; this one also answers
 "which VM, onto which server, after how many hops" — and running both
@@ -28,7 +31,6 @@ on the same placement quantifies the fluid approximation's error
 
 from __future__ import annotations
 
-from bisect import bisect_right
 from dataclasses import dataclass
 from heapq import heappop, heappush
 from typing import Mapping
@@ -43,6 +45,7 @@ from ..cluster.vm import VM, VMState
 from ..errors import ConfigurationError, SchedulingError
 from ..sched.problem import Placement, SchedulingProblem
 from ..supply import SupplyDispatcher, SupplyEvaluation, SupplyStack
+from .fleet import _NO_LOWER, _NO_UPPER, crossing_scan
 from ..traces import PowerTrace
 from ..workload import VMClass, VMRequest
 
@@ -598,11 +601,17 @@ def execute_placement_detailed(
             process(step)
         processed = n
     else:
-        # Event-driven: wake at arrivals, scheduled finishes, and — while
-        # any VM is running/paused/displaced — steps where any site's
-        # core budget differs from the previous step.  Between wakes no
-        # site state can change, so skipped records are forward-fills
-        # (plus the displaced pool's homeless accrual).
+        # Event-driven: wake at arrivals, scheduled finishes, and
+        # budget-threshold crossings — the fleet engine's site-major
+        # scan over one stacked budget matrix.  A skipped step is
+        # provably a no-op when every site's budget stays at or above
+        # its running cores (no power-down) and below the smallest
+        # budget that could resume a paused VM or land a displaced one
+        # (no resume, no landing) — so skipped records are forward-fills
+        # (plus the displaced pool's homeless accrual).  Landing
+        # thresholds ignore packing feasibility, so a crossing wake may
+        # process a step where nothing lands; that is a conservative
+        # extra wake, never a missed change.
         arrival_steps = sorted(
             {
                 step
@@ -613,23 +622,34 @@ def execute_placement_detailed(
         )
         n_arrival_steps = len(arrival_steps)
         arrival_index = 0
-        if n > 1 and states:
-            budget_matrix = np.stack(
-                [budgets[name] for name in states]
-            )
-            changed_steps = (
-                np.flatnonzero(
-                    (budget_matrix[:, 1:] != budget_matrix[:, :-1]).any(
-                        axis=0
-                    )
-                )
-                + 1
-            ).tolist()
-        else:
-            changed_steps = []
-        n_changed = len(changed_steps)
-        changed_index = 0
         state_list = list(states.values())
+        n_sites = len(state_list)
+        if n_sites:
+            budget_matrix = np.stack([budgets[name] for name in states])
+        lower = np.full(n_sites, _NO_LOWER, dtype=np.int64)
+        upper = np.full(n_sites, _NO_UPPER, dtype=np.int64)
+
+        def refresh_thresholds() -> None:
+            """Per-site wake bounds from the last processed step.
+
+            Pool and pause state only mutate at processed steps, so
+            these bounds stay valid across the whole skip window.
+            """
+            min_displaced = min(
+                (vm.cores for vm in displaced_pool), default=None
+            )
+            for i, state in enumerate(state_list):
+                running = state.running_cores
+                lower[i] = running if running > 0 else _NO_LOWER
+                rise = min(
+                    (vm.cores for vm in state.paused), default=None
+                )
+                if min_displaced is not None and (
+                    rise is None or min_displaced < rise
+                ):
+                    rise = min_displaced
+                upper[i] = _NO_UPPER if rise is None else running + rise
+
         last = -1
         while True:
             nxt = n
@@ -644,19 +664,14 @@ def execute_placement_detailed(
                 heappop(finish_heap)
             if finish_heap and finish_heap[0] < nxt:
                 nxt = finish_heap[0]
-            active = bool(displaced_pool) or any(
-                s.running_cores > 0 or s.paused for s in state_list
-            )
-            if active:
-                changed_index = bisect_right(
-                    changed_steps, last, changed_index
-                )
-                if (
-                    changed_index < n_changed
-                    and changed_steps[changed_index] < nxt
-                ):
-                    nxt = changed_steps[changed_index]
             window_start = last + 1
+            if n_sites and window_start < min(nxt, n):
+                hit = crossing_scan(
+                    budget_matrix[:, window_start:min(nxt, n)],
+                    lower, upper,
+                )
+                if hit is not None:
+                    nxt = window_start + hit
             if window_start < nxt:
                 span = min(nxt, n) - window_start
                 homeless_vm_steps += len(displaced_pool) * span
@@ -667,6 +682,7 @@ def execute_placement_detailed(
             if nxt >= n:
                 break
             process(nxt)
+            refresh_thresholds()
             processed += 1
             last = nxt
 

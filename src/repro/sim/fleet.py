@@ -1,0 +1,417 @@
+"""Batched cross-site fleet engine: one columnar program, many sites.
+
+The paper's §2.3 catalog analysis aggregates hundreds of EU wind/solar
+sites; simulating them one :meth:`~repro.cluster.datacenter.Datacenter.run`
+at a time leaves every fixed cost — column allocation, event-log
+appends, per-site observability spans, window-scan dispatch — multiplied
+by the fleet size.  :class:`FleetEngine` advances **all sites through
+one program**:
+
+* **Site-major matrices.**  Open-loop sites stack their precomputed
+  core-budget series into one ``(n_sites, n_steps)`` ``int64`` array,
+  and every per-step measurement column (running cores, queue length,
+  power, migration bytes, …) is carved as a row view out of one shared
+  site-major matrix per column (:meth:`StepColumns.from_views`) — the
+  fleet's state lives in a handful of 2D arrays, not thousands of
+  per-site allocations.  The budget-threshold wake scan — the event
+  engine's "when can this site's state change because of power?"
+  question — runs as one vectorized 2D comparison per block across
+  every live site, instead of one 1D scan per site per window.
+
+* **Shared wake heap keyed ``(step, site)``.**  Each site keeps at most
+  one live entry: the earliest of its next arrival, VM finish, queue
+  expiry, or budget-threshold crossing.  The engine pops wakes in
+  global time order; because sites are mutually independent within a
+  block, a popped site drains its whole chain of in-block wakes in one
+  tight inlined loop (locals hoisted, no re-push per wake) before the
+  next site is popped.
+
+* **Block synchronization.**  The 2D crossing scans cover blocks of
+  ``block_steps`` grid steps; a site that processes a wake rescans only
+  its own remaining block row (1D) under its updated thresholds, and
+  sites untouched by a block cost one row of the shared comparison.
+
+* **Lazy forward-fill.**  Skipped steps carry the running / allocated /
+  queue-length state of the last processed step.  Per-site processed
+  step lists let the finalizer reconstruct every skipped span with one
+  ``np.repeat`` per column instead of one slice write per window.
+
+Each site is an ordinary :class:`Datacenter` advanced through the
+engine-state protocol (:meth:`Datacenter.prepare_run` /
+:meth:`Datacenter.process_wake` / :meth:`Datacenter.finish_run`), so
+the fleet path shares every line of phase logic with the per-site
+engines — the golden tests pin fleet output bit-identical (records and
+summaries) to N independent ``Datacenter.run`` calls.
+
+Closed-loop supply sites (stateful :class:`SupplyStack` dispatched
+against live demand) cannot share the budget matrix — their budgets
+depend on each site's own demand trajectory — so the engine routes them
+through the skip-ahead closed-loop event engine per site, inside the
+same fleet run.
+
+By default fleet sites skip the per-VM event log
+(``record_events=False``): at 500 sites × 1 year the audit trail is
+pure overhead.  Pass ``record_events=True`` to keep it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from typing import Sequence
+
+import numpy as np
+
+from .. import obs
+from ..cluster.datacenter import (
+    Datacenter,
+    DatacenterConfig,
+    EngineState,
+    SimulationResult,
+    StepColumns,
+)
+from ..errors import ConfigurationError
+from ..supply import SupplyStack
+from ..traces import PowerTrace
+from ..workload import VMRequest
+
+# Sentinels for the vectorized threshold scan: budgets are int64, so a
+# lower bound below any budget / an upper bound above any budget turn
+# the corresponding comparison off without branching.
+_NO_LOWER = -(2**62)
+_NO_UPPER = 2**62
+
+
+def crossing_scan(
+    window: np.ndarray, lower: np.ndarray, upper: np.ndarray
+) -> int | None:
+    """First column of ``window`` where any row crosses its thresholds.
+
+    The fleet engine's budget-threshold question as a standalone
+    helper: row ``i`` crosses at column ``j`` when
+    ``window[i, j] < lower[i]`` (a budget drop that forces evictions)
+    or ``window[i, j] >= upper[i]`` (a rise that can resume or launch
+    work).  Disable a bound with :data:`_NO_LOWER` / :data:`_NO_UPPER`.
+    Returns the first crossing column index, or ``None`` when no step
+    in the window crosses — shared with the detailed multi-site
+    executor's event engine, whose sites wake together.
+    """
+    if window.shape[1] == 0:
+        return None
+    mask = (window < lower[:, None]) | (window >= upper[:, None])
+    flat = mask.any(axis=0)
+    hit = int(flat.argmax())
+    return hit if flat[hit] else None
+
+
+@dataclass(frozen=True)
+class FleetSite:
+    """One site of a fleet run.
+
+    Attributes:
+        name: Site label (keys the result mapping).
+        config: Datacenter configuration.
+        trace: Power trace driving the site.
+        requests: VM arrivals to replay at the site.
+        supply: Optional supply stack composed over the trace.
+        supply_mode: ``"open"`` (precomputed delivery) or ``"closed"``
+            (per-step dispatch against live demand).
+    """
+
+    name: str
+    config: DatacenterConfig
+    trace: PowerTrace
+    requests: Sequence[VMRequest]
+    supply: SupplyStack | None = None
+    supply_mode: str = "open"
+
+
+@dataclass(slots=True)
+class _SiteRun:
+    """Engine-internal per-site bookkeeping."""
+
+    index: int
+    site: FleetSite
+    datacenter: Datacenter
+    state: EngineState
+    processed_steps: list[int] = field(default_factory=list)
+    # Threshold bounds under which the current budget row scan is
+    # valid; refreshed after every processed wake chain.
+    lower: int = _NO_LOWER
+    upper: int = _NO_UPPER
+
+
+class FleetEngine:
+    """Advance many datacenter sites through one columnar program.
+
+    Args:
+        sites: Fleet members; traces may differ in length (sites are
+            grouped by grid length for the shared budget matrix).
+        record_events: Keep each site's per-VM event log.  Off by
+            default — fleet runs record per-step columns only.
+        block_steps: Grid steps covered by each shared crossing scan.
+    """
+
+    def __init__(
+        self,
+        sites: Sequence[FleetSite],
+        *,
+        record_events: bool = False,
+        block_steps: int = 4096,
+    ):
+        if not sites:
+            raise ConfigurationError("fleet needs at least one site")
+        if block_steps <= 0:
+            raise ConfigurationError(
+                f"block size must be positive: {block_steps}"
+            )
+        names = [s.name for s in sites]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate site names: {names}")
+        self.sites = tuple(sites)
+        self.record_events = record_events
+        self.block_steps = block_steps
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> dict[str, SimulationResult]:
+        """Execute every site; returns results keyed by site name.
+
+        Result-identical to running each site's :meth:`Datacenter.run`
+        with ``engine="event"`` independently (records, summaries, and
+        supply telemetry — golden-tested).
+        """
+        datacenters = [
+            Datacenter(
+                site.config,
+                site.trace,
+                supply=site.supply,
+                supply_mode=site.supply_mode,
+                record_events=self.record_events,
+            )
+            for site in self.sites
+        ]
+        # Open-loop sites grouped by grid length share one site-major
+        # matrix per measurement column; each site's StepColumns are
+        # row views into those matrices (the fleet's columnar state).
+        members_by_length: dict[int, list[int]] = {}
+        for i, dc in enumerate(datacenters):
+            if not dc.closed_loop:
+                members_by_length.setdefault(
+                    dc.power_trace.grid.n, []
+                ).append(i)
+        cols_by_site: dict[int, StepColumns] = {}
+        for n, members in members_by_length.items():
+            matrices = {
+                name: np.zeros(
+                    (len(members), n),
+                    dtype=(
+                        float
+                        if name in StepColumns.FLOAT_COLUMNS
+                        else np.int64
+                    ),
+                )
+                for name in StepColumns.__slots__[1:]
+            }
+            for row, i in enumerate(members):
+                cols_by_site[i] = StepColumns.from_views(
+                    n, {name: mat[row] for name, mat in matrices.items()}
+                )
+        runs = [
+            _SiteRun(
+                i, site, dc,
+                dc.prepare_run(site.requests, cols_by_site.get(i)),
+            )
+            for i, (site, dc) in enumerate(zip(self.sites, datacenters))
+        ]
+        n_steps = max(r.state.n for r in runs)
+        with obs.span(
+            "fleet.run", n_sites=len(runs), n_steps=n_steps
+        ):
+            open_loop = [r for r in runs if not r.state.closed]
+            closed = [r for r in runs if r.state.closed]
+            # Closed-loop sites dispatch against their own live demand;
+            # their budgets cannot enter the shared matrix.  They run
+            # through the skip-ahead closed-loop event engine instead.
+            for run in closed:
+                run.state.processed = run.datacenter._run_closed_event(
+                    run.state.n,
+                    run.state.arrivals_by_step,
+                    run.state.cols,
+                    run.state.dispatcher,
+                )
+            # Open-loop sites share one columnar program per grid
+            # length (budget rows must be the same width to stack).
+            by_length: dict[int, list[_SiteRun]] = {}
+            for run in open_loop:
+                by_length.setdefault(run.state.n, []).append(run)
+            for n, group in sorted(by_length.items()):
+                self._run_group(n, group)
+            results = {}
+            for run in runs:
+                if not run.state.closed:
+                    run.state.processed = len(run.processed_steps)
+                results[run.site.name] = run.datacenter.finish_run(
+                    run.state, engine="fleet"
+                )
+        return results
+
+    # ------------------------------------------------------------------
+
+    def _run_group(self, n: int, group: list[_SiteRun]) -> None:
+        """The columnar program over one same-length site group."""
+        if n == 0:
+            return
+        budgets = np.vstack([r.state.budgets for r in group])
+        heap: list[tuple[int, int]] = []  # (step, group index)
+        live = list(range(len(group)))
+        block = self.block_steps
+        b0 = 0
+        while b0 < n and live:
+            b1 = min(b0 + block, n)
+            # One 2D threshold scan covers every live site's block row:
+            # a budget below ``lower`` forces evictions, one at/above
+            # ``upper`` can resume or launch — exactly the per-site
+            # event engine's window scan, batched.
+            idx = np.array(live)
+            window = budgets[idx, b0:b1]
+            lower = np.array([group[g].lower for g in live])
+            upper = np.array([group[g].upper for g in live])
+            mask = (window < lower[:, None]) | (window >= upper[:, None])
+            hits = mask.argmax(axis=1)
+            hit_valid = mask[np.arange(len(live)), hits]
+            survivors = []
+            for row, g in enumerate(live):
+                run = group[g]
+                wake = run.datacenter.next_event_step(run.state)
+                if hit_valid[row]:
+                    crossing = b0 + int(hits[row])
+                    if crossing < wake:
+                        wake = crossing
+                if wake < b1:
+                    heappush(heap, (wake, g))
+                    survivors.append(g)
+                elif wake < n or run.upper != _NO_UPPER or (
+                    run.lower != _NO_LOWER
+                ):
+                    # An event or a possible crossing remains ahead;
+                    # re-examine at the next block.
+                    survivors.append(g)
+                # else: drained site — no events, no queue, no paused
+                # work, nothing running.  Its remaining steps are one
+                # forward-fill at finalize.
+            live = survivors
+            # Pop wakes in global time order.  Sites are mutually
+            # independent, so a popped site drains its entire chain of
+            # in-block wakes in one tight loop — the engine-state
+            # protocol (process_wake / wake_bounds / next_event_step)
+            # inlined with its locals hoisted; each site costs one heap
+            # pop per block instead of one push+pop per wake.
+            while heap:
+                step, g = heappop(heap)
+                run = group[g]
+                dc = run.datacenter
+                state = run.state
+                step_fn = dc._step
+                cols = state.cols
+                arrivals_by_step = state.arrivals_by_step
+                arrival_steps = state.arrival_steps
+                n_arrivals = len(arrival_steps)
+                ai = state.arrival_index
+                finish_heap = dc._finish_heap
+                expiry_heap = state.expiry_heap
+                budget_row = budgets[g]
+                processed = run.processed_steps
+                patience = dc.config.queue_patience_steps
+                while True:
+                    # --- process_wake, inlined ---
+                    processed.append(step)
+                    if ai < n_arrivals and arrival_steps[ai] == step:
+                        arrivals = arrivals_by_step[step]
+                        ai += 1
+                    else:
+                        arrivals = ()
+                    step_fn(
+                        step, int(budget_row[step]), arrivals, cols, True
+                    )
+                    queue = dc._queue
+                    if queue and queue[-1][1] == step:
+                        expiry = step + patience + 1
+                        if expiry < n:
+                            heappush(expiry_heap, expiry)
+                    # --- wake_bounds, inlined ---
+                    running = dc._running_cores
+                    paused = dc._paused
+                    upper_b: int | None = None
+                    if paused:
+                        upper_b = running + paused[0].cores
+                    if queue:
+                        launch = dc._launch_wake_threshold()
+                        if launch is not None and (
+                            upper_b is None or launch < upper_b
+                        ):
+                            upper_b = launch
+                    # --- next_event_step, inlined ---
+                    wake = n
+                    if ai < n_arrivals:
+                        wake = arrival_steps[ai]
+                    while finish_heap and finish_heap[0] <= step:
+                        heappop(finish_heap)
+                    if finish_heap and finish_heap[0] < wake:
+                        wake = finish_heap[0]
+                    while expiry_heap and expiry_heap[0] <= step:
+                        heappop(expiry_heap)
+                    if expiry_heap and expiry_heap[0] < wake:
+                        wake = expiry_heap[0]
+                    # --- in-block crossing rescan ---
+                    start = step + 1
+                    if start < b1 and (running or upper_b is not None):
+                        scan_stop = b1 if wake > b1 else wake
+                        if start < scan_stop:
+                            row = budget_row[start:scan_stop]
+                            if upper_b is None:
+                                cross = row < running
+                            elif running:
+                                cross = (row < running) | (row >= upper_b)
+                            else:
+                                cross = row >= upper_b
+                            hit = cross.argmax()
+                            if cross[hit]:
+                                wake = start + int(hit)
+                    if wake < b1:
+                        step = wake
+                        continue
+                    break
+                state.arrival_index = ai
+                state.last = step
+                run.lower = running if running > 0 else _NO_LOWER
+                run.upper = _NO_UPPER if upper_b is None else upper_b
+            b0 = b1
+        self._finalize_group(n, group)
+
+    @staticmethod
+    def _finalize_group(n: int, group: list[_SiteRun]) -> None:
+        """Forward-fill every skipped step from the processed ones.
+
+        A skipped step carries the state of the last processed step —
+        which :meth:`Datacenter._step` already wrote into its own
+        column slot — so the fill is ``np.repeat`` of the processed
+        steps' values over the gaps up to the next processed step.
+        Steps before the first wake keep the zero initialization
+        (nothing admitted or running yet), matching the per-site
+        engine's initial-state fill.
+        """
+        for run in group:
+            proc = run.processed_steps
+            if not proc:
+                continue
+            idx = np.array(proc)
+            lengths = np.diff(np.append(idx, n))
+            cols = run.state.cols
+            first = proc[0]
+            for column in (
+                cols.running_cores,
+                cols.allocated_cores,
+                cols.queue_length,
+            ):
+                column[first:] = np.repeat(column[idx], lengths)

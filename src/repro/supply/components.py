@@ -44,6 +44,18 @@ class SupplyComponent(Protocol):
         """Dispatch one step; returns the delta in MW (see class doc)."""
         ...
 
+    def pinned(self, state: object, surplus: bool) -> bool:
+        """True when every step with the given balance sign is a no-op.
+
+        "Pinned" means :meth:`step` provably returns a zero delta *and*
+        leaves ``state`` unchanged for any ``balance_mw`` of the given
+        sign (``surplus=True``: ``balance_mw >= 0``; ``surplus=False``:
+        ``balance_mw < 0``).  The closed-loop simulators use this to
+        skip whole dispatch windows; a conservative ``False`` is always
+        safe.
+        """
+        ...
+
 
 class BatteryState:
     """Mutable state-of-charge record for one :class:`BatteryDispatch` run."""
@@ -120,6 +132,29 @@ class BatteryDispatch:
         state.soc_mwh -= discharge_mwh / self.efficiency if self.efficiency else 0.0
         return discharge_mwh / step_hours
 
+    def pinned(self, state: BatteryState, surplus: bool) -> bool:
+        """Full batteries ignore surpluses; empty ones ignore deficits.
+
+        At zero headroom the surplus branch charges ``min(x, 0) = 0``
+        and returns ``-0.0``; at zero deliverable energy the deficit
+        branch discharges ``min(x, 0) = 0`` and returns ``0.0`` — in
+        both cases the SoC is untouched and the delta adds nothing to
+        the balance, so the step is a bit-exact no-op.
+
+        The bounds must hold *exactly*: round-off in
+        ``soc -= discharge / efficiency`` can leave the SoC a few ulps
+        negative (or ``soc += charge`` a few ulps above capacity), and
+        there :meth:`step` is not a no-op — it nudges the SoC back to
+        the bound with a tiny nonzero delta.  Those steps stay live.
+        """
+        if surplus:
+            headroom = self.capacity_mwh - state.soc_mwh
+            return headroom == 0.0
+        return (
+            state.soc_mwh * self.efficiency == 0.0
+            and not state.soc_mwh < 0.0
+        )
+
 
 class GridBudgetState:
     """Remaining purchasable energy for one :class:`GridFirmPower` run."""
@@ -173,3 +208,9 @@ class GridFirmPower:
         draw_mwh = min(draw_mw * step_hours, state.remaining_mwh)
         state.remaining_mwh -= draw_mwh
         return draw_mwh / step_hours
+
+    def pinned(self, state: GridBudgetState, surplus: bool) -> bool:
+        """Never absorbs surplus; an exhausted budget ignores deficits."""
+        if surplus:
+            return True
+        return state.remaining_mwh <= 0.0

@@ -188,6 +188,81 @@ class SupplyDispatcher:
         ev.delivered[step] = delivered
         return delivered
 
+    # ------------------------------------------------------------------
+    # Skip-ahead support (the closed-loop event engines)
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity_mw(self) -> float:
+        """The bound trace's capacity scale (MW at normalized 1.0)."""
+        return self._capacity_mw
+
+    @property
+    def step_hours(self) -> float:
+        """The bound grid's step length in hours."""
+        return self._step_hours
+
+    def base_mw_series(self) -> np.ndarray:
+        """Base generation in MW per step, computed elementwise.
+
+        ``values[t] * capacity`` under IEEE double arithmetic — the
+        exact product :meth:`dispatch` forms scalar-by-scalar, so
+        window fills derived from this series are bit-identical to the
+        per-step path.
+        """
+        return np.asarray(self._values, dtype=float) * self._capacity_mw
+
+    def pinned(self, surplus: bool) -> bool:
+        """True when *every* component is a provable no-op for the sign.
+
+        While this holds, a dispatch at any step whose balance has the
+        given sign returns exactly ``base / capacity`` (modulo the
+        covered-demand ulp clamp), mutates no component state, and
+        accrues no charge/discharge/import telemetry — the condition
+        the closed-loop engines need to skip the step wholesale.
+        """
+        for component, state in zip(self._components, self._states):
+            check = getattr(component, "pinned", None)
+            if check is None or not check(state, surplus):
+                return False
+        return True
+
+    def battery_soc_mwh(self) -> float:
+        """Total battery state of charge right now (the SoC column fill)."""
+        total = 0.0
+        for component, state in zip(self._components, self._states):
+            if isinstance(component, BatteryDispatch):
+                total += state.soc_mwh
+        return total
+
+    def fill_skipped(
+        self,
+        start: int,
+        stop: int,
+        balance_mw: np.ndarray,
+        delivered: np.ndarray,
+    ) -> None:
+        """Write the telemetry a pinned window would have accumulated.
+
+        Args:
+            start: First skipped step (inclusive).
+            stop: One past the last skipped step.
+            balance_mw: ``base_mw - demand_mw`` for the window (length
+                ``stop - start``) — with every component pinned the
+                final balance equals the initial one bit-for-bit.
+            delivered: Normalized delivered power for the window (after
+                the covered-demand clamp, before the engine's [0, 1]
+                clip — matching what :meth:`dispatch` records).
+        """
+        ev = self.evaluation
+        ev.delivered[start:stop] = delivered
+        ev.soc_mwh[start:stop] = self.battery_soc_mwh()
+        h = self._step_hours
+        positive = balance_mw > 0.0
+        if positive.any():
+            curtailed = ev.curtailed_mwh[start:stop]
+            np.multiply(balance_mw, h, out=curtailed, where=positive)
+
 
 @dataclass(frozen=True)
 class SupplyStack:

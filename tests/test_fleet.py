@@ -1,0 +1,456 @@
+"""Golden tests for the columnar fleet engine (repro.sim.fleet).
+
+The load-bearing guarantee: :class:`FleetEngine` is *result-identical*
+to N independent ``Datacenter.run`` calls — per-step columns, supply
+evaluations, event logs, and summaries — across power models, supply
+stacks (open and closed loop), pause/resume behaviour, and site counts.
+The Runner routes multi-site scenarios through it, and ``run_scenarios``
+ships traces to process workers through shared memory; both rewirings
+are covered here.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cluster import ClusterSpec, Datacenter, DatacenterConfig, ServerSpec
+from repro.cluster.datacenter import StepColumns
+from repro.experiments import (
+    ArtifactCache,
+    Scenario,
+    WorkloadSpec,
+    run_scenario,
+    run_scenarios,
+)
+from repro.experiments.cache import load_shared_traces, stage_shared_traces
+from repro.sim import FleetEngine, FleetSite
+from repro.sim.fleet import _NO_LOWER, _NO_UPPER, crossing_scan
+from repro.supply import SupplyStack
+from repro.supply.components import BatteryDispatch, GridFirmPower
+from repro.traces import PowerTrace
+from repro.units import TimeGrid, grid_days
+from repro.workload import VMClass, VMRequest, VMType
+
+START = datetime(2020, 5, 1)
+
+VM_TYPES = (
+    VMType("D2", 2, 8.0),
+    VMType("D4", 4, 16.0),
+    VMType("D8", 8, 32.0),
+    VMType("D16", 16, 64.0),
+)
+
+SUPPLY_FIELDS = (
+    "delivered",
+    "soc_mwh",
+    "charge_mwh",
+    "discharge_mwh",
+    "grid_import_mwh",
+    "curtailed_mwh",
+)
+
+
+def make_trace(seed: int, n: int, name: str) -> PowerTrace:
+    """A volatile wind-like trace with hard dead spans (forces queues,
+    evictions, and pause/resume churn)."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    values = np.clip(
+        0.5 + 0.45 * np.sin(2 * np.pi * t / 96) + rng.normal(0, 0.08, n),
+        0.0,
+        1.0,
+    )
+    values[(t % 500) < 30] = 0.0
+    grid = TimeGrid(START, timedelta(minutes=15), n)
+    return PowerTrace(grid, values, name, "wind")
+
+
+def make_requests(seed: int, n: int, count: int) -> list[VMRequest]:
+    rng = np.random.default_rng(seed + 7)
+    requests = []
+    for vm_id in range(count):
+        arrival = int(rng.integers(0, n))
+        lifetime = int(rng.integers(1, 300))
+        vm_type = VM_TYPES[rng.integers(0, len(VM_TYPES))]
+        vm_class = (
+            VMClass.STABLE if rng.random() < 0.6 else VMClass.DEGRADABLE
+        )
+        requests.append(
+            VMRequest(vm_id, arrival, lifetime, vm_type, vm_class)
+        )
+    return requests
+
+
+def make_site(
+    seed: int,
+    n: int,
+    count: int,
+    power_model: str = "linear",
+    supply: SupplyStack | None = None,
+    supply_mode: str = "open",
+    name: str | None = None,
+    pause: bool = True,
+) -> FleetSite:
+    config = DatacenterConfig(
+        cluster=ClusterSpec(n_servers=40, server=ServerSpec()),
+        power_model=power_model,
+        pause_degradable=pause,
+        queue_patience_steps=12,
+    )
+    name = name or f"site-{seed}"
+    return FleetSite(
+        name=name,
+        config=config,
+        trace=make_trace(seed, n, name),
+        requests=make_requests(seed, n, count),
+        supply=supply,
+        supply_mode=supply_mode,
+    )
+
+
+def battery_stack() -> SupplyStack:
+    return SupplyStack(
+        components=(BatteryDispatch(capacity_mwh=4.0, max_power_mw=2.0),)
+    )
+
+
+def battery_grid_stack() -> SupplyStack:
+    return SupplyStack(
+        components=(
+            BatteryDispatch(
+                capacity_mwh=2.5, max_power_mw=1.5, efficiency=0.9
+            ),
+            GridFirmPower(budget_mwh=300.0, max_power_mw=1.0),
+        )
+    )
+
+
+def reference_run(site: FleetSite, engine: str = "event"):
+    """The per-site ground truth: one independent Datacenter.run."""
+    return Datacenter(
+        site.config,
+        site.trace,
+        supply=site.supply,
+        supply_mode=site.supply_mode,
+    ).run(site.requests, engine=engine)
+
+
+def assert_identical(name, got, want, events: bool = False) -> None:
+    """Column-exact, supply-exact, summary-exact result equality."""
+    for column in StepColumns.__slots__[1:]:
+        np.testing.assert_array_equal(
+            getattr(got.columns, column),
+            getattr(want.columns, column),
+            err_msg=f"{name}: column {column} differs",
+        )
+    assert (got.supply is None) == (want.supply is None), name
+    if got.supply is not None:
+        for field in SUPPLY_FIELDS:
+            np.testing.assert_array_equal(
+                np.asarray(getattr(got.supply, field)),
+                np.asarray(getattr(want.supply, field)),
+                err_msg=f"{name}: supply {field} differs",
+            )
+    assert got.summary_dict() == want.summary_dict(), name
+    if events:
+        assert list(got.events) == list(want.events), name
+
+
+def mixed_fleet() -> list[FleetSite]:
+    """Both power models, open/closed supply stacks, heterogeneous
+    lengths, an empty site, and a no-pause site — the golden gauntlet."""
+    return [
+        make_site(1, 2000, 1500),
+        make_site(2, 2000, 1500, power_model="server"),
+        make_site(3, 1500, 900, supply=battery_stack(), supply_mode="open"),
+        make_site(
+            4, 2000, 1200, supply=battery_stack(), supply_mode="closed"
+        ),
+        make_site(
+            5, 2000, 1200, supply=battery_grid_stack(), supply_mode="closed"
+        ),
+        make_site(6, 500, 0, name="empty"),
+        make_site(
+            7,
+            2000,
+            3000,
+            power_model="server",
+            supply=battery_grid_stack(),
+            supply_mode="closed",
+        ),
+        make_site(8, 2000, 50, pause=False),
+    ]
+
+
+class TestFleetGolden:
+    def test_mixed_fleet_matches_event_and_dense(self):
+        sites = mixed_fleet()
+        fleet = FleetEngine(sites).run()
+        assert list(fleet) == [site.name for site in sites]
+        for site in sites:
+            assert_identical(
+                site.name, fleet[site.name], reference_run(site, "event")
+            )
+            assert_identical(
+                f"{site.name}:dense",
+                fleet[site.name],
+                reference_run(site, "dense"),
+            )
+
+    def test_mixed_fleet_exercises_the_full_lifecycle(self):
+        """The golden gauntlet is only meaningful if it actually hits
+        queues, evictions, and pause/resume churn."""
+        fleet = FleetEngine(mixed_fleet()).run()
+        totals = {
+            column: sum(
+                int(getattr(result.columns, column).sum())
+                for result in fleet.values()
+            )
+            for column in ("n_paused", "n_resumed", "n_evicted", "n_queued",
+                           "n_launched", "n_expired", "n_completed")
+        }
+        assert all(count > 0 for count in totals.values()), totals
+
+    def test_single_site_fleet(self):
+        site = make_site(11, 800, 400)
+        fleet = FleetEngine([site]).run()
+        assert_identical(site.name, fleet[site.name], reference_run(site))
+
+    def test_64_site_fleet(self):
+        sites = [make_site(100 + i, 288, 40) for i in range(64)]
+        fleet = FleetEngine(sites).run()
+        assert len(fleet) == 64
+        for site in sites:
+            assert_identical(site.name, fleet[site.name], reference_run(site))
+
+    def test_event_log_parity(self):
+        """record_events=True reproduces the per-site audit trail."""
+        sites = [
+            make_site(21, 600, 300),
+            make_site(
+                22, 600, 300, supply=battery_stack(), supply_mode="closed"
+            ),
+        ]
+        fleet = FleetEngine(sites, record_events=True).run()
+        for site in sites:
+            assert_identical(
+                site.name,
+                fleet[site.name],
+                reference_run(site),
+                events=True,
+            )
+        assert len(list(fleet[sites[0].name].events)) > 0
+
+    def test_events_off_by_default(self):
+        site = make_site(23, 400, 100)
+        fleet = FleetEngine([site]).run()
+        assert list(fleet[site.name].events) == []
+
+    def test_duplicate_site_names_rejected(self):
+        sites = [make_site(1, 200, 0, name="dup"), make_site(2, 200, 0, name="dup")]
+        with pytest.raises(Exception):
+            FleetEngine(sites).run()
+
+
+class TestCrossingScan:
+    def test_no_crossing(self):
+        window = np.array([[5.0, 6.0, 7.0], [3.0, 3.0, 3.0]])
+        lower = np.array([2, 1], dtype=np.int64)
+        upper = np.array([_NO_UPPER, _NO_UPPER], dtype=np.int64)
+        assert crossing_scan(window, lower, upper) is None
+
+    def test_first_crossing_wins_across_sites(self):
+        window = np.array([[5.0, 6.0, 0.0], [3.0, 0.0, 3.0]])
+        lower = np.array([2, 1], dtype=np.int64)
+        upper = np.array([_NO_UPPER, _NO_UPPER], dtype=np.int64)
+        # Site 1 dips below its floor at offset 1, before site 0's
+        # offset-2 dip: the fleet must wake at the earliest crossing.
+        assert crossing_scan(window, lower, upper) == 1
+
+    def test_upper_threshold_crossing(self):
+        window = np.array([[1.0, 1.0, 9.0]])
+        lower = np.array([_NO_LOWER], dtype=np.int64)
+        upper = np.array([4], dtype=np.int64)
+        assert crossing_scan(window, lower, upper) == 2
+
+    def test_empty_window(self):
+        window = np.zeros((2, 0))
+        lower = np.array([1, 1], dtype=np.int64)
+        upper = np.array([_NO_UPPER, _NO_UPPER], dtype=np.int64)
+        assert crossing_scan(window, lower, upper) is None
+
+
+class TestClosedLoopSkipAhead:
+    """The closed-loop event engine must skip idle spans *and* stay
+    golden-identical to the dense per-step reference."""
+
+    @pytest.mark.parametrize("stack_factory", [battery_stack, battery_grid_stack])
+    def test_event_matches_dense(self, stack_factory):
+        site = make_site(
+            31, 1600, 800, supply=stack_factory(), supply_mode="closed"
+        )
+        assert_identical(
+            site.name,
+            reference_run(site, "event"),
+            reference_run(site, "dense"),
+        )
+
+    def test_skip_ahead_actually_skips(self):
+        site = make_site(
+            32, 1600, 60, supply=battery_stack(), supply_mode="closed"
+        )
+        sink = obs.MemorySink()
+        with obs.add_sink(sink):
+            reference_run(site, "event")
+        skipped = [
+            record["value"]
+            for record in sink.metrics()
+            if record["name"] == "sim.steps_skipped"
+        ]
+        assert skipped and skipped[0] > 0
+
+
+class TestRunnerFleetRouting:
+    def multi_site_scenario(self) -> Scenario:
+        return Scenario(
+            name="fleet-route",
+            sites=("BE-wind", "NO-solar", "UK-wind"),
+            grid=grid_days(START, 2),
+            workload=WorkloadSpec(kind="vm_requests"),
+            seed=5,
+        )
+
+    def test_multi_site_uses_fleet_stage(self, tmp_path):
+        result = run_scenario(
+            self.multi_site_scenario(),
+            cache=ArtifactCache(tmp_path / "cache"),
+        )
+        names = [stage.name for stage in result.manifest.stages]
+        assert "simulate:fleet" in names
+        assert not any(name.startswith("simulate:BE") for name in names)
+        assert set(result.simulations) == {"BE-wind", "NO-solar", "UK-wind"}
+
+    def test_single_site_keeps_per_site_stage(self, tmp_path):
+        scenario = Scenario(
+            name="solo",
+            sites=("BE-wind",),
+            grid=grid_days(START, 2),
+            workload=WorkloadSpec(kind="vm_requests"),
+            seed=5,
+        )
+        result = run_scenario(scenario, cache=ArtifactCache(tmp_path / "c"))
+        names = [stage.name for stage in result.manifest.stages]
+        assert "simulate:BE-wind" in names
+        assert "simulate:fleet" not in names
+
+    def test_fleet_stage_matches_per_site_loop(self, tmp_path):
+        """The routed result is identical to simulating each site with
+        the same traces and workloads independently."""
+        from repro.workload import (
+            generate_vm_requests,
+            workload_matched_to_power,
+        )
+
+        scenario = self.multi_site_scenario()
+        result = run_scenario(
+            scenario, cache=ArtifactCache(tmp_path / "cache")
+        )
+        config = DatacenterConfig(
+            admission_utilization=scenario.workload.utilization
+        )
+        for index, name in enumerate(scenario.sites):
+            trace = result.traces[name]
+            workload = workload_matched_to_power(
+                float(trace.values.mean()),
+                config.cluster.total_cores,
+                utilization=scenario.workload.utilization,
+            )
+            requests = generate_vm_requests(
+                scenario.grid,
+                workload,
+                seed=scenario.effective_workload_seed + index,
+            )
+            want = Datacenter(config, trace).run(requests)
+            assert_identical(
+                name, result.simulations[name], want, events=True
+            )
+
+
+class TestSharedMemoryTraces:
+    def test_stage_load_round_trip(self):
+        traces = {
+            "a": make_trace(41, 700, "a"),
+            "b": make_trace(42, 700, "b"),
+        }
+        descriptor, segment = stage_shared_traces(traces)
+        try:
+            loaded = load_shared_traces(descriptor)
+        finally:
+            segment.close()
+            segment.unlink()
+        assert list(loaded) == ["a", "b"]
+        for name, trace in traces.items():
+            clone = loaded[name]
+            np.testing.assert_array_equal(clone.values, trace.values)
+            assert clone.grid == trace.grid
+            assert clone.name == trace.name
+            assert clone.kind == trace.kind
+            assert clone.capacity_mw == trace.capacity_mw
+            # The copy must survive the segment's unlink.
+            assert clone.values.base is None or clone.values.flags.owndata
+
+    def test_process_backend_round_trips_fleet_scenarios(self, tmp_path):
+        """Multi-site scenarios through the process pool: traces ride
+        shared memory, sites ride the fleet engine, and the summaries
+        match the serial reference exactly."""
+        scenarios = [
+            Scenario(
+                name=f"shm-{seed}",
+                sites=("BE-wind", "NO-solar"),
+                grid=grid_days(START, 2),
+                workload=WorkloadSpec(kind="vm_requests"),
+                seed=seed,
+            )
+            for seed in range(2)
+        ]
+        serial = run_scenarios(
+            scenarios,
+            jobs=1,
+            backend="serial",
+            cache=ArtifactCache(tmp_path / "cache-serial"),
+        )
+        parallel = run_scenarios(
+            scenarios,
+            jobs=2,
+            backend="process",
+            cache=ArtifactCache(tmp_path / "cache-process"),
+        )
+        assert serial.summaries() == parallel.summaries()
+        for manifest in parallel.manifests:
+            assert "simulate:fleet" in [s.name for s in manifest.stages]
+
+    def test_staged_traces_record_cache_hits(self, tmp_path):
+        scenarios = [
+            Scenario(
+                name="hits",
+                sites=("BE-wind",),
+                grid=grid_days(START, 2),
+                workload=WorkloadSpec(kind="vm_requests"),
+                seed=3,
+            )
+        ]
+        cache = ArtifactCache(tmp_path / "cache")
+        cold = run_scenarios(scenarios, jobs=1, cache=cache)
+        warm = run_scenarios(scenarios, jobs=1, cache=cache)
+
+        def traces_hit(batch):
+            (manifest,) = batch.manifests
+            (stage,) = [s for s in manifest.stages if s.name == "traces"]
+            return stage.cache_hit
+
+        assert traces_hit(cold) is False
+        assert traces_hit(warm) is True
