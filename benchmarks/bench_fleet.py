@@ -15,9 +15,10 @@ Two baselines on purpose, reported side by side:
 
 * ``speedup_vs_looped`` — against per-site *event-driven* runs, the
   strongest baseline (it already skips idle steps).  The fleet's win
-  here comes from shared site-major column matrices, one wake heap,
-  and vectorized cross-site budget scans; expect 1.1–2x depending on
-  wake density.  This is the hard CI gate (>= 1x).
+  here comes from shared site-major column matrices, SoA step kernels,
+  one wake heap, and vectorized cross-site budget scans; expect
+  1.4–2x depending on wake density.  This is the hard CI gate
+  (>= 1.4x).
 * ``speedup_vs_dense_looped`` — against per-site *dense* runs that
   walk all 35,040 steps, the pre-event-engine reference.  This is the
   headline >= 3x acceptance number for the refactor.
@@ -123,9 +124,9 @@ def _fleet_site(site_seed: int, grid, config) -> FleetSite:
 def test_fleet_vs_looped_64site_year():
     """64 sites x 1 year: fleet vs per-site event and dense loops.
 
-    The CI gate lives here: the fleet engine must not be slower than
-    the looped event engine (1.0x hard), and the dense-loop ratio is
-    the refactor's >= 3x acceptance headroom.
+    The CI gate lives here: the fleet engine (SoA kernels + shared
+    columnar state) must beat the looped event engine by >= 1.4x, and
+    the dense-loop ratio is the refactor's >= 3x acceptance headroom.
     """
     grid = grid_days(YEAR_START, 365)
     config = DatacenterConfig()
@@ -161,9 +162,10 @@ def test_fleet_vs_looped_64site_year():
         speedup_vs_looped=speedup_vs_looped,
         speedup_vs_dense_looped=speedup_vs_dense,
     )
-    # Hard gate: slower than the looped event engine would mean the
-    # batching machinery costs more than it saves.
-    assert speedup_vs_looped >= 1.0
+    # Hard gate: the SoA-kernel fleet must clearly beat the looped
+    # event engine — below 1.4x the batching + kernel machinery is
+    # not paying for itself.
+    assert speedup_vs_looped >= 1.4
     # Acceptance headroom vs the dense per-site reference loop.
     assert speedup_vs_dense >= 3.0
 

@@ -201,6 +201,43 @@ def test_sim_year_fleet():
     assert speedup >= 1.0
 
 
+def test_sim_year_single_site_step_kernel():
+    """Single site-year, all three engines: dense vs event vs soa.
+
+    The step-kernel microbench: ``engine="soa"`` runs the same event
+    loop as ``engine="event"`` but advances structure-of-arrays state
+    (:class:`repro.cluster.kernel.StepKernel`) instead of the VM /
+    server object graph, so the difference isolates the kernel's
+    per-wake win.  Results are asserted identical; the gate only pins
+    the kernel against the dense reference walk so a loaded runner
+    cannot flake on the event/soa ratio.
+    """
+    grid = grid_days(YEAR_START, 365)
+    config = DatacenterConfig()
+    trace, requests = _fleet_site(21, grid)
+
+    def run(engine: str):
+        return Datacenter(config, trace).run(requests, engine=engine)
+
+    dense, dense_s = _time_once(lambda: run("dense"))
+    event, event_s = _time_once(lambda: run("event"))
+    soa, soa_s = _time_once(lambda: run("soa"))
+    assert dense.records == event.records
+    assert dense.records == soa.records
+    assert list(dense.events) == list(soa.events)
+    _record(
+        "sim_year_single_site_step_kernel",
+        n_steps=grid.n,
+        n_requests=len(requests),
+        dense_s=dense_s,
+        event_s=event_s,
+        soa_s=soa_s,
+        soa_vs_event=event_s / soa_s,
+        soa_vs_dense=dense_s / soa_s,
+    )
+    assert soa_s <= dense_s
+
+
 def test_sim_year_fleet_tracing_overhead():
     """Year-fleet event engine with tracing off vs on.
 

@@ -8,11 +8,14 @@ case must stay free: a year-horizon fleet run with an empty
 no-supply call (plus a small absolute floor so a loaded runner doesn't
 flake on sub-second noise), and must stay result-identical.
 
-The battery benches are recorded without gates: closed-loop dispatch
-makes every step stateful (the event engine's skip proofs are unsound
-when SoC evolves each wake), so a battery-backed year costs roughly a
-dense year — the bench documents that price and the open-loop
-evaluation throughput next to it.
+The battery closed-loop bench carries a second hard gate: with the
+span-kernel dispatch windows and the SoA step kernel
+(``engine="soa"``), a battery-backed closed-loop site-year must stay
+within 4x of the legacy open-loop event run of the same site —
+closed-loop dispatch is stateful at every step, but the per-step cost
+is a handful of float operations in a tight loop, not an object-graph
+walk.  The open-loop evaluation throughput is recorded without a
+gate.
 
 Every run writes machine-readable ``BENCH_supply.json`` at the repo
 root; CI uploads it as an artifact and fails the bench-smoke job if the
@@ -150,11 +153,15 @@ def test_supply_empty_stack_overhead():
 
 
 def test_supply_battery_closed_loop_year():
-    """One battery-backed site-year, closed loop, both engines.
+    """One battery-backed site-year, closed loop, all three engines.
 
-    No gate — closed-loop dispatch is stateful at every step, so both
-    engines walk all 35,040 of them; the bench records that price next
-    to the legacy event run, and keeps the engines result-identical.
+    The second CI gate: the fastest closed-loop path
+    (``engine="soa"`` — span-kernel dispatch windows over the SoA step
+    kernel) must stay within 4x of the legacy open-loop event run of
+    the same site (+0.5s noise floor).  Dispatch is stateful at every
+    step, so some multiple is inherent; an order of magnitude would
+    mean the per-step work regressed to object-graph walking.  The
+    engines stay result-identical.
     """
     grid = grid_days(YEAR_START, 365)
     config = DatacenterConfig()
@@ -165,6 +172,11 @@ def test_supply_battery_closed_loop_year():
 
     _, legacy_s = _time_once(
         lambda: Datacenter(config, trace).run(requests, engine="event")
+    )
+    soa, soa_s = _time_once(
+        lambda: Datacenter(config, trace, supply=stack).run(
+            requests, engine="soa"
+        )
     )
     event, event_s = _time_once(
         lambda: Datacenter(config, trace, supply=stack).run(
@@ -177,18 +189,27 @@ def test_supply_battery_closed_loop_year():
         )
     )
     assert event.records == dense.records
+    assert soa.records == dense.records
     np.testing.assert_array_equal(
         event.supply.soc_mwh, dense.supply.soc_mwh
+    )
+    np.testing.assert_array_equal(
+        soa.supply.soc_mwh, dense.supply.soc_mwh
     )
     _record(
         "supply_battery_closed_loop_year",
         n_steps=grid.n,
         legacy_event_s=legacy_s,
+        closed_soa_s=soa_s,
         closed_event_s=event_s,
         closed_dense_s=dense_s,
+        closed_soa_vs_legacy=soa_s / legacy_s,
         charge_mwh=event.supply.charge_total_mwh,
         discharge_mwh=event.supply.discharge_total_mwh,
     )
+    # Hard gate: a closed-loop battery year on the fastest path stays
+    # within 4x of the legacy open-loop event run.
+    assert soa_s <= legacy_s * 4.0 + 0.5
 
 
 def test_supply_open_loop_evaluation_year():

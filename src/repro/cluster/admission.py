@@ -9,8 +9,35 @@ migration" observation.
 
 from __future__ import annotations
 
+import math
+
 from ..errors import ConfigurationError
 from .vm import VM
+
+
+def min_budget_for_cap(need: int, util: float, total: int) -> int:
+    """Smallest budget ``b`` with ``int(util * min(b, total)) >= need``.
+
+    The launch wake threshold's cap inversion, in closed form: the real
+    solution is ``ceil(need / util)``, and float rounding can land the
+    computed ceiling at most a step or two off, so a bounded correction
+    walk (rather than the historical unbounded upward scan from an
+    arithmetic lower bound) pins the exact integer.  The cap map
+    ``b -> int(util * min(b, total))`` is nondecreasing, so the local
+    minimum the walk finds is the global one; the property tests pin
+    equality against the reference scan across utilization grids.
+
+    The caller must guarantee a solution exists
+    (``need <= int(util * total)``).
+    """
+    if need <= 0:
+        return 0
+    b = int(math.ceil(need / util))
+    while b > 0 and int(util * min(b - 1, total)) >= need:
+        b -= 1
+    while int(util * min(b, total)) < need:
+        b += 1
+    return b
 
 
 class AdmissionControl:

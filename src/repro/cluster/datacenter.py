@@ -42,6 +42,7 @@ from bisect import bisect_left, insort
 from collections import deque
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
+from time import perf_counter
 from typing import Sequence
 
 import numpy as np
@@ -52,11 +53,17 @@ from ..supply import SupplyDispatcher, SupplyEvaluation, SupplyStack
 from ..traces import PowerTrace
 from ..units import TimeGrid, bytes_to_gb
 from ..workload import VMRequest
-from .admission import AdmissionControl
+from .admission import AdmissionControl, min_budget_for_cap
 from .events import EventKind, EventLog, NullEventLog
+from .kernel import StepKernel
 from .livemigration import LiveMigrationModel, estimate_migration
 from .migration import EvictionOrder, EvictionPlanner
-from .power import LinearCorePower, PowerModel, ServerGranularPower
+from .power import (
+    LinearCorePower,
+    PowerModel,
+    ServerGranularPower,
+    min_norm_for_budget,
+)
 from .resources import ClusterSpec
 from .server import Server
 from .vm import VM, VMState
@@ -388,6 +395,10 @@ class EngineState:
         expiry_heap: Min-heap of queue-patience expiry steps.
         last: Last processed step (-1 before the first wake).
         processed: Wake steps executed so far.
+        kernel: The SoA step kernel when the run was prepared with
+            ``kernel=True`` (``engine="soa"`` and fleet runs); the
+            object-model fields above stay empty then — the kernel owns
+            the arrival schedule and heaps itself.
     """
 
     n: int
@@ -404,6 +415,7 @@ class EngineState:
     expiry_heap: list[int] = field(default_factory=list)
     last: int = -1
     processed: int = 0
+    kernel: StepKernel | None = None
 
 
 class _ServerPool:
@@ -583,9 +595,17 @@ class Datacenter:
         self._launch_blocked_min_cores: int | None = None
         # Per-memory-size wire-byte cache for the live-migration model.
         self._wire_cache: dict[float, float] = {}
+        # (lower, upper) budget bounds -> norm-space thresholds, cached
+        # because closed-loop windows revisit the same few bound pairs.
+        self._norm_bounds_cache: dict[
+            tuple[int, int | None], tuple[float | None, float | None]
+        ] = {}
+        # Per-phase wall-clock accumulators (sim.phase.* counters);
+        # None keeps the hot step on its timer-free straight-line path.
+        self._phase_seconds: dict[str, float] | None = None
 
-    def _eviction_wire_bytes(self, vm: VM) -> float:
-        """Bytes a live migration of ``vm`` actually puts on the wire.
+    def _wire_bytes_for(self, memory_bytes: float) -> float:
+        """Wire bytes for live-migrating a VM of ``memory_bytes``.
 
         One memory copy (the paper's estimate) without a migration
         model; the pre-copy model's amplified volume with one.  Only
@@ -593,14 +613,18 @@ class Datacenter:
         cold transfer of a single memory image.
         """
         if self.config.migration_model is None:
-            return vm.memory_bytes
-        cached = self._wire_cache.get(vm.memory_bytes)
+            return memory_bytes
+        cached = self._wire_cache.get(memory_bytes)
         if cached is None:
             cached = estimate_migration(
-                vm.memory_bytes, self.config.migration_model
+                memory_bytes, self.config.migration_model
             ).total_bytes
-            self._wire_cache[vm.memory_bytes] = cached
+            self._wire_cache[memory_bytes] = cached
         return cached
+
+    def _eviction_wire_bytes(self, vm: VM) -> float:
+        """Bytes a live migration of ``vm`` actually puts on the wire."""
+        return self._wire_bytes_for(vm.memory_bytes)
 
     # ------------------------------------------------------------------
     # Internal state transitions (all bookkeeping goes through these)
@@ -867,15 +891,53 @@ class Datacenter:
         cols: StepColumns,
         batched: bool,
     ) -> None:
-        """Execute one simulation step and record it columnar."""
-        if batched:
-            n_completed = self._phase_completions_batched(step)
+        """Execute one simulation step and record it columnar.
+
+        Phase timing (the ``sim.phase.*`` counters) only runs when
+        :meth:`prepare_run` armed :attr:`_phase_seconds` — the default
+        path stays a straight line with zero timing overhead.
+        """
+        timers = self._phase_seconds
+        if timers is None:
+            if batched:
+                n_completed = self._phase_completions_batched(step)
+            else:
+                n_completed = self._phase_completions(step)
+            out_bytes, n_evicted, n_paused = self._phase_power_down(
+                step, budget
+            )
+            n_resumed = self._phase_resume(step, budget)
+            n_admitted, n_queued = self._phase_arrivals(
+                step, budget, arrivals
+            )
+            in_bytes, n_launched, n_expired = self._phase_launches(
+                step, budget
+            )
         else:
-            n_completed = self._phase_completions(step)
-        out_bytes, n_evicted, n_paused = self._phase_power_down(step, budget)
-        n_resumed = self._phase_resume(step, budget)
-        n_admitted, n_queued = self._phase_arrivals(step, budget, arrivals)
-        in_bytes, n_launched, n_expired = self._phase_launches(step, budget)
+            t0 = perf_counter()
+            if batched:
+                n_completed = self._phase_completions_batched(step)
+            else:
+                n_completed = self._phase_completions(step)
+            t1 = perf_counter()
+            timers["completions"] += t1 - t0
+            out_bytes, n_evicted, n_paused = self._phase_power_down(
+                step, budget
+            )
+            t2 = perf_counter()
+            timers["power_down"] += t2 - t1
+            n_resumed = self._phase_resume(step, budget)
+            t3 = perf_counter()
+            timers["resume"] += t3 - t2
+            n_admitted, n_queued = self._phase_arrivals(
+                step, budget, arrivals
+            )
+            t4 = perf_counter()
+            timers["arrivals"] += t4 - t3
+            in_bytes, n_launched, n_expired = self._phase_launches(
+                step, budget
+            )
+            timers["launches"] += perf_counter() - t4
         cols.running_cores[step] = self._running_cores
         cols.allocated_cores[step] = self._allocated_cores
         cols.out_bytes[step] = out_bytes
@@ -910,8 +972,8 @@ class Datacenter:
         pool only mutates at processed steps).  The budget must cover
         both the power term (``running + m``) and, under power-relative
         admission, the utilization cap ``int(util * budget) >=
-        allocated + m`` — solved exactly by a short upward scan from an
-        arithmetic lower bound.
+        allocated + m`` — inverted in closed form by
+        :func:`min_budget_for_cap`.
         """
         m = self._launch_blocked_min_cores
         if m is None:
@@ -928,9 +990,7 @@ class Datacenter:
         running_threshold = self._running_cores + m
         if not self.config.power_relative_admission:
             return running_threshold
-        budget = max(0, int(need / util) - 2)
-        while int(util * min(budget, total)) < need:
-            budget += 1
+        budget = min_budget_for_cap(need, util, total)
         return max(running_threshold, budget)
 
     def _run_dense(
@@ -1113,10 +1173,43 @@ class Datacenter:
             self._step(step, budget, arrivals, cols, batched=batched)
         return n
 
+    def _norm_bounds(
+        self, lower: int, upper: int | None
+    ) -> tuple[float | None, float | None]:
+        """Budget wake thresholds translated to delivered-norm space.
+
+        Returns ``(lo_norm, up_norm)`` for the closed-loop span kernel:
+        a clipped delivered power below ``lo_norm`` means the budget
+        would drop below running cores, one at or above ``up_norm``
+        means it could resume or launch work.  Thresholds are the exact
+        minimal floats (:func:`min_norm_for_budget`), so norm-space
+        crossings equal budget-space crossings bit for bit.  Cached per
+        bound pair — closed-loop windows revisit the same handful of
+        ``(running, threshold)`` pairs all run long, and each miss costs
+        a closed-form inverse plus a few ``nextafter`` probes.
+        """
+        key = (lower, upper)
+        cached = self._norm_bounds_cache.get(key)
+        if cached is not None:
+            return cached
+        lo_norm: float | None = None
+        if lower > 0:
+            lo_norm = min_norm_for_budget(self.power_model, lower)
+            if lo_norm is None:
+                # Even full power cannot cover what is running: every
+                # step's budget sits below the eviction threshold.
+                lo_norm = np.inf
+        up_norm: float | None = None
+        if upper is not None:
+            up_norm = min_norm_for_budget(self.power_model, upper)
+        bounds = (lo_norm, up_norm)
+        self._norm_bounds_cache[key] = bounds
+        return bounds
+
     def _run_closed_event(
         self,
         n: int,
-        arrivals_by_step: dict[int, list[VM]],
+        site,
         cols: StepColumns,
         dispatcher: SupplyDispatcher,
     ) -> int:
@@ -1136,15 +1229,15 @@ class Datacenter:
         reconstructed budgets).  Skipped steps get vectorized fills of
         the step columns and the supply telemetry, bit-identical to
         per-step dispatch (golden-tested against :meth:`_run_closed`).
+
+        ``site`` is the cluster side of the loop behind a small wake
+        protocol — ``demand_at`` / ``step_wake`` / ``next_event`` /
+        ``window_demand`` / ``wake_bounds`` / ``carried_state`` — so the
+        same driver runs the object model (:class:`_ClosedEventSite`)
+        and the SoA kernel (:class:`~repro.cluster.kernel.StepKernel`)
+        unchanged.
         """
         processed = 0
-        patience = self.config.queue_patience_steps
-        arrival_steps = sorted(arrivals_by_step)
-        n_arrival_steps = len(arrival_steps)
-        arrival_index = 0
-        finish_heap = self._finish_heap
-        expiry_heap: list[int] = []
-        queue = self._queue
         core_budget = self.power_model.core_budget
         norm_for_cores = self.power_model.norm_for_cores
         dispatch = dispatcher.dispatch
@@ -1158,60 +1251,76 @@ class Datacenter:
         clipped_full = np.clip(rt_full, 0.0, 1.0)
         budgets_full = self._budget_series(clipped_full)
         step = 0
+        # A span-kernel crossing has already dispatched its step; the
+        # delivered value is handed to the wake iteration via
+        # ``pending`` instead of dispatching twice.
+        pending: float | None = None
         while step < n:
-            if (
-                arrival_index < n_arrival_steps
-                and arrival_steps[arrival_index] == step
-            ):
-                arrivals: Sequence[VM] = arrivals_by_step[step]
-                arrival_index += 1
+            if pending is None:
+                demand_norm = norm_for_cores(site.demand_at(step))
+                delivered = dispatch(step, demand_norm)
             else:
-                arrivals = ()
-            demand_norm = norm_for_cores(self._demand_cores(step, arrivals))
-            delivered = dispatch(step, demand_norm)
+                delivered = pending
+                pending = None
             delivered = min(max(delivered, 0.0), 1.0)
             budget = core_budget(delivered)
             cols.norm_power[step] = delivered
             cols.core_budget[step] = budget
-            self._step(step, budget, arrivals, cols, batched=True)
+            site.step_wake(step, budget)
             processed += 1
-            if queue and queue[-1][1] == step:
-                expiry = step + patience + 1
-                if expiry < n:
-                    heappush(expiry_heap, expiry)
             start = step + 1
             if start >= n:
                 break
-            pinned_surplus = dispatcher.pinned(True)
-            pinned_deficit = dispatcher.pinned(False)
-            if not pinned_surplus and not pinned_deficit:
-                step = start
-                continue
             # Window end: the next step where something can happen
             # regardless of power (arrival, scheduled finish, queue
             # expiry).  Stale heap tops are spent events.
-            stop = n
-            if arrival_index < n_arrival_steps:
-                stop = arrival_steps[arrival_index]
-            while finish_heap and finish_heap[0] <= step:
-                heappop(finish_heap)
-            if finish_heap and finish_heap[0] < stop:
-                stop = finish_heap[0]
-            while expiry_heap and expiry_heap[0] <= step:
-                heappop(expiry_heap)
-            if expiry_heap and expiry_heap[0] < stop:
-                stop = expiry_heap[0]
+            stop = site.next_event()
             if stop <= start:
                 step = start
                 continue
             # Demand is constant between events (running / paused /
             # queued only mutate at processed steps, and no VM finishes
-            # inside the window), so one covered mask describes every
-            # step the window could cover.  ``covered`` doubles as the
-            # balance sign: balance >= 0  ⟺  base_mw >= demand_mw.
-            demand_norm = max(
-                norm_for_cores(self._demand_cores(start, ())), 0.0
-            )
+            # inside the window), so one value covers the whole window.
+            demand_norm = max(norm_for_cores(site.window_demand()), 0.0)
+            running, upper = site.wake_bounds()
+            pinned_surplus = dispatcher.pinned(True)
+            pinned_deficit = dispatcher.pinned(False)
+            if not pinned_surplus and not pinned_deficit:
+                # Live stack: component state moves every step, so the
+                # window cannot be skipped — but it can run as one
+                # scalar span (inlined component arithmetic, telemetry
+                # flushed in bulk) that halts at the first wake-
+                # threshold crossing.  Only crossings execute the step;
+                # every other step is a provable no-op whose columns
+                # forward-fill below.
+                lo_norm, up_norm = self._norm_bounds(running, upper)
+                deliveries, crossed = dispatcher.advance_span(
+                    start, stop, demand_norm, lo_norm, up_norm
+                )
+                fill = len(deliveries) - 1 if crossed else len(deliveries)
+                if fill:
+                    fill_end = start + fill
+                    clipped_w = np.clip(
+                        np.array(deliveries[:fill]), 0.0, 1.0
+                    )
+                    run_c, alloc_c, qlen = site.carried_state()
+                    cols.norm_power[start:fill_end] = clipped_w
+                    cols.core_budget[start:fill_end] = (
+                        self._budget_series(clipped_w)
+                    )
+                    cols.running_cores[start:fill_end] = run_c
+                    cols.allocated_cores[start:fill_end] = alloc_c
+                    cols.queue_length[start:fill_end] = qlen
+                if crossed:
+                    pending = deliveries[-1]
+                    step = start + len(deliveries) - 1
+                else:
+                    step = stop
+                continue
+            # Pinned window: every dispatch of the window's balance
+            # sign is a provable no-op, so the whole span vectorizes.
+            # ``covered`` doubles as the balance sign:
+            # balance >= 0  ⟺  base_mw >= demand_mw.
             demand_mw = demand_norm * capacity
             covered = base_mw[start:stop] >= demand_mw
             if not (pinned_surplus and pinned_deficit):
@@ -1240,19 +1349,9 @@ class Datacenter:
                 budgets_w = budgets_full[start:stop]
             # The open-loop engine's budget-crossing scan, applied to
             # the window's would-be budgets.
-            running = self._running_cores
             wake = budgets_w < running if running > 0 else None
-            threshold = None
-            if self._paused:
-                threshold = running + self._paused[0].cores
-            if queue:
-                launch_threshold = self._launch_wake_threshold()
-                if launch_threshold is not None and (
-                    threshold is None or launch_threshold < threshold
-                ):
-                    threshold = launch_threshold
-            if threshold is not None:
-                above = budgets_w >= threshold
+            if upper is not None:
+                above = budgets_w >= upper
                 wake = above if wake is None else (wake | above)
             if wake is not None:
                 hit = int(np.argmax(wake))
@@ -1262,11 +1361,12 @@ class Datacenter:
                 step = start
                 continue
             width = stop - start
+            run_c, alloc_c, qlen = site.carried_state()
             cols.norm_power[start:stop] = clipped[:width]
             cols.core_budget[start:stop] = budgets_w[:width]
-            cols.running_cores[start:stop] = running
-            cols.allocated_cores[start:stop] = self._allocated_cores
-            cols.queue_length[start:stop] = len(queue)
+            cols.running_cores[start:stop] = run_c
+            cols.allocated_cores[start:stop] = alloc_c
+            cols.queue_length[start:stop] = qlen
             balance = base_mw[start:stop] - demand_mw
             dispatcher.fill_skipped(
                 start, stop, balance, delivered_w[:width]
@@ -1292,10 +1392,16 @@ class Datacenter:
             and self.supply_mode == "closed"
         )
 
+    #: Phase keys of the ``sim.phase.*`` timing counters, in step order.
+    PHASE_NAMES = (
+        "completions", "power_down", "resume", "arrivals", "launches"
+    )
+
     def prepare_run(
         self,
         requests: Sequence[VMRequest],
         cols: StepColumns | None = None,
+        kernel: bool = False,
     ) -> EngineState:
         """Build the per-run engine state :meth:`run` executes over.
 
@@ -1311,16 +1417,25 @@ class Datacenter:
             cols: Optional preallocated column store (the fleet engine
                 passes views into one site-major block); allocated
                 fresh when omitted.
+            kernel: Build a :class:`~repro.cluster.kernel.StepKernel`
+                over the requests instead of materializing VM objects
+                (``engine="soa"`` and fleet runs).
         """
         grid = self.power_trace.grid
         n = grid.n
+        # Arm the per-phase timers only under observability — the
+        # default step stays on its timer-free straight-line path.
+        self._phase_seconds = (
+            dict.fromkeys(self.PHASE_NAMES, 0.0) if obs.enabled() else None
+        )
         arrivals_by_step: dict[int, list[VM]] = {}
-        for request in requests:
-            if request.arrival_step >= n:
-                continue
-            arrivals_by_step.setdefault(request.arrival_step, []).append(
-                VM(request)
-            )
+        if not kernel:
+            for request in requests:
+                if request.arrival_step >= n:
+                    continue
+                arrivals_by_step.setdefault(
+                    request.arrival_step, []
+                ).append(VM(request))
         supply = self.supply
         if supply is not None and supply.stateless:
             supply = None
@@ -1357,6 +1472,7 @@ class Datacenter:
             closed=closed,
             dispatcher=dispatcher,
             evaluation=evaluation,
+            kernel=StepKernel(self, requests, cols) if kernel else None,
         )
 
     def finish_run(self, state: EngineState, engine: str) -> SimulationResult:
@@ -1388,6 +1504,13 @@ class Datacenter:
             obs.count(
                 "sim.rejections", int(cols.n_expired.sum()), site=site
             )
+            timers = self._phase_seconds
+            if timers is not None:
+                for phase, seconds in timers.items():
+                    obs.count(
+                        f"sim.phase.{phase}_us", int(seconds * 1e6),
+                        site=site, engine=engine,
+                    )
         return SimulationResult(
             state.grid, self.config, cols, self.events, site_name=site,
             supply=state.evaluation,
@@ -1479,18 +1602,20 @@ class Datacenter:
 
         Args:
             requests: VM arrivals to replay.
-            engine: ``"event"`` (default) skips provably no-op steps;
-                ``"dense"`` executes every grid step.  Both engines run
-                the same phase code over the same state and produce
+            engine: ``"event"`` (default) skips provably no-op steps
+                over the object model; ``"dense"`` executes every grid
+                step; ``"soa"`` runs the event loop over the
+                structure-of-arrays :class:`~repro.cluster.kernel.\
+StepKernel` instead of VM/Server objects.  All engines produce
                 identical results (enforced by the golden equivalence
                 tests).
 
         Returns:
             Per-step records plus the full event log.
         """
-        if engine not in ("event", "dense"):
+        if engine not in ("event", "dense", "soa"):
             raise ConfigurationError(f"unknown simulation engine: {engine!r}")
-        state = self.prepare_run(requests)
+        state = self.prepare_run(requests, kernel=engine == "soa")
         n = state.n
         cols = state.cols
         arrivals_by_step = state.arrivals_by_step
@@ -1502,15 +1627,22 @@ class Datacenter:
             n_requests=state.n_requests,
         ):
             if state.closed:
-                if engine == "event":
+                if engine == "soa":
                     state.processed = self._run_closed_event(
-                        n, arrivals_by_step, cols, state.dispatcher
+                        n, state.kernel, cols, state.dispatcher
+                    )
+                elif engine == "event":
+                    state.processed = self._run_closed_event(
+                        n, _ClosedEventSite(self, state), cols,
+                        state.dispatcher,
                     )
                 else:
                     state.processed = self._run_closed(
                         n, arrivals_by_step, cols, state.dispatcher,
                         batched=False,
                     )
+            elif engine == "soa":
+                state.processed = state.kernel.run_event(state.budgets)
             elif engine == "dense":
                 state.processed = self._run_dense(
                     n, state.budgets, arrivals_by_step, cols
@@ -1520,3 +1652,70 @@ class Datacenter:
                     n, state.budgets, arrivals_by_step, cols
                 )
             return self.finish_run(state, engine)
+
+
+class _ClosedEventSite:
+    """Object-model side of the closed-loop wake protocol.
+
+    Adapts a :class:`Datacenter` plus its :class:`EngineState` (arrival
+    cursor, expiry heap) to the site interface
+    :meth:`Datacenter._run_closed_event` drives, mirroring what
+    :class:`~repro.cluster.kernel.StepKernel` implements natively.
+    """
+
+    __slots__ = ("dc", "state")
+
+    def __init__(self, dc: Datacenter, state: EngineState):
+        self.dc = dc
+        self.state = state
+
+    def demand_at(self, step: int) -> int:
+        """Demand at a wake step, including its unconsumed arrivals."""
+        state = self.state
+        if (
+            state.arrival_index < len(state.arrival_steps)
+            and state.arrival_steps[state.arrival_index] == step
+        ):
+            arrivals: Sequence[VM] = state.arrivals_by_step[step]
+        else:
+            arrivals = ()
+        return self.dc._demand_cores(step, arrivals)
+
+    def step_wake(self, step: int, budget: int) -> None:
+        """Consume the step's arrivals, execute it, push queue expiry."""
+        dc = self.dc
+        state = self.state
+        if (
+            state.arrival_index < len(state.arrival_steps)
+            and state.arrival_steps[state.arrival_index] == step
+        ):
+            arrivals: Sequence[VM] = state.arrivals_by_step[step]
+            state.arrival_index += 1
+        else:
+            arrivals = ()
+        dc._step(step, budget, arrivals, state.cols, batched=True)
+        queue = dc._queue
+        if queue and queue[-1][1] == step:
+            expiry = step + dc.config.queue_patience_steps + 1
+            if expiry < state.n:
+                heappush(state.expiry_heap, expiry)
+        state.last = step
+
+    def next_event(self) -> int:
+        """Next arrival / finish / expiry after the last wake."""
+        return self.dc.next_event_step(self.state)
+
+    def window_demand(self) -> int:
+        """Demand over an event-free window.
+
+        Step ``-1`` has no finish bucket and no arrivals — exactly the
+        window-start situation (a window whose first step had a finish
+        or arrival would have been a wake instead).
+        """
+        return self.dc._demand_cores(-1, ())
+
+    def wake_bounds(self) -> tuple[int, int | None]:
+        return self.dc.wake_bounds()
+
+    def carried_state(self) -> tuple[int, int, int]:
+        return self.dc.carried_state()

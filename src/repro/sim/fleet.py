@@ -7,24 +7,31 @@ appends, per-site observability spans, window-scan dispatch — multiplied
 by the fleet size.  :class:`FleetEngine` advances **all sites through
 one program**:
 
-* **Site-major matrices.**  Open-loop sites stack their precomputed
-  core-budget series into one ``(n_sites, n_steps)`` ``int64`` array,
-  and every per-step measurement column (running cores, queue length,
-  power, migration bytes, …) is carved as a row view out of one shared
-  site-major matrix per column (:meth:`StepColumns.from_views`) — the
-  fleet's state lives in a handful of 2D arrays, not thousands of
-  per-site allocations.  The budget-threshold wake scan — the event
-  engine's "when can this site's state change because of power?"
-  question — runs as one vectorized 2D comparison per block across
-  every live site, instead of one 1D scan per site per window.
+* **Site-major matrices.**  Sites stack their per-step measurement
+  columns (running cores, queue length, power, migration bytes, …) as
+  row views carved out of one shared site-major matrix per column
+  (:meth:`StepColumns.from_views`), and open-loop sites additionally
+  stack their precomputed core-budget series into one
+  ``(n_sites, n_steps)`` ``int64`` array — the fleet's state lives in a
+  handful of 2D arrays, not thousands of per-site allocations.  The
+  budget-threshold wake scan — the event engine's "when can this
+  site's state change because of power?" question — runs as one
+  vectorized 2D comparison per block across every live site, instead
+  of one 1D scan per site per window.
+
+* **SoA step kernels.**  Each site's cluster state advances through a
+  :class:`~repro.cluster.kernel.StepKernel` — VM and server state as
+  parallel arrays indexed by integers, not object graphs — so a wake
+  costs flat array reads instead of attribute chases.  The kernels are
+  golden-pinned bit-identical to the object model.
 
 * **Shared wake heap keyed ``(step, site)``.**  Each site keeps at most
   one live entry: the earliest of its next arrival, VM finish, queue
   expiry, or budget-threshold crossing.  The engine pops wakes in
   global time order; because sites are mutually independent within a
   block, a popped site drains its whole chain of in-block wakes in one
-  tight inlined loop (locals hoisted, no re-push per wake) before the
-  next site is popped.
+  tight kernel loop (:meth:`StepKernel.drain_block`) before the next
+  site is popped.
 
 * **Block synchronization.**  The 2D crossing scans cover blocks of
   ``block_steps`` grid steps; a site that processes a wake rescans only
@@ -36,18 +43,23 @@ one program**:
   step lists let the finalizer reconstruct every skipped span with one
   ``np.repeat`` per column instead of one slice write per window.
 
-Each site is an ordinary :class:`Datacenter` advanced through the
-engine-state protocol (:meth:`Datacenter.prepare_run` /
-:meth:`Datacenter.process_wake` / :meth:`Datacenter.finish_run`), so
-the fleet path shares every line of phase logic with the per-site
-engines — the golden tests pin fleet output bit-identical (records and
-summaries) to N independent ``Datacenter.run`` calls.
+* **Batched closed-loop dispatch.**  Closed-loop supply sites
+  (stateful :class:`SupplyStack` dispatched against live demand)
+  cannot share the budget matrix — their budgets depend on each site's
+  own demand trajectory — but their *supply dynamics* batch: a
+  same-length group advances in lockstep through
+  :class:`~repro.supply.batch.BatchedDispatch`, one ``(S,)``-shaped
+  battery/grid update per step, with only wake steps (arrival, finish,
+  expiry, or a delivered-power threshold crossing) touching a site's
+  step kernel.  Groups below ``closed_batch_min_sites`` — where S
+  scalar span kernels beat one array program — and stacks with exotic
+  component types run the per-site skip-ahead closed-loop event engine
+  instead, inside the same fleet run.
 
-Closed-loop supply sites (stateful :class:`SupplyStack` dispatched
-against live demand) cannot share the budget matrix — their budgets
-depend on each site's own demand trajectory — so the engine routes them
-through the skip-ahead closed-loop event engine per site, inside the
-same fleet run.
+The per-site engines share every line of phase logic with the fleet
+path (the same kernels, the same dispatch arithmetic), and the golden
+tests pin fleet output bit-identical (records and summaries) to N
+independent ``Datacenter.run`` calls.
 
 By default fleet sites skip the per-VM event log
 (``record_events=False``): at 500 sites × 1 year the audit trail is
@@ -72,6 +84,7 @@ from ..cluster.datacenter import (
 )
 from ..errors import ConfigurationError
 from ..supply import SupplyStack
+from ..supply.batch import BatchedDispatch
 from ..traces import PowerTrace
 from ..workload import VMRequest
 
@@ -150,6 +163,10 @@ class FleetEngine:
         record_events: Keep each site's per-VM event log.  Off by
             default — fleet runs record per-step columns only.
         block_steps: Grid steps covered by each shared crossing scan.
+        closed_batch_min_sites: Smallest same-length closed-loop group
+            advanced through the batched lockstep dispatcher; smaller
+            groups run the per-site span-kernel engine, which wins
+            while per-step numpy overhead outweighs the batching.
     """
 
     def __init__(
@@ -158,6 +175,7 @@ class FleetEngine:
         *,
         record_events: bool = False,
         block_steps: int = 4096,
+        closed_batch_min_sites: int = 16,
     ):
         if not sites:
             raise ConfigurationError("fleet needs at least one site")
@@ -165,12 +183,18 @@ class FleetEngine:
             raise ConfigurationError(
                 f"block size must be positive: {block_steps}"
             )
+        if closed_batch_min_sites <= 0:
+            raise ConfigurationError(
+                "closed batch threshold must be positive:"
+                f" {closed_batch_min_sites}"
+            )
         names = [s.name for s in sites]
         if len(set(names)) != len(names):
             raise ConfigurationError(f"duplicate site names: {names}")
         self.sites = tuple(sites)
         self.record_events = record_events
         self.block_steps = block_steps
+        self.closed_batch_min_sites = closed_batch_min_sites
 
     # ------------------------------------------------------------------
 
@@ -191,15 +215,14 @@ class FleetEngine:
             )
             for site in self.sites
         ]
-        # Open-loop sites grouped by grid length share one site-major
-        # matrix per measurement column; each site's StepColumns are
-        # row views into those matrices (the fleet's columnar state).
+        # Sites grouped by grid length share one site-major matrix per
+        # measurement column; each site's StepColumns are row views
+        # into those matrices (the fleet's columnar state).
         members_by_length: dict[int, list[int]] = {}
         for i, dc in enumerate(datacenters):
-            if not dc.closed_loop:
-                members_by_length.setdefault(
-                    dc.power_trace.grid.n, []
-                ).append(i)
+            members_by_length.setdefault(
+                dc.power_trace.grid.n, []
+            ).append(i)
         cols_by_site: dict[int, StepColumns] = {}
         for n, members in members_by_length.items():
             matrices = {
@@ -220,7 +243,7 @@ class FleetEngine:
         runs = [
             _SiteRun(
                 i, site, dc,
-                dc.prepare_run(site.requests, cols_by_site.get(i)),
+                dc.prepare_run(site.requests, cols_by_site[i], kernel=True),
             )
             for i, (site, dc) in enumerate(zip(self.sites, datacenters))
         ]
@@ -231,15 +254,34 @@ class FleetEngine:
             open_loop = [r for r in runs if not r.state.closed]
             closed = [r for r in runs if r.state.closed]
             # Closed-loop sites dispatch against their own live demand;
-            # their budgets cannot enter the shared matrix.  They run
-            # through the skip-ahead closed-loop event engine instead.
+            # their budgets cannot enter the shared matrix.  Large
+            # same-length groups with batchable stacks advance in
+            # lockstep through one vectorized dispatcher; the rest run
+            # the per-site skip-ahead closed-loop event engine.
+            closed_by_length: dict[int, list[_SiteRun]] = {}
             for run in closed:
-                run.state.processed = run.datacenter._run_closed_event(
-                    run.state.n,
-                    run.state.arrivals_by_step,
-                    run.state.cols,
-                    run.state.dispatcher,
-                )
+                closed_by_length.setdefault(run.state.n, []).append(run)
+            for n, cgroup in sorted(closed_by_length.items()):
+                batchable = []
+                solo = []
+                for run in cgroup:
+                    if BatchedDispatch.supports(run.state.dispatcher):
+                        batchable.append(run)
+                    else:
+                        solo.append(run)
+                if n and len(batchable) >= self.closed_batch_min_sites:
+                    self._run_closed_group(n, batchable)
+                    for run in batchable:
+                        run.state.processed = len(run.processed_steps)
+                else:
+                    solo = batchable + solo
+                for run in solo:
+                    run.state.processed = run.datacenter._run_closed_event(
+                        run.state.n,
+                        run.state.kernel,
+                        run.state.cols,
+                        run.state.dispatcher,
+                    )
             # Open-loop sites share one columnar program per grid
             # length (budget rows must be the same width to stack).
             by_length: dict[int, list[_SiteRun]] = {}
@@ -259,7 +301,7 @@ class FleetEngine:
     # ------------------------------------------------------------------
 
     def _run_group(self, n: int, group: list[_SiteRun]) -> None:
-        """The columnar program over one same-length site group."""
+        """The columnar program over one same-length open-loop group."""
         if n == 0:
             return
         budgets = np.vstack([r.state.budgets for r in group])
@@ -283,7 +325,7 @@ class FleetEngine:
             survivors = []
             for row, g in enumerate(live):
                 run = group[g]
-                wake = run.datacenter.next_event_step(run.state)
+                wake = run.state.kernel.next_event()
                 if hit_valid[row]:
                     crossing = b0 + int(hits[row])
                     if crossing < wake:
@@ -303,90 +345,84 @@ class FleetEngine:
             live = survivors
             # Pop wakes in global time order.  Sites are mutually
             # independent, so a popped site drains its entire chain of
-            # in-block wakes in one tight loop — the engine-state
-            # protocol (process_wake / wake_bounds / next_event_step)
-            # inlined with its locals hoisted; each site costs one heap
-            # pop per block instead of one push+pop per wake.
+            # in-block wakes in one tight kernel loop — each site costs
+            # one heap pop per block instead of one push+pop per wake.
             while heap:
                 step, g = heappop(heap)
                 run = group[g]
-                dc = run.datacenter
-                state = run.state
-                step_fn = dc._step
-                cols = state.cols
-                arrivals_by_step = state.arrivals_by_step
-                arrival_steps = state.arrival_steps
-                n_arrivals = len(arrival_steps)
-                ai = state.arrival_index
-                finish_heap = dc._finish_heap
-                expiry_heap = state.expiry_heap
-                budget_row = budgets[g]
-                processed = run.processed_steps
-                patience = dc.config.queue_patience_steps
-                while True:
-                    # --- process_wake, inlined ---
-                    processed.append(step)
-                    if ai < n_arrivals and arrival_steps[ai] == step:
-                        arrivals = arrivals_by_step[step]
-                        ai += 1
-                    else:
-                        arrivals = ()
-                    step_fn(
-                        step, int(budget_row[step]), arrivals, cols, True
-                    )
-                    queue = dc._queue
-                    if queue and queue[-1][1] == step:
-                        expiry = step + patience + 1
-                        if expiry < n:
-                            heappush(expiry_heap, expiry)
-                    # --- wake_bounds, inlined ---
-                    running = dc._running_cores
-                    paused = dc._paused
-                    upper_b: int | None = None
-                    if paused:
-                        upper_b = running + paused[0].cores
-                    if queue:
-                        launch = dc._launch_wake_threshold()
-                        if launch is not None and (
-                            upper_b is None or launch < upper_b
-                        ):
-                            upper_b = launch
-                    # --- next_event_step, inlined ---
-                    wake = n
-                    if ai < n_arrivals:
-                        wake = arrival_steps[ai]
-                    while finish_heap and finish_heap[0] <= step:
-                        heappop(finish_heap)
-                    if finish_heap and finish_heap[0] < wake:
-                        wake = finish_heap[0]
-                    while expiry_heap and expiry_heap[0] <= step:
-                        heappop(expiry_heap)
-                    if expiry_heap and expiry_heap[0] < wake:
-                        wake = expiry_heap[0]
-                    # --- in-block crossing rescan ---
-                    start = step + 1
-                    if start < b1 and (running or upper_b is not None):
-                        scan_stop = b1 if wake > b1 else wake
-                        if start < scan_stop:
-                            row = budget_row[start:scan_stop]
-                            if upper_b is None:
-                                cross = row < running
-                            elif running:
-                                cross = (row < running) | (row >= upper_b)
-                            else:
-                                cross = row >= upper_b
-                            hit = cross.argmax()
-                            if cross[hit]:
-                                wake = start + int(hit)
-                    if wake < b1:
-                        step = wake
-                        continue
-                    break
-                state.arrival_index = ai
-                state.last = step
+                wake, running, upper_b = run.state.kernel.drain_block(
+                    step, budgets[g], b1, run.processed_steps
+                )
                 run.lower = running if running > 0 else _NO_LOWER
                 run.upper = _NO_UPPER if upper_b is None else upper_b
             b0 = b1
+        self._finalize_group(n, group)
+
+    # ------------------------------------------------------------------
+
+    def _run_closed_group(self, n: int, group: list[_SiteRun]) -> None:
+        """Lockstep closed-loop program over one same-length group.
+
+        Every step, one :meth:`BatchedDispatch.step_many` advances all
+        sites' supply state against their current demand.  A site's
+        kernel runs only at wake steps — a scheduled arrival / finish /
+        expiry (the shared event heap), or a delivered-power crossing
+        of its wake thresholds in normalized space (the same exact
+        thresholds :meth:`Datacenter._norm_bounds` gives the per-site
+        span kernel, so the wake pattern — and therefore every column
+        and telemetry value — is bit-identical to per-site runs).
+        """
+        batch = BatchedDispatch([r.state.dispatcher for r in group])
+        s = len(group)
+        kernels = [r.state.kernel for r in group]
+        dcs = [r.datacenter for r in group]
+        norm_fns = [dc.power_model.norm_for_cores for dc in dcs]
+        budget_fns = [dc.power_model.core_budget for dc in dcs]
+        demand = np.zeros(s)
+        lo = np.full(s, -np.inf)
+        up = np.full(s, np.inf)
+        # Every site wakes at step 0, like the per-site engine's first
+        # iteration; the heap keys (step, group index).
+        events: list[tuple[int, int]] = [(0, g) for g in range(s)]
+        for t in range(n):
+            due: list[int] = []
+            while events and events[0][0] <= t:
+                _, g = heappop(events)
+                due.append(g)
+                # Event steps dispatch against the step's own demand —
+                # arrivals and finish buckets included — exactly as
+                # the per-site wake iteration does; between wakes the
+                # window demand set below carries.
+                demand[g] = norm_fns[g](kernels[g].demand_at(t))
+            delivered = batch.step_many(t, demand)
+            clipped = np.clip(delivered, 0.0, 1.0)
+            crossing = (clipped < lo) | (clipped >= up)
+            if not due and not crossing.any():
+                continue
+            wakers = set(due)
+            wakers.update(np.flatnonzero(crossing).tolist())
+            for g in sorted(wakers):
+                kernel = kernels[g]
+                kernel.step_wake(t, budget_fns[g](float(clipped[g])))
+                group[g].processed_steps.append(t)
+                demand[g] = max(norm_fns[g](kernel.window_demand()), 0.0)
+                lo_n, up_n = dcs[g]._norm_bounds(*kernel.wake_bounds())
+                lo[g] = -np.inf if lo_n is None else lo_n
+                up[g] = np.inf if up_n is None else up_n
+                nxt = kernel.next_event()
+                if nxt < n:
+                    heappush(events, (nxt, g))
+        batch.finalize()
+        # Power columns come straight from the delivered matrix, budget
+        # rows through the same clip + budget series the per-site
+        # engine applies step by step.
+        for g, run in enumerate(group):
+            cols = run.state.cols
+            clipped_row = np.clip(
+                run.state.dispatcher.evaluation.delivered, 0.0, 1.0
+            )
+            cols.norm_power[:] = clipped_row
+            cols.core_budget[:] = dcs[g]._budget_series(clipped_row)
         self._finalize_group(n, group)
 
     @staticmethod
@@ -394,12 +430,12 @@ class FleetEngine:
         """Forward-fill every skipped step from the processed ones.
 
         A skipped step carries the state of the last processed step —
-        which :meth:`Datacenter._step` already wrote into its own
-        column slot — so the fill is ``np.repeat`` of the processed
-        steps' values over the gaps up to the next processed step.
-        Steps before the first wake keep the zero initialization
-        (nothing admitted or running yet), matching the per-site
-        engine's initial-state fill.
+        which the step kernel already wrote into its own column slot —
+        so the fill is ``np.repeat`` of the processed steps' values
+        over the gaps up to the next processed step.  Steps before the
+        first wake keep the zero initialization (nothing admitted or
+        running yet), matching the per-site engine's initial-state
+        fill.
         """
         for run in group:
             proc = run.processed_steps

@@ -9,10 +9,14 @@ budgets through its own path now shares this one:
   evaluation producing :class:`SupplyEvaluation` telemetry.
 - :class:`BatteryDispatch` / :class:`GridFirmPower` — stateful top-ups
   with SoC / budget dynamics.
+- :class:`BatchedDispatch` — the fleet engine's vectorized closed-loop
+  dispatch: S same-length sites advanced in one array program per
+  step, bit-identical to S scalar dispatchers.
 - :class:`SupplySpec` — the serializable, content-hashable form used
   by `experiments.Scenario` and the CLI.
 """
 
+from .batch import BatchedDispatch
 from .components import (
     BatteryDispatch,
     BatteryState,
@@ -29,6 +33,7 @@ from .stack import (
 )
 
 __all__ = [
+    "BatchedDispatch",
     "BatteryDispatch",
     "BatteryState",
     "DEFAULT_BATTERY_HOURS",

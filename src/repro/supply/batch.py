@@ -1,0 +1,273 @@
+"""Batched closed-loop supply dispatch: many sites, one array program.
+
+:class:`BatchedDispatch` advances the closed-loop battery / grid-budget
+dynamics of *S* same-grid-length sites in one ``(S,)``-shaped update per
+step, instead of S scalar :meth:`SupplyDispatcher.dispatch` calls.  The
+fleet engine uses it to keep closed-loop sites inside its columnar
+program: per step, one vectorized dispatch advances every site's supply
+state, and only sites whose delivered power crosses a wake threshold
+(or that have a scheduled arrival / finish / expiry) run their step
+kernel.
+
+Bit-identity with the scalar path is a hard contract (the golden tests
+compare batched fleet runs against per-site closed-loop runs bitwise),
+maintained by construction:
+
+* Every elementwise operation mirrors the scalar dispatch operation for
+  operation — same multiplies, same divides, same min/max order — so
+  IEEE-754 rounding is identical lane by lane.
+* Both branches of each component (charge/discharge, draw/skip) are
+  computed for all lanes and selected with ``np.where``; the discarded
+  branch's values never feed back into state, and no reachable input
+  produces a NaN that could leak through the selection.
+* Inactive grid lanes add ``+0.0`` to their balance, which is exact:
+  a balance entering the grid stage is never ``-0.0`` (it starts as
+  ``base - demand``, which is ``+0.0`` when they cancel, and battery
+  deltas can only keep it signed-positive-zero), so ``x + 0.0 == x``
+  bit for bit.
+* Telemetry uses the same strict sign tests (``< 0.0`` / ``> 0.0``) as
+  the scalar accumulators, and slots accumulate in component order.
+
+Heterogeneous stacks batch too: slot ``k`` processes the ``k``-th
+component of every site that has one, partitioned by component type
+into battery and grid lanes with per-slot site-index arrays.  Sites
+whose stacks contain anything other than the two shipped component
+types cannot be batched (their ``step`` may differ) — the fleet routes
+them through the per-site engine; :meth:`BatchedDispatch.supports`
+answers the eligibility question.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .components import BatteryDispatch, GridFirmPower
+from .stack import SupplyDispatcher
+
+__all__ = ["BatchedDispatch"]
+
+
+class _BatteryLanes:
+    """One slot's battery lanes: SoA state + parameters."""
+
+    __slots__ = ("idx", "soc", "cap", "maxp", "eff", "h", "states")
+
+    def __init__(self, members, step_hours):
+        self.idx = np.array([i for i, _, _ in members])
+        self.soc = np.array([s.soc_mwh for _, _, s in members])
+        self.cap = np.array([c.capacity_mwh for _, c, _ in members])
+        self.maxp = np.array([c.max_power_mw for _, c, _ in members])
+        self.eff = np.array([c.efficiency for _, c, _ in members])
+        self.h = step_hours[self.idx]
+        self.states = [s for _, _, s in members]
+
+
+class _GridLanes:
+    """One slot's grid lanes: SoA state + parameters."""
+
+    __slots__ = ("idx", "remaining", "maxp", "h", "states")
+
+    def __init__(self, members, step_hours):
+        self.idx = np.array([i for i, _, _ in members])
+        self.remaining = np.array([s.remaining_mwh for _, _, s in members])
+        self.maxp = np.array([
+            np.inf if c.max_power_mw is None else c.max_power_mw
+            for _, c, _ in members
+        ])
+        self.h = step_hours[self.idx]
+        self.states = [s for _, _, s in members]
+
+
+class BatchedDispatch:
+    """Vectorized closed-loop dispatch over many bound dispatchers.
+
+    Rebinds every dispatcher's :class:`SupplyEvaluation` telemetry
+    arrays to rows of shared site-major ``(S, n)`` matrices, so per-step
+    writes are one column store per series and each site's evaluation
+    ends the run already filled — no copy-out.
+
+    Args:
+        dispatchers: One bound :class:`SupplyDispatcher` per site.  All
+            must be batchable (:meth:`supports`) and share one grid
+            length.
+    """
+
+    def __init__(self, dispatchers: Sequence[SupplyDispatcher]):
+        if not dispatchers:
+            raise ConfigurationError("batched dispatch needs sites")
+        for d in dispatchers:
+            if not self.supports(d):
+                raise ConfigurationError(
+                    "batched dispatch supports only BatteryDispatch / "
+                    "GridFirmPower stacks"
+                )
+        self._dispatchers = tuple(dispatchers)
+        self._capacity = np.array([d.capacity_mw for d in dispatchers])
+        self._h = np.array([d.step_hours for d in dispatchers])
+        self._base = np.vstack([d.base_mw_series() for d in dispatchers])
+        base = self._base
+        s, n = base.shape
+        self.n_sites = s
+        self.n = n
+        # Shared site-major telemetry; delivered rows keep each site's
+        # un-dispatched default (the base values), as the scalar
+        # evaluation does.
+        self._delivered = np.vstack(
+            [d.evaluation.delivered for d in dispatchers]
+        )
+        self._soc = np.zeros((s, n))
+        self._charge = np.zeros((s, n))
+        self._discharge = np.zeros((s, n))
+        self._grid_import = np.zeros((s, n))
+        self._curtailed = np.zeros((s, n))
+        for i, d in enumerate(dispatchers):
+            ev = d.evaluation
+            ev.delivered = self._delivered[i]
+            ev.soc_mwh = self._soc[i]
+            ev.charge_mwh = self._charge[i]
+            ev.discharge_mwh = self._discharge[i]
+            ev.grid_import_mwh = self._grid_import[i]
+            ev.curtailed_mwh = self._curtailed[i]
+        # Slot k holds the k-th component of every site that has one,
+        # split into battery and grid lanes (dispatch order = slot
+        # order; lanes within a slot belong to distinct sites, so their
+        # relative order is immaterial).
+        self._slots: list[tuple[_BatteryLanes | None, _GridLanes | None]]
+        self._slots = []
+        max_slots = max(len(d.components) for d in dispatchers)
+        for k in range(max_slots):
+            batteries = []
+            grids = []
+            for i, d in enumerate(dispatchers):
+                if k >= len(d.components):
+                    continue
+                component = d.components[k]
+                state = d.states[k]
+                if type(component) is BatteryDispatch:
+                    batteries.append((i, component, state))
+                else:
+                    grids.append((i, component, state))
+            self._slots.append((
+                _BatteryLanes(batteries, self._h) if batteries else None,
+                _GridLanes(grids, self._h) if grids else None,
+            ))
+
+    @staticmethod
+    def supports(dispatcher: SupplyDispatcher) -> bool:
+        """True when every component has the exact shipped types.
+
+        Subclasses are excluded — an overridden ``step`` would
+        invalidate the inlined arithmetic, exactly as in
+        :meth:`SupplyDispatcher.advance_span`.
+        """
+        return all(
+            type(c) in (BatteryDispatch, GridFirmPower)
+            for c in dispatcher.components
+        )
+
+    def step_many(self, t: int, demand_norm: np.ndarray) -> np.ndarray:
+        """Dispatch step ``t`` for every site at once.
+
+        Args:
+            t: Grid index being processed (sites advance in lockstep).
+            demand_norm: Normalized demand per site, shape ``(S,)``.
+
+        Returns:
+            Normalized delivered power per site (after the
+            covered-demand ulp clamp, before any [0, 1] clip) — exactly
+            what S scalar :meth:`SupplyDispatcher.dispatch` calls would
+            return.
+        """
+        capacity = self._capacity
+        base_mw = self._base[:, t]
+        demand = np.maximum(demand_norm, 0.0)
+        demand_mw = demand * capacity
+        balance = base_mw - demand_mw
+        covered = balance >= 0.0
+        delivered_mw = base_mw.copy()
+        s = self.n_sites
+        soc_t = np.zeros(s)
+        charge_t = np.zeros(s)
+        discharge_t = np.zeros(s)
+        import_t = np.zeros(s)
+        for battery, grid in self._slots:
+            if battery is not None:
+                idx = battery.idx
+                bal = balance[idx]
+                h = battery.h
+                soc = battery.soc
+                surplus = bal >= 0.0
+                # Charge branch (BatteryDispatch.step, surplus side).
+                charge_mwh = np.minimum(
+                    np.minimum(bal, battery.maxp) * h, battery.cap - soc
+                )
+                soc_chg = soc + charge_mwh
+                delta_chg = -charge_mwh / h
+                # Discharge branch (deficit side).
+                discharge_mwh = np.minimum(
+                    np.minimum(-bal, battery.maxp) * h, soc * battery.eff
+                )
+                soc_dis = soc - discharge_mwh / battery.eff
+                delta_dis = discharge_mwh / h
+                delta = np.where(surplus, delta_chg, delta_dis)
+                new_soc = np.where(surplus, soc_chg, soc_dis)
+                battery.soc = new_soc
+                balance[idx] = bal + delta
+                delivered_mw[idx] += delta
+                dh = delta * h
+                charge_t[idx] += np.where(delta < 0.0, -dh, 0.0)
+                discharge_t[idx] += np.where(delta > 0.0, dh, 0.0)
+                soc_t[idx] += new_soc
+            if grid is not None:
+                idx = grid.idx
+                bal = balance[idx]
+                h = grid.h
+                remaining = grid.remaining
+                active = (bal < 0.0) & (remaining > 0.0)
+                draw_mwh = np.minimum(
+                    np.minimum(-bal, grid.maxp) * h, remaining
+                )
+                delta = np.where(active, draw_mwh / h, 0.0)
+                grid.remaining = np.where(
+                    active, remaining - draw_mwh, remaining
+                )
+                # Inactive lanes add +0.0 — exact, since a reachable
+                # balance is never -0.0 (see module docstring).
+                balance[idx] = bal + delta
+                delivered_mw[idx] += delta
+                import_t[idx] += np.where(delta > 0.0, delta * h, 0.0)
+        self._soc[:, t] = soc_t
+        self._charge[:, t] = charge_t
+        self._discharge[:, t] = discharge_t
+        self._grid_import[:, t] = import_t
+        h_all = self._h
+        self._curtailed[:, t] = np.where(
+            balance > 0.0, balance * h_all, 0.0
+        )
+        delivered = delivered_mw / capacity
+        # The covered-demand ulp clamp, as scalar dispatch applies it.
+        clamp = covered & (delivered < demand)
+        if clamp.any():
+            delivered = np.where(clamp, demand, delivered)
+        self._delivered[:, t] = delivered
+        return delivered
+
+    def finalize(self) -> None:
+        """Write the advanced lane state back into the component states.
+
+        The telemetry matrices are already each site's evaluation (rows
+        were rebound at construction); only the mutable component
+        states need syncing for anything that inspects them post-run.
+        """
+        for battery, grid in self._slots:
+            if battery is not None:
+                soc = battery.soc
+                for j, state in enumerate(battery.states):
+                    state.soc_mwh = float(soc[j])
+            if grid is not None:
+                remaining = grid.remaining
+                for j, state in enumerate(grid.states):
+                    state.remaining_mwh = float(remaining[j])

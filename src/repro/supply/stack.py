@@ -139,6 +139,24 @@ class SupplyDispatcher:
         self._step_hours = trace.grid.step_hours
         # Un-dispatched steps (none, in a full run) default to base.
         self.evaluation = SupplyEvaluation(np.array(trace.values))
+        # Span kernel support: the scalar window loop specializes the
+        # two shipped component types; anything else (subclasses too —
+        # their ``step`` may differ) falls back to per-step dispatch.
+        self._span_specialized = all(
+            type(c) in (BatteryDispatch, GridFirmPower)
+            for c in stack.components
+        )
+        self._values_list: list[float] | None = None
+
+    @property
+    def components(self) -> tuple[SupplyComponent, ...]:
+        """The stack's components, in dispatch order."""
+        return self._components
+
+    @property
+    def states(self) -> list[object]:
+        """Mutable per-component dispatch states (same order)."""
+        return self._states
 
     def dispatch(self, step: int, demand_norm: float) -> float:
         """Deliver power for one step given the site's current demand.
@@ -187,6 +205,183 @@ class SupplyDispatcher:
             delivered = demand_norm
         ev.delivered[step] = delivered
         return delivered
+
+    def advance_span(
+        self,
+        start: int,
+        stop: int,
+        demand_norm: float,
+        lo_norm: float | None,
+        up_norm: float | None,
+    ) -> tuple[list[float], bool]:
+        """Dispatch a constant-demand window, halting at a wake crossing.
+
+        The closed-loop event engines know demand is constant between
+        site events, so a whole window of dispatches differs only in
+        the base generation — a tight scalar loop with the component
+        arithmetic inlined, instead of one :meth:`dispatch` call (and
+        five attribute hops) per step.  Steps ``start .. stop-1`` are
+        dispatched in order; the loop stops *after* the first step
+        whose clipped delivered power crosses the wake thresholds
+        (``< lo_norm``: the budget would drop below running cores;
+        ``>= up_norm``: it could resume or launch work).  Telemetry for
+        every dispatched step — including the crossing step — is
+        written exactly as :meth:`dispatch` would.
+
+        Args:
+            start: First step to dispatch (inclusive).
+            stop: One past the last step the window may cover.
+            demand_norm: The window's constant normalized demand.
+            lo_norm: Wake when clipped delivered drops below this
+                (``None`` disables — nothing is running).
+            up_norm: Wake when clipped delivered reaches this (``None``
+                disables — nothing can resume or launch).
+
+        Returns:
+            ``(deliveries, crossed)``: the raw delivered values (before
+            the engine's [0, 1] clip) for the dispatched prefix, and
+            whether the last one crossed a threshold (making its step a
+            wake the caller must process).
+        """
+        if stop <= start:
+            return [], False
+        demand_norm = max(demand_norm, 0.0)
+        lo = -np.inf if lo_norm is None else lo_norm
+        up = np.inf if up_norm is None else up_norm
+        if not self._span_specialized:
+            return self._advance_span_generic(
+                start, stop, demand_norm, lo, up
+            )
+        h = self._step_hours
+        capacity = self._capacity_mw
+        demand_mw = demand_norm * capacity
+        vals = self._values_list
+        if vals is None:
+            vals = self._values_list = np.asarray(
+                self._values, dtype=float
+            ).tolist()
+        # (kind, mutable energy state, params...): battery rows carry
+        # [0, soc_mwh, capacity_mwh, max_power_mw, efficiency]; grid
+        # rows [1, remaining_mwh, max_power_mw-or-inf].  min(x, inf)
+        # returns x bit-for-bit, so an unlimited grid needs no branch.
+        plan: list[list[float]] = []
+        for component, state in zip(self._components, self._states):
+            if type(component) is BatteryDispatch:
+                plan.append([
+                    0, state.soc_mwh, component.capacity_mwh,
+                    component.max_power_mw, component.efficiency,
+                ])
+            else:
+                limit = component.max_power_mw
+                plan.append([
+                    1, state.remaining_mwh,
+                    np.inf if limit is None else limit,
+                ])
+        del_buf: list[float] = []
+        soc_buf: list[float] = []
+        chg_buf: list[float] = []
+        dis_buf: list[float] = []
+        imp_buf: list[float] = []
+        cur_buf: list[float] = []
+        crossed = False
+        for t in range(start, stop):
+            base_mw = vals[t] * capacity
+            balance = base_mw - demand_mw
+            covered = balance >= 0.0
+            delivered_mw = base_mw
+            soc_t = 0.0
+            chg_t = 0.0
+            dis_t = 0.0
+            imp_t = 0.0
+            for row in plan:
+                if row[0] == 0:
+                    # BatteryDispatch.step, inlined operation for
+                    # operation (bit-identical accounting).
+                    soc = row[1]
+                    if balance >= 0.0:
+                        surplus_mw = min(balance, row[3])
+                        headroom_mwh = row[2] - soc
+                        charge_mwh = min(surplus_mw * h, headroom_mwh)
+                        row[1] = soc + charge_mwh
+                        delta = -charge_mwh / h
+                    else:
+                        deficit_mw = min(-balance, row[3])
+                        deliverable_mwh = soc * row[4]
+                        discharge_mwh = min(deficit_mw * h, deliverable_mwh)
+                        row[1] = soc - discharge_mwh / row[4]
+                        delta = discharge_mwh / h
+                    balance += delta
+                    delivered_mw += delta
+                    if delta < 0.0:
+                        chg_t -= delta * h
+                    elif delta > 0.0:
+                        dis_t += delta * h
+                    soc_t += row[1]
+                else:
+                    # GridFirmPower.step, inlined.
+                    remaining = row[1]
+                    if balance >= 0.0 or remaining <= 0.0:
+                        continue
+                    draw_mw = min(-balance, row[2])
+                    draw_mwh = min(draw_mw * h, remaining)
+                    row[1] = remaining - draw_mwh
+                    delta = draw_mwh / h
+                    balance += delta
+                    delivered_mw += delta
+                    if delta > 0.0:
+                        imp_t += delta * h
+            soc_buf.append(soc_t)
+            chg_buf.append(chg_t)
+            dis_buf.append(dis_t)
+            imp_buf.append(imp_t)
+            cur_buf.append(balance * h if balance > 0.0 else 0.0)
+            delivered = delivered_mw / capacity
+            if covered and delivered < demand_norm:
+                delivered = demand_norm  # the ulp clamp, as dispatch()
+            del_buf.append(delivered)
+            clipped = delivered
+            if clipped < 0.0:
+                clipped = 0.0
+            elif clipped > 1.0:
+                clipped = 1.0
+            if clipped < lo or clipped >= up:
+                crossed = True
+                break
+        # Sync the component states the inlined loop advanced.
+        for row, state in zip(plan, self._states):
+            if row[0] == 0:
+                state.soc_mwh = row[1]
+            else:
+                state.remaining_mwh = row[1]
+        end = start + len(del_buf)
+        ev = self.evaluation
+        ev.delivered[start:end] = del_buf
+        ev.soc_mwh[start:end] = soc_buf
+        ev.charge_mwh[start:end] = chg_buf
+        ev.discharge_mwh[start:end] = dis_buf
+        ev.grid_import_mwh[start:end] = imp_buf
+        ev.curtailed_mwh[start:end] = cur_buf
+        return del_buf, crossed
+
+    def _advance_span_generic(
+        self, start: int, stop: int, demand_norm: float,
+        lo: float, up: float,
+    ) -> tuple[list[float], bool]:
+        """Per-step :meth:`dispatch` fallback for exotic components.
+
+        Same contract as :meth:`advance_span`; used when a component is
+        not exactly one of the two shipped types (subclasses included —
+        an overridden ``step`` would invalidate the inlined arithmetic).
+        """
+        del_buf: list[float] = []
+        dispatch = self.dispatch
+        for t in range(start, stop):
+            delivered = dispatch(t, demand_norm)
+            del_buf.append(delivered)
+            clipped = min(max(delivered, 0.0), 1.0)
+            if clipped < lo or clipped >= up:
+                return del_buf, True
+        return del_buf, False
 
     # ------------------------------------------------------------------
     # Skip-ahead support (the closed-loop event engines)

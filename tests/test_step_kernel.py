@@ -1,0 +1,294 @@
+"""Golden tests for the SoA step kernel (``engine="soa"``).
+
+:class:`repro.cluster.kernel.StepKernel` re-implements the five
+``Datacenter._step`` phases over structure-of-arrays state — VM and
+server attributes as parallel arrays indexed by integers instead of
+object graphs.  The object model stays the golden reference: these
+tests pin the kernel bit-identical (per-step columns, event logs,
+supply telemetry, summaries) across allocation policies, eviction
+orders, power models, pause behaviour, and open/closed supply loops.
+
+Also here: the closed-form launch-wake-threshold inversion
+(:func:`repro.cluster.admission.min_budget_for_cap`) pinned against a
+reference scan, and the ``sim.phase.*`` timing counters.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cluster import (
+    ClusterSpec,
+    Datacenter,
+    DatacenterConfig,
+    ServerSpec,
+)
+from repro.cluster.admission import min_budget_for_cap
+from repro.cluster.datacenter import StepColumns
+from repro.cluster.migration import EvictionOrder
+from repro.supply import BatteryDispatch, GridFirmPower, SupplyStack
+from repro.traces import PowerTrace
+from repro.units import TimeGrid
+from repro.workload import VMClass, VMRequest, VMType
+
+START = datetime(2020, 5, 1)
+
+VM_TYPES = (
+    VMType("D2", 2, 8.0),
+    VMType("D4", 4, 16.0),
+    VMType("D8", 8, 32.0),
+    VMType("D16", 16, 64.0),
+)
+
+SUPPLY_FIELDS = (
+    "delivered",
+    "soc_mwh",
+    "charge_mwh",
+    "discharge_mwh",
+    "grid_import_mwh",
+    "curtailed_mwh",
+)
+
+
+def make_trace(values):
+    grid = TimeGrid(START, timedelta(minutes=15), len(values))
+    return PowerTrace(grid, np.asarray(values, dtype=float), "t", "wind")
+
+
+def random_scenario(seed, n=2000, n_requests=2000, **config_overrides):
+    """Noisy diurnal power with dead spans plus random arrivals."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    values = np.clip(
+        0.5 + 0.45 * np.sin(2 * np.pi * t / 96) + rng.normal(0, 0.08, n),
+        0.0,
+        1.0,
+    )
+    values[(t % 500) < 30] = 0.0
+    trace = make_trace(values)
+    defaults = dict(
+        cluster=ClusterSpec(n_servers=40, server=ServerSpec()),
+        queue_patience_steps=12,
+    )
+    defaults.update(config_overrides)
+    config = DatacenterConfig(**defaults)
+    requests = []
+    for vm_id in range(n_requests):
+        arrival = int(rng.integers(0, n))
+        lifetime = int(rng.integers(1, 300))
+        vm_type = VM_TYPES[rng.integers(0, len(VM_TYPES))]
+        vm_class = (
+            VMClass.STABLE if rng.random() < 0.6 else VMClass.DEGRADABLE
+        )
+        requests.append(
+            VMRequest(vm_id, arrival, lifetime, vm_type, vm_class)
+        )
+    return config, trace, requests
+
+
+def assert_identical(got, want) -> None:
+    for column in StepColumns.__slots__[1:]:
+        np.testing.assert_array_equal(
+            getattr(got.columns, column),
+            getattr(want.columns, column),
+            err_msg=f"column {column} differs",
+        )
+    assert list(got.events) == list(want.events)
+    assert (got.supply is None) == (want.supply is None)
+    if got.supply is not None:
+        for field in SUPPLY_FIELDS:
+            np.testing.assert_array_equal(
+                np.asarray(getattr(got.supply, field)),
+                np.asarray(getattr(want.supply, field)),
+                err_msg=f"supply {field} differs",
+            )
+    assert got.summary_dict() == want.summary_dict()
+
+
+def run_engines(config, trace, requests, engines=("soa", "event"), **dc_kw):
+    return [
+        Datacenter(config, trace, **dc_kw).run(requests, engine=engine)
+        for engine in engines
+    ]
+
+
+class TestOpenLoopGolden:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_scenarios_match_event_and_dense(self, seed):
+        soa, event, dense = run_engines(
+            *random_scenario(seed), engines=("soa", "event", "dense")
+        )
+        assert_identical(soa, event)
+        assert_identical(soa, dense)
+
+    @pytest.mark.parametrize(
+        "allocation", ["bestfit", "firstfit", "worstfit"]
+    )
+    def test_allocation_policies(self, allocation):
+        soa, event = run_engines(*random_scenario(4, allocation=allocation))
+        assert_identical(soa, event)
+
+    @pytest.mark.parametrize(
+        "order",
+        [
+            EvictionOrder.FIRST_PLACED,
+            EvictionOrder.LARGEST_CORES,
+            EvictionOrder.SMALLEST_MEMORY,
+        ],
+    )
+    @pytest.mark.parametrize("pause", [False, True])
+    def test_eviction_orders(self, order, pause):
+        soa, event = run_engines(
+            *random_scenario(
+                5, eviction_order=order, pause_degradable=pause
+            )
+        )
+        assert_identical(soa, event)
+
+    def test_server_granular_power_model(self):
+        soa, event = run_engines(*random_scenario(6, power_model="server"))
+        assert_identical(soa, event)
+
+    def test_static_utilization_cap(self):
+        soa, event = run_engines(
+            *random_scenario(7, power_relative_admission=False)
+        )
+        assert_identical(soa, event)
+
+
+def battery_stack() -> SupplyStack:
+    return SupplyStack(
+        components=(BatteryDispatch(capacity_mwh=4.0, max_power_mw=2.0),)
+    )
+
+
+def grid_stack() -> SupplyStack:
+    return SupplyStack(
+        components=(GridFirmPower(budget_mwh=400.0, max_power_mw=1.5),)
+    )
+
+
+def battery_grid_stack() -> SupplyStack:
+    return SupplyStack(
+        components=(
+            BatteryDispatch(
+                capacity_mwh=2.5, max_power_mw=1.5, efficiency=0.9
+            ),
+            GridFirmPower(budget_mwh=300.0, max_power_mw=1.0),
+        )
+    )
+
+
+class TestClosedLoopGolden:
+    @pytest.mark.parametrize(
+        "stack_factory", [battery_stack, grid_stack, battery_grid_stack]
+    )
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_stacks_match_event(self, stack_factory, seed):
+        config, trace, requests = random_scenario(seed)
+        soa, event = run_engines(
+            config, trace, requests,
+            supply=stack_factory(), supply_mode="closed",
+        )
+        assert_identical(soa, event)
+
+    def test_battery_matches_dense(self):
+        config, trace, requests = random_scenario(2)
+        soa, dense = run_engines(
+            config, trace, requests, engines=("soa", "dense"),
+            supply=battery_stack(), supply_mode="closed",
+        )
+        assert_identical(soa, dense)
+
+    def test_server_power_model(self):
+        config, trace, requests = random_scenario(3, power_model="server")
+        soa, event = run_engines(
+            config, trace, requests,
+            supply=battery_grid_stack(), supply_mode="closed",
+        )
+        assert_identical(soa, event)
+
+
+def reference_min_budget(need: int, util: float, total: int) -> int:
+    """The historical inversion: scan budgets upward from zero."""
+    b = 0
+    while int(util * min(b, total)) < need:
+        b += 1
+    return b
+
+
+class TestMinBudgetForCap:
+    @pytest.mark.parametrize(
+        "util",
+        [0.1, 0.25, 1 / 3, 0.5, 0.7, 0.7000000000000001, 0.9, 0.99, 1.0],
+    )
+    @pytest.mark.parametrize("total", [10, 160])
+    def test_matches_reference_scan_exhaustively(self, util, total):
+        cap = int(util * total)
+        for need in range(cap + 1):
+            assert min_budget_for_cap(need, util, total) == (
+                reference_min_budget(need, util, total)
+            ), (need, util, total)
+
+    def test_large_cluster_sampled(self):
+        rng = np.random.default_rng(11)
+        total = 5120
+        for util in (0.3, 0.7, 0.85):
+            cap = int(util * total)
+            needs = set(rng.integers(0, cap + 1, size=60).tolist())
+            needs.update((0, 1, cap - 1, cap))
+            for need in needs:
+                assert min_budget_for_cap(need, util, total) == (
+                    reference_min_budget(need, util, total)
+                ), (need, util, total)
+
+    def test_nonpositive_need_is_free(self):
+        assert min_budget_for_cap(0, 0.7, 100) == 0
+        assert min_budget_for_cap(-5, 0.7, 100) == 0
+
+
+class TestPhaseTimers:
+    def test_disabled_without_observability(self):
+        config, trace, requests = random_scenario(0, n=300, n_requests=200)
+        dc = Datacenter(config, trace)
+        dc.run(requests, engine="event")
+        # No sink active: the timer-free fast path stays armed off.
+        assert dc._phase_seconds is None
+
+    @pytest.mark.parametrize("engine", ["dense", "event", "soa"])
+    def test_counters_emitted_per_phase(self, engine):
+        config, trace, requests = random_scenario(1, n=400, n_requests=400)
+        with obs.use(obs.MemorySink()) as mem:
+            Datacenter(config, trace).run(requests, engine=engine)
+        counters = {
+            r["name"]: r["value"]
+            for r in mem.metrics()
+            if r["name"].startswith("sim.phase.")
+        }
+        expected = {
+            f"sim.phase.{phase}_us" for phase in Datacenter.PHASE_NAMES
+        }
+        assert set(counters) == expected
+        assert all(v >= 0 for v in counters.values())
+        # Work happened, so the phases cannot all be zero-cost.
+        assert sum(counters.values()) > 0
+
+    def test_counters_render_in_report(self):
+        config, trace, requests = random_scenario(2, n=300, n_requests=300)
+        with obs.use(obs.MemorySink()) as mem:
+            Datacenter(config, trace).run(requests, engine="soa")
+        text = obs.render_report(mem.records)
+        assert "sim.phase.launches_us" in text
+
+    def test_timed_run_stays_golden(self):
+        # Timers must observe, not perturb: a run under observability
+        # equals the silent run bit for bit.
+        config, trace, requests = random_scenario(3, n=500, n_requests=500)
+        silent = Datacenter(config, trace).run(requests, engine="soa")
+        with obs.use(obs.MemorySink()):
+            timed = Datacenter(config, trace).run(requests, engine="soa")
+        assert_identical(timed, silent)
