@@ -379,3 +379,116 @@ def test_mip_assembly_solve_split(n_sites):
         nnz=timings.nnz,
     )
     assert timings.assembly_s + timings.solve_s <= total_s
+
+
+def _planning_problem(n_sites: int, n_apps: int, n_steps: int = 96):
+    """A tight planning instance: site capacity dips force real
+    displacement decisions, so the solve has actual work per window.
+
+    Arrivals are day-aligned batch campaigns (each app runs inside
+    one 24-step day, like the daily re-solve cadence of the paper's
+    MIP-24h), so a ``window:24`` decomposition is time-separable and
+    the window solves can run in parallel; the gap then measures seam
+    accounting and LP-rounding, not blind placement (EXPERIMENTS.md
+    discusses lookahead sizing for workloads that do span days).
+    """
+    rng = np.random.default_rng(1000 + n_sites)
+    grid = TimeGrid(BENCH_START, grid_days(BENCH_START, 1).step, n_steps)
+    # Fleet-wide renewable lulls (one per ~2 days): each dips ~70% of
+    # the sites at once — a regional weather event.  During a lull the
+    # fleet's aggregate capacity sits near the aggregate stable load,
+    # so displacement is genuinely scarce and the solver objective is
+    # meaningfully nonzero.
+    lulls = []
+    for _ in range(max(1, n_steps // 96)):
+        start = int(rng.integers(0, n_steps - 6))
+        lulls.append((start, rng.random(n_sites) < 0.6))
+    sites = []
+    for i in range(n_sites):
+        caps = np.full(n_steps, 100.0)
+        for start, hit in lulls:
+            if hit[i]:
+                caps[start:start + 6] = float(rng.uniform(10.0, 40.0))
+        sites.append(SiteCapacity(f"s{i}", 100, caps))
+    apps = []
+    n_days = n_steps // 24
+    for a in range(n_apps):
+        day = int(rng.integers(0, n_days))
+        offset = int(rng.integers(0, 12))
+        arrival = day * 24 + offset
+        duration = int(rng.integers(4, min(12, 24 - offset) + 1))
+        cores = int(rng.choice([2, 4, 8]))
+        apps.append(
+            Application(
+                a, arrival, duration, int(rng.integers(3, 20)),
+                VMType(f"T{cores}", cores, cores * 4.0),
+                float(rng.choice([0.5, 1.0])),
+            )
+        )
+    return SchedulingProblem(
+        grid, sites, tuple(apps), bytes_per_core=4 * 2**30
+    )
+
+
+@pytest.mark.parametrize(
+    "n_sites,n_days", [(200, 4), (500, 6)]
+)
+def test_mip_schedule_decomposed(n_sites, n_days):
+    """Monolithic vs decomposed planning at 200/500 sites (ISSUE 8).
+
+    The CI gate lives at 500 sites: the windowed decomposition must
+    finish in <= 0.5x the monolithic wall-clock with the solved
+    objective within 1% of the monolithic optimum.  Uses the relaxed
+    LP (``integer_vms=False``) like the solve-split bench so the
+    monolithic baseline stays CI-sized; the quality gate compares the
+    solver objectives (the placement-level numbers are also recorded,
+    but VM-integerization rounds both modes' placements identically,
+    so the solver objective is the decomposition-attributable signal).
+    The day-aligned workload is time-separable at ``window:24``, so
+    the windowed objective is exact up to solver tolerance — and the
+    monolithic LP's solve cost grows superlinearly with the horizon
+    while the windowed cost grows linearly, which is where the
+    wall-clock gate's headroom comes from.
+    """
+    from repro.sched import placement_objective
+
+    problem = _planning_problem(
+        n_sites, n_apps=n_days * n_sites, n_steps=24 * n_days
+    )
+    mono = MIPScheduler(integer_vms=False, time_limit_s=600.0)
+    p_mono, mono_s = _time_once(lambda: mono.schedule(problem))
+    p_mono.validate_complete(problem)
+
+    deco = MIPScheduler(
+        integer_vms=False, time_limit_s=600.0, decompose="window:24",
+    )
+    p_deco, deco_s = _time_once(lambda: deco.schedule(problem))
+    p_deco.validate_complete(problem)
+
+    timings = deco.last_timings
+    solver_mono = mono.last_timings.objective
+    solver_deco = sum(w.objective for w in timings.windows)
+    gap = (solver_deco - solver_mono) / max(solver_mono, 1.0)
+    _record(
+        f"mip_schedule_{n_sites}sites_decomposed",
+        n_apps=len(problem.apps),
+        n_steps=problem.grid.n,
+        monolithic_s=mono_s,
+        decomposed_s=deco_s,
+        speedup=mono_s / deco_s,
+        solver_objective_monolithic_gb=solver_mono,
+        solver_objective_decomposed_gb=solver_deco,
+        objective_gap=gap,
+        placement_objective_monolithic_gb=placement_objective(
+            problem, p_mono
+        ),
+        placement_objective_decomposed_gb=placement_objective(
+            problem, p_deco
+        ),
+        n_windows=len(timings.windows),
+        fell_back=timings.fell_back,
+    )
+    assert timings.fell_back is False
+    assert gap <= 0.01
+    if n_sites == 500:
+        assert deco_s <= 0.5 * mono_s

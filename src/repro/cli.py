@@ -242,6 +242,11 @@ def _build_parser() -> argparse.ArgumentParser:
     schedule.add_argument(
         "--cores-per-site", type=int, default=28000
     )
+    schedule.add_argument(
+        "--decompose", default=None, metavar="SPEC",
+        help="decompose the MIP policies' solves, e.g."
+        " 'window:24,relax-fix' (see repro.sched.DecomposeSpec)",
+    )
     _add_supply_options(schedule)
 
     sweep = commands.add_parser(
@@ -280,6 +285,11 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("auto", "serial", "thread", "process"),
         default="auto",
         help="executor backend (auto: process when jobs > 1)",
+    )
+    sweep.add_argument(
+        "--decompose", default=None, metavar="SPEC",
+        help="schedule mode: decompose the MIP policies' solves,"
+        " e.g. 'window:24,relax-fix'",
     )
     _add_supply_options(sweep)
     _add_cache_options(sweep)
@@ -467,6 +477,20 @@ def _cmd_forecast(args: argparse.Namespace) -> int:
     return 0
 
 
+def _mip_policies(decompose: str | None) -> tuple[PolicySpec, ...]:
+    """The Table-1 policy trio, optionally with decomposed MIP solves."""
+    return (
+        PolicySpec("Greedy", "greedy"),
+        PolicySpec(
+            "MIP", "mip", time_limit_s=60.0, decompose=decompose
+        ),
+        PolicySpec(
+            "MIP-peak", "mip", peak_weight=50.0, time_limit_s=60.0,
+            decompose=decompose,
+        ),
+    )
+
+
 def _cmd_schedule(args: argparse.Namespace) -> int:
     scenario = Scenario(
         name="cli-schedule",
@@ -479,13 +503,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
             mean_vm_count=40,
             mean_duration_days=max(args.days / 3, 1.0),
         ),
-        policies=(
-            PolicySpec("Greedy", "greedy"),
-            PolicySpec("MIP", "mip", time_limit_s=60.0),
-            PolicySpec(
-                "MIP-peak", "mip", peak_weight=50.0, time_limit_s=60.0
-            ),
-        ),
+        policies=_mip_policies(getattr(args, "decompose", None)),
         compute=ComputeSpec(cores_per_site=args.cores_per_site),
         supply=_supply_from_args(args),
         seed=args.seed,
@@ -553,13 +571,8 @@ def _sweep_scenarios(args: argparse.Namespace) -> list[Scenario]:
                             mean_vm_count=40,
                             mean_duration_days=max(days / 3, 1.0),
                         ),
-                        policies=(
-                            PolicySpec("Greedy", "greedy"),
-                            PolicySpec("MIP", "mip", time_limit_s=60.0),
-                            PolicySpec(
-                                "MIP-peak", "mip", peak_weight=50.0,
-                                time_limit_s=60.0,
-                            ),
+                        policies=_mip_policies(
+                            getattr(args, "decompose", None)
                         ),
                         supply=supply,
                         seed=seed,

@@ -37,7 +37,58 @@ class SchedulingError(ReproError):
 
 
 class SolverError(SchedulingError):
-    """The MIP/LP solver failed or returned an infeasible status."""
+    """The MIP/LP solver failed or returned an infeasible status.
+
+    Carries enough structured context to diagnose a failure from logs
+    alone, which matters once solves are decomposed into windows:
+
+    Attributes:
+        status: The solver's status code (``scipy.optimize.milp``
+            status int, or the HiGHS model-status name), when known.
+        window: Index of the decomposition window that failed, when the
+            failure happened inside a windowed solve.
+        shape: ``(n_rows, n_cols)`` of the constraint matrix that was
+            being solved, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int | str | None = None,
+        window: int | None = None,
+        shape: tuple[int, int] | None = None,
+    ):
+        parts = [message]
+        if status is not None:
+            parts.append(f"status={status}")
+        if window is not None:
+            parts.append(f"window={window}")
+        if shape is not None:
+            parts.append(f"shape={shape[0]}x{shape[1]}")
+        composed = message
+        if len(parts) > 1:
+            composed = f"{parts[0]} [{', '.join(parts[1:])}]"
+        super().__init__(composed)
+        self.message = message
+        self.status = status
+        self.window = window
+        self.shape = shape
+
+    def __reduce__(self):
+        # Keyword-only context would be lost by the default exception
+        # pickling (used when a parallel window solve re-raises across
+        # a process pool), so rebuild through a helper.
+        return (
+            _rebuild_solver_error,
+            (self.message, self.status, self.window, self.shape),
+        )
+
+
+def _rebuild_solver_error(message, status, window, shape):
+    return SolverError(
+        message, status=status, window=window, shape=shape
+    )
 
 
 class ConfigurationError(ReproError):

@@ -47,4 +47,7 @@ DEFAULT_UTILIZATION = 0.70
 #: experiments-4: supply layer — scenarios carry a supply spec (in the
 #: forecast fragment and content hash), so artifacts cached by
 #: supply-unaware code must not collide with the new schema.
-CACHE_CODE_VERSION = "repro-0.1.0/experiments-4"
+#: experiments-5: PolicySpec grows ``decompose`` (windowed/relax-fix
+#: MIP solves); placements cached by decompose-unaware code would
+#: alias the monolithic and decomposed variants of the same policy.
+CACHE_CODE_VERSION = "repro-0.1.0/experiments-5"

@@ -193,6 +193,10 @@ class PolicySpec:
         window_steps: Lookahead per solve (``rolling_mip`` only).
         day_ahead_forecasts: Refresh forecasts at each rolling solve
             (``rolling_mip`` only) instead of slicing the initial ones.
+        decompose: Decomposition spec token for ``"mip"`` policies
+            (e.g. ``"window:24,relax-fix"``), parsed by
+            :meth:`repro.sched.DecomposeSpec.parse`; ``None`` solves
+            monolithically.  Part of the result cache key.
     """
 
     name: str
@@ -201,6 +205,7 @@ class PolicySpec:
     time_limit_s: float = 120.0
     window_steps: int = 24
     day_ahead_forecasts: bool = True
+    decompose: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("greedy", "mip", "rolling_mip"):
@@ -209,6 +214,20 @@ class PolicySpec:
             )
         if not self.name:
             raise ConfigurationError("policy needs a non-empty name")
+        if self.decompose is not None:
+            if self.kind != "mip":
+                raise ConfigurationError(
+                    "decompose applies to 'mip' policies only, got"
+                    f" kind={self.kind!r}"
+                )
+            from ..sched import DecomposeSpec
+
+            try:
+                DecomposeSpec.parse(self.decompose)
+            except Exception as exc:
+                raise ConfigurationError(
+                    f"invalid decompose spec {self.decompose!r}: {exc}"
+                ) from exc
 
     def build(self, capacity_provider=None):
         """Instantiate the scheduler this spec describes.
@@ -236,7 +255,9 @@ class PolicySpec:
                 peak_weight=self.peak_weight,
             )
         return MIPScheduler(
-            peak_weight=self.peak_weight, time_limit_s=self.time_limit_s
+            peak_weight=self.peak_weight,
+            time_limit_s=self.time_limit_s,
+            decompose=self.decompose,
         )
 
 

@@ -41,7 +41,17 @@ from .overhead import (
     evaluate_placement_overhead,
 )
 from .greedy import GreedyScheduler
-from .mip import MIPScheduler, RollingMIPScheduler
+from .mip import (
+    MIPScheduler,
+    MIPTimings,
+    RollingMIPScheduler,
+    WindowTiming,
+)
+from .decompose import (
+    DecomposeSpec,
+    placement_objective,
+    plan_windows,
+)
 from .coscheduler import CoScheduler, CoScheduleOutcome
 from .placement import consolidate_vms_onto_servers
 
@@ -56,7 +66,12 @@ __all__ = [
     "evaluate_placement_overhead",
     "GreedyScheduler",
     "MIPScheduler",
+    "MIPTimings",
+    "WindowTiming",
     "RollingMIPScheduler",
+    "DecomposeSpec",
+    "placement_objective",
+    "plan_windows",
     "CoScheduler",
     "CoScheduleOutcome",
     "consolidate_vms_onto_servers",

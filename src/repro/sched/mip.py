@@ -16,11 +16,24 @@ bytes come from the displaced-stable-cores model of
           total_load(y, s, t) <= allocation_cap[s,t]          (capacity)
           M >= (d+[s,t] + d-[s,t]) * bpc                      (peak, O2)
 
-The epsilon anchor pins ``u`` to the displacement lower bound wherever
-that is slack — except when the peak objective makes it *profitable* to
-raise ``u`` early, which is exactly the paper's observation that
-MIP-peak "migrates VMs preemptively, spreading out migrations over
-time".  Solved with HiGHS via :func:`scipy.optimize.milp`.
+The epsilon anchor keeps ``u`` finite without distorting O1.  Note
+that the optimal ``u`` is *not* the pointwise displacement floor:
+migrating VMs back costs a full ``bpc`` per core while holding them
+displaced costs only ``epsilon`` per step, so with ``peak_weight == 0``
+the optimal plan holds ``u`` at the *running maximum* of the floor
+(displaced VMs never migrate back inside the horizon).  The peak
+objective can additionally make it profitable to raise ``u`` early —
+the paper's observation that MIP-peak "migrates VMs preemptively,
+spreading out migrations over time".  Solved with HiGHS via
+:func:`scipy.optimize.milp`.
+
+Instances too large for one monolithic solve go through
+:mod:`repro.sched.decompose` (``MIPScheduler(decompose=...)``):
+temporal windows with the boundary ``u[s,t]`` carried across seams,
+LP-relax-and-fix, and parallel window solves.  The seam state enters
+the model here as ``initial_displacement`` — the C3 traffic row at
+``t == 0`` becomes ``d+ - d- - u[s,0] = -u_prev[s]``, so a window is
+charged only for displacement *changes* relative to its predecessor.
 
 Constraint assembly is vectorized: every constraint family (C1-C6)
 contributes numpy row/col/val blocks built with broadcasting, and one
@@ -111,12 +124,46 @@ class _Layout:
 
 
 @dataclass(frozen=True)
+class WindowTiming:
+    """Telemetry for one decomposition window (or sub-solve).
+
+    ``gap`` is the certified relax-and-fix optimality gap of that
+    window's solve (``None`` when the window solved monolithically).
+    """
+
+    index: int
+    start: int
+    steps: int
+    n_apps: int
+    assembly_s: float
+    solve_s: float
+    n_rows: int
+    n_cols: int
+    nnz: int
+    objective: float | None = None
+    gap: float | None = None
+    warm_start_used: bool = False
+
+
+@dataclass(frozen=True)
 class MIPTimings:
     """Assembly/solve split of the last :meth:`MIPScheduler.schedule`.
 
     ``warm_start_used`` is True when the solve was seeded with the
     previous round's solution through the direct HiGHS bindings (the
     shape matched and HiGHS accepted the seed).
+
+    For decomposed solves (``MIPScheduler(decompose=...)``):
+
+    - ``mode`` is ``"window"`` or ``"relax-fix"`` (``"monolithic"``
+      otherwise); ``windows`` holds one :class:`WindowTiming` per
+      solved window, and the top-level ``assembly_s`` / ``solve_s`` /
+      ``n_rows`` / ``n_cols`` / ``nnz`` are sums over the windows.
+    - ``objective`` is the O1(+anchor) value of the returned placement
+      (the solver objective for monolithic solves).
+    - ``gap`` is the certified LP-bound gap of a relax-and-fix solve.
+    - ``fell_back`` flags that the decomposed path gave up and the
+      result came from a full monolithic solve.
     """
 
     assembly_s: float
@@ -125,6 +172,11 @@ class MIPTimings:
     n_cols: int
     nnz: int
     warm_start_used: bool = False
+    objective: float | None = None
+    mode: str = "monolithic"
+    gap: float | None = None
+    fell_back: bool = False
+    windows: tuple[WindowTiming, ...] = ()
 
 
 def _active_mask(problem: SchedulingProblem) -> np.ndarray:
@@ -163,12 +215,31 @@ def _allocation_cap_matrix(
     return caps
 
 
+def _boundary_displacement(
+    problem: SchedulingProblem,
+    initial_displacement: Mapping[str, float] | None,
+) -> np.ndarray:
+    """(n_sites,) float: displacement carried in from before step 0."""
+    u0 = np.zeros(len(problem.sites))
+    if initial_displacement is not None:
+        for s, site in enumerate(problem.sites):
+            value = float(initial_displacement.get(site.name, 0.0))
+            if value < 0:
+                raise SolverError(
+                    f"initial displacement for {site.name} must be"
+                    f" >= 0: {value}"
+                )
+            u0[s] = value
+    return u0
+
+
 def _assemble(
     problem: SchedulingProblem,
     layout: _Layout,
     allocation_cap: Mapping[str, np.ndarray] | None,
     stable_background: Mapping[str, np.ndarray] | None,
     previous_assignment: Mapping[int, Mapping[str, int]] | None,
+    initial_displacement: Mapping[str, float] | None = None,
 ) -> tuple[sparse.csr_matrix, np.ndarray, np.ndarray]:
     """Vectorized constraint assembly.
 
@@ -176,6 +247,11 @@ def _assemble(
     once; row numbering matches :func:`_assemble_reference` exactly, and
     no (row, col) pair is emitted twice, so the canonical CSR forms of
     the two builders are identical.
+
+    ``initial_displacement`` is the decomposition seam state: the C3
+    row at ``t == 0`` becomes ``d+ - d- - u[s,0] = -u_prev[s]``, so
+    step 0 is charged only for the displacement *change* relative to
+    the carried-in boundary value.
     """
     apps = problem.apps
     sites = problem.sites
@@ -242,8 +318,12 @@ def _assemble(
     emit(
         r3 + prev_idx, layout.o_u + prev_idx - 1, np.ones(prev_idx.size)
     )
-    lb_blocks.append(np.zeros(ST))
-    ub_blocks.append(np.zeros(ST))
+    bound3 = np.zeros(ST)
+    bound3[s_idx * T] = -_boundary_displacement(
+        problem, initial_displacement
+    )
+    lb_blocks.append(bound3)
+    ub_blocks.append(bound3.copy())
 
     # (C4) allocated cores within the cap: one row per site per step
     # with at least one active app (rank maps step -> row offset).
@@ -309,6 +389,7 @@ def _assemble_reference(
     allocation_cap: Mapping[str, np.ndarray] | None,
     stable_background: Mapping[str, np.ndarray] | None,
     previous_assignment: Mapping[int, Mapping[str, int]] | None,
+    initial_displacement: Mapping[str, float] | None = None,
 ) -> tuple[sparse.csr_matrix, np.ndarray, np.ndarray]:
     """Per-coefficient loop assembly (the original implementation).
 
@@ -369,7 +450,9 @@ def _assemble_reference(
             ub.append(np.inf)
             row += 1
 
-    # (C3) traffic decomposition: dp - dn - u_t + u_{t-1} = 0.
+    # (C3) traffic decomposition: dp - dn - u_t + u_{t-1} = 0, with
+    # the t == 0 row equal to -u_prev when a boundary is carried in.
+    u0 = _boundary_displacement(problem, initial_displacement)
     for s in range(len(sites)):
         for t in range(n_steps):
             add_entry(row, layout.dp(s, t), 1.0)
@@ -377,8 +460,9 @@ def _assemble_reference(
             add_entry(row, layout.u(s, t), -1.0)
             if t > 0:
                 add_entry(row, layout.u(s, t - 1), 1.0)
-            lb.append(0.0)
-            ub.append(0.0)
+            bound = -float(u0[s]) if t == 0 else 0.0
+            lb.append(bound)
+            ub.append(bound)
             row += 1
 
     # (C4) allocated cores within the cap.
@@ -430,6 +514,24 @@ def _assemble_reference(
     return matrix, np.array(lb), np.array(ub)
 
 
+@dataclass
+class _Model:
+    """One assembled MIP instance: matrix, bounds, objective, types."""
+
+    layout: _Layout
+    matrix: sparse.csr_matrix
+    lb: np.ndarray
+    ub: np.ndarray
+    c: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    integrality: np.ndarray
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.matrix.shape
+
+
 class MIPScheduler:
     """O1 (total) site selection, with optional O2 (peak) term.
 
@@ -442,7 +544,7 @@ class MIPScheduler:
         time_limit_s: HiGHS wall-clock limit; a feasible incumbent is
             accepted when the limit strikes.
         mip_rel_gap: Relative optimality gap at which HiGHS may stop.
-        epsilon: Anchor weight pinning u to its lower bound.
+        epsilon: Anchor weight keeping u finite (see module docstring).
         warm_start: Seed each solve with the previous solution when the
             problem shape (rows x cols) is unchanged — the replanning
             case, where solve time dominates assembly 13:1 at 200 sites
@@ -452,6 +554,11 @@ class MIPScheduler:
             ``milp`` solve when they are missing, the shape changed, or
             HiGHS rejects the seed.  :attr:`MIPTimings.warm_start_used`
             reports what actually happened.
+        decompose: Optional decomposition strategy for large instances:
+            a :class:`~repro.sched.decompose.DecomposeSpec` or its
+            string form (e.g. ``"window:24,relax-fix,jobs:4"``, see
+            :meth:`DecomposeSpec.parse`).  ``None`` (default) solves
+            monolithically.
 
     After each :meth:`schedule` call, :attr:`last_timings` holds the
     assembly/solve wall-clock split (:class:`MIPTimings`).
@@ -465,6 +572,7 @@ class MIPScheduler:
         mip_rel_gap: float = 1e-3,
         epsilon: float = 1e-6,
         warm_start: bool = False,
+        decompose: "DecomposeSpec | str | None" = None,
     ):
         if peak_weight < 0:
             raise SolverError(f"peak weight must be >= 0: {peak_weight}")
@@ -476,6 +584,11 @@ class MIPScheduler:
         self.mip_rel_gap = mip_rel_gap
         self.epsilon = epsilon
         self.warm_start = warm_start
+        if isinstance(decompose, str):
+            from .decompose import DecomposeSpec
+
+            decompose = DecomposeSpec.parse(decompose)
+        self.decompose = decompose
         self.last_timings: MIPTimings | None = None
         # Previous solution vector + the (rows, cols) shape it solved,
         # reused as a HiGHS seed only on an exact shape match.
@@ -492,6 +605,7 @@ class MIPScheduler:
         previous_assignment: Mapping[int, Mapping[str, int]]
         | None = None,
         switch_weight: float = 1.0,
+        initial_displacement: Mapping[str, float] | None = None,
     ) -> Placement:
         """Solve the site-selection MIP.
 
@@ -514,6 +628,10 @@ class MIPScheduler:
             switch_weight: Relative weight of reassignment traffic in
                 the objective (1.0 = a planned move costs the same as a
                 forced migration of the same VM).
+            initial_displacement: Optional per-site displaced-core
+                count carried in from before step 0 (the decomposition
+                seam state); step 0 is then charged only for the
+                *change* relative to it.
 
         Returns:
             A complete placement with the planned per-site displacement
@@ -523,118 +641,208 @@ class MIPScheduler:
             raise SolverError(
                 f"switch weight must be >= 0: {switch_weight}"
             )
+        if self.decompose is not None:
+            from .decompose import solve_decomposed
+
+            return solve_decomposed(
+                self,
+                problem,
+                allocation_cap=allocation_cap,
+                stable_background=stable_background,
+                previous_assignment=previous_assignment,
+                switch_weight=switch_weight,
+                initial_displacement=initial_displacement,
+            )
+        with obs.timed_span(
+            "mip.schedule",
+            n_apps=len(problem.apps),
+            n_sites=len(problem.sites),
+            n_steps=problem.grid.n,
+        ):
+            return self._schedule_monolithic(
+                problem,
+                allocation_cap,
+                stable_background,
+                previous_assignment,
+                switch_weight,
+                initial_displacement,
+            )
+
+    def _schedule_monolithic(
+        self,
+        problem: SchedulingProblem,
+        allocation_cap: Mapping[str, np.ndarray] | None = None,
+        stable_background: Mapping[str, np.ndarray] | None = None,
+        previous_assignment: Mapping[int, Mapping[str, int]]
+        | None = None,
+        switch_weight: float = 1.0,
+        initial_displacement: Mapping[str, float] | None = None,
+    ) -> Placement:
+        """One assemble + solve + extract round (no decomposition)."""
+        with obs.timed_span("mip.assemble") as assemble_span:
+            model = self._build_model(
+                problem,
+                allocation_cap,
+                stable_background,
+                previous_assignment,
+                switch_weight,
+                initial_displacement,
+            )
+            assemble_span.set(
+                n_rows=model.shape[0],
+                n_cols=model.shape[1],
+                nnz=model.matrix.nnz,
+            )
+
+        with obs.timed_span("mip.solve") as solve_span:
+            try:
+                x, warm_used, status = self._solve_model(model)
+            except SolverError:
+                self.last_timings = MIPTimings(
+                    assembly_s=assemble_span.wall_s,
+                    solve_s=solve_span.wall_s,
+                    n_rows=model.shape[0],
+                    n_cols=model.shape[1],
+                    nnz=model.matrix.nnz,
+                )
+                raise
+            solve_span.set(status=status, warm_start=warm_used)
+        self.last_timings = MIPTimings(
+            assembly_s=assemble_span.wall_s,
+            solve_s=solve_span.wall_s,
+            n_rows=model.shape[0],
+            n_cols=model.shape[1],
+            nnz=model.matrix.nnz,
+            warm_start_used=warm_used,
+            objective=float(model.c @ x),
+        )
+        return self._extract(problem, model.layout, x)
+
+    def _build_model(
+        self,
+        problem: SchedulingProblem,
+        allocation_cap: Mapping[str, np.ndarray] | None = None,
+        stable_background: Mapping[str, np.ndarray] | None = None,
+        previous_assignment: Mapping[int, Mapping[str, int]]
+        | None = None,
+        switch_weight: float = 1.0,
+        initial_displacement: Mapping[str, float] | None = None,
+    ) -> _Model:
+        """Assemble constraints, objective, bounds, and integrality."""
         apps = problem.apps
         sites = problem.sites
+        n_steps = problem.grid.n
         layout = _Layout(
             len(apps),
             len(sites),
-            problem.grid.n,
+            n_steps,
             self.peak_weight > 0,
             reassign=previous_assignment is not None,
         )
-        n_steps = problem.grid.n
         bpc_gb = problem.bytes_per_core / 1e9
 
-        with obs.timed_span(
-            "mip.schedule",
-            n_apps=len(apps),
-            n_sites=len(sites),
-            n_steps=n_steps,
-        ):
-            with obs.timed_span("mip.assemble") as assemble_span:
-                matrix, lb, ub = _assemble(
-                    problem, layout, allocation_cap, stable_background,
-                    previous_assignment,
-                )
+        matrix, lb, ub = _assemble(
+            problem, layout, allocation_cap, stable_background,
+            previous_assignment, initial_displacement,
+        )
 
-                # Objective.
-                c = np.zeros(layout.n_vars)
-                c[layout.o_dp : layout.o_dn] = bpc_gb
-                c[layout.o_dn : layout.o_dn + len(sites) * n_steps] = (
-                    bpc_gb
-                )
-                c[layout.o_u : layout.o_dp] = self.epsilon * bpc_gb
-                if layout.peak:
-                    c[layout.o_m] = self.peak_weight
-                if layout.reassign:
-                    # Moving a VM into a site it wasn't at costs its
-                    # memory once (m+ counts arrivals; counting one side
-                    # avoids double-charging the same move).
-                    move_gb = np.array(
-                        [app.vm_type.memory_bytes / 1e9 for app in apps]
-                    )
-                    n_pairs = layout.n_apps * layout.n_sites
-                    c[layout.o_mp : layout.o_mp + n_pairs] = (
-                        switch_weight * np.repeat(move_gb, len(sites))
-                    )
-
-                # Bounds and integrality.
-                lower = np.zeros(layout.n_vars)
-                upper = np.full(layout.n_vars, np.inf)
-                upper[: layout.o_u] = np.repeat(
-                    np.array(
-                        [float(app.vm_count) for app in apps]
-                    ),
-                    len(sites),
-                )
-                integrality = np.zeros(layout.n_vars)
-                if self.integer_vms:
-                    integrality[: layout.o_u] = 1
-                assemble_span.set(
-                    n_rows=matrix.shape[0],
-                    n_cols=matrix.shape[1],
-                    nnz=matrix.nnz,
-                )
-
-            with obs.timed_span("mip.solve") as solve_span:
-                x: np.ndarray | None = None
-                warm_used = False
-                if self.warm_start:
-                    seeded = self._solve_highspy(
-                        c, matrix, lb, ub, integrality, lower, upper
-                    )
-                    if seeded is not None:
-                        x, warm_used = seeded
-                if x is None:
-                    result = milp(
-                        c,
-                        constraints=LinearConstraint(matrix, lb, ub),
-                        integrality=integrality,
-                        bounds=Bounds(lower, upper),
-                        options={
-                            "time_limit": self.time_limit_s,
-                            "mip_rel_gap": self.mip_rel_gap,
-                        },
-                    )
-                    solve_span.set(status=int(result.status))
-                    if result.x is None:
-                        self.last_timings = MIPTimings(
-                            assembly_s=assemble_span.wall_s,
-                            solve_s=solve_span.wall_s,
-                            n_rows=matrix.shape[0],
-                            n_cols=matrix.shape[1],
-                            nnz=matrix.nnz,
-                        )
-                        raise SolverError(
-                            f"MIP failed (status {result.status}):"
-                            f" {result.message}"
-                        )
-                    x = result.x
-                else:
-                    solve_span.set(status=0, warm_start=True)
-            self.last_timings = MIPTimings(
-                assembly_s=assemble_span.wall_s,
-                solve_s=solve_span.wall_s,
-                n_rows=matrix.shape[0],
-                n_cols=matrix.shape[1],
-                nnz=matrix.nnz,
-                warm_start_used=warm_used,
+        # Objective.
+        c = np.zeros(layout.n_vars)
+        c[layout.o_dp : layout.o_dn] = bpc_gb
+        c[layout.o_dn : layout.o_dn + len(sites) * n_steps] = bpc_gb
+        c[layout.o_u : layout.o_dp] = self.epsilon * bpc_gb
+        if layout.peak:
+            c[layout.o_m] = self.peak_weight
+        if layout.reassign:
+            # Moving a VM into a site it wasn't at costs its memory
+            # once (m+ counts arrivals; counting one side avoids
+            # double-charging the same move).
+            move_gb = np.array(
+                [app.vm_type.memory_bytes / 1e9 for app in apps]
             )
-            if self.warm_start:
-                self._warm_solution = np.asarray(x, dtype=float)
-                self._warm_shape = matrix.shape
+            n_pairs = layout.n_apps * layout.n_sites
+            c[layout.o_mp : layout.o_mp + n_pairs] = (
+                switch_weight * np.repeat(move_gb, len(sites))
+            )
 
-            return self._extract(problem, layout, x)
+        # Bounds and integrality.
+        lower = np.zeros(layout.n_vars)
+        upper = np.full(layout.n_vars, np.inf)
+        upper[: layout.o_u] = np.repeat(
+            np.array([float(app.vm_count) for app in apps]),
+            len(sites),
+        )
+        integrality = np.zeros(layout.n_vars)
+        if self.integer_vms:
+            integrality[: layout.o_u] = 1
+        return _Model(
+            layout, matrix, lb, ub, c, lower, upper, integrality
+        )
+
+    def _solve_model(
+        self,
+        model: _Model,
+        relax: bool = False,
+        lower: np.ndarray | None = None,
+        upper: np.ndarray | None = None,
+        window: int | None = None,
+    ) -> tuple[np.ndarray, bool, int]:
+        """Solve one assembled model; return ``(x, warm_used, status)``.
+
+        Args:
+            model: The assembled instance.
+            relax: Drop integrality (LP relaxation).
+            lower / upper: Variable-bound overrides (relax-and-fix
+                passes tightened y bounds here).
+            window: Decomposition window index, attached to any
+                :class:`SolverError` for diagnosability.
+
+        Raises:
+            SolverError: when no feasible solution was produced; carries
+                the solver status, the window index, and the problem
+                shape.
+        """
+        integrality = (
+            np.zeros(model.layout.n_vars) if relax else model.integrality
+        )
+        lower = model.lower if lower is None else lower
+        upper = model.upper if upper is None else upper
+        x: np.ndarray | None = None
+        warm_used = False
+        if self.warm_start:
+            seeded = self._solve_highspy(
+                model.c, model.matrix, model.lb, model.ub,
+                integrality, lower, upper,
+            )
+            if seeded is not None:
+                x, warm_used = seeded
+                status = 0
+        if x is None:
+            result = milp(
+                model.c,
+                constraints=LinearConstraint(
+                    model.matrix, model.lb, model.ub
+                ),
+                integrality=integrality,
+                bounds=Bounds(lower, upper),
+                options={
+                    "time_limit": self.time_limit_s,
+                    "mip_rel_gap": self.mip_rel_gap,
+                },
+            )
+            status = int(result.status)
+            if result.x is None:
+                raise SolverError(
+                    f"MIP failed: {result.message}",
+                    status=status,
+                    window=window,
+                    shape=model.shape,
+                )
+            x = result.x
+        if self.warm_start:
+            self._warm_solution = np.asarray(x, dtype=float)
+            self._warm_shape = model.shape
+        return np.asarray(x, dtype=float), warm_used, status
 
     def _solve_highspy(
         self,
@@ -805,96 +1013,46 @@ class RollingMIPScheduler:
         self.window_steps = window_steps
         self.capacity_provider = capacity_provider
         self.mip_kwargs = mip_kwargs
+        #: Per-chunk :class:`MIPTimings` from the last :meth:`schedule`
+        #: call, in chunk order (chunks with no arrivals are skipped).
+        self.last_chunk_timings: tuple[MIPTimings, ...] = ()
 
     def schedule(self, problem: SchedulingProblem) -> Placement:
-        """Run the rolling solves and merge the placements."""
-        from dataclasses import replace
+        """Run the rolling solves and merge the placements.
 
-        from ..workload import Application
-        from .problem import SchedulingProblem as SP, SiteCapacity
+        Note the seam semantics (pinned by the seam tests): committed
+        placements carry across chunks as stable/total *background*,
+        but the displacement state ``u`` does **not** — every chunk
+        starts from ``u = 0`` and re-charges any displacement inherited
+        from its predecessor at its first step.  The decomposition
+        layer (:mod:`repro.sched.decompose`) carries the boundary ``u``
+        instead, which is what makes it objective-exact; this class
+        keeps the paper's plain re-solve-daily semantics.
+        """
+        from .decompose import WindowState, build_window_problem, plan_windows
 
-        n = problem.grid.n
-        assignment: dict[int, dict[str, int]] = {}
-        stable_bg = {name: np.zeros(n) for name in problem.site_names}
-        total_bg = {name: np.zeros(n) for name in problem.site_names}
-
+        state = WindowState(problem)
         # One scheduler serves every chunk so warm-start state (the
         # previous round's solution) survives across re-solves; with
         # warm_start off this is just instance reuse.
         solver = MIPScheduler(**self.mip_kwargs)
-        chunk = self.window_steps
-        for start in range(0, n, chunk):
-            batch = [
-                app
-                for app in problem.apps
-                if start <= app.arrival_step < min(start + chunk, n)
-            ]
-            if not batch:
+        chunk_timings: list[MIPTimings] = []
+        for plan in plan_windows(problem.grid.n, self.window_steps):
+            built = build_window_problem(
+                problem, plan, state,
+                capacity_provider=self.capacity_provider,
+            )
+            if built is None:
                 continue
-            horizon = min(self.window_steps, n - start)
-            # Make sure every batched app's window fits the horizon by
-            # truncating durations to the lookahead (the solver only
-            # reasons about what it can see).
-            shifted: list[Application] = []
-            for app in batch:
-                duration = min(
-                    app.duration_steps, start + horizon - app.arrival_step
-                )
-                shifted.append(
-                    replace(
-                        app,
-                        arrival_step=app.arrival_step - start,
-                        duration_steps=duration,
-                    )
-                )
-            sub_sites = []
-            caps: dict[str, np.ndarray] = {}
-            backgrounds: dict[str, np.ndarray] = {}
-            window = slice(start, start + horizon)
-            for site in problem.sites:
-                if self.capacity_provider is not None:
-                    capacity = np.asarray(
-                        self.capacity_provider(site.name, start, horizon),
-                        dtype=float,
-                    )
-                else:
-                    capacity = site.capacity_cores[window]
-                capacity = np.clip(capacity, 0, site.total_cores)
-                sub_sites.append(
-                    SiteCapacity(site.name, site.total_cores, capacity)
-                )
-                caps[site.name] = np.clip(
-                    problem.utilization_cap * site.total_cores
-                    - total_bg[site.name][window],
-                    0.0,
-                    None,
-                )
-                backgrounds[site.name] = stable_bg[site.name][window]
-            sub_problem = SP(
-                problem.grid.subgrid(start, horizon),
-                tuple(sub_sites),
-                tuple(shifted),
-                problem.bytes_per_core,
-                problem.utilization_cap,
-            )
             sub_placement = solver.schedule(
-                sub_problem,
-                allocation_cap=caps,
-                stable_background=backgrounds,
+                built.problem,
+                allocation_cap=built.caps,
+                stable_background=built.backgrounds,
             )
-            # Merge results and extend the background with the *full*
-            # (untruncated) app windows.
-            for app, sub_app in zip(batch, shifted):
-                per_site = sub_placement.assignment.get(sub_app.app_id, {})
-                assignment[app.app_id] = dict(per_site)
-                for name, count in per_site.items():
-                    window_full = slice(app.arrival_step, app.end_step)
-                    stable_bg[name][window_full] += (
-                        count * app.vm_type.cores * app.stable_fraction
-                    )
-                    total_bg[name][window_full] += (
-                        count * app.vm_type.cores
-                    )
-        placement = Placement(assignment)
+            if solver.last_timings is not None:
+                chunk_timings.append(solver.last_timings)
+            state.commit(built, sub_placement)
+        self.last_chunk_timings = tuple(chunk_timings)
+        placement = Placement(dict(state.assignment))
         placement.validate_complete(problem)
         return placement

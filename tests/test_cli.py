@@ -72,6 +72,17 @@ def test_schedule_report(capsys):
     assert "Greedy" in out and "MIP-peak" in out
 
 
+@pytest.mark.slow
+def test_schedule_decomposed(capsys):
+    code = main(
+        ["schedule", "--days", "2", "--apps", "25", "--seed", "5",
+         "--decompose", "window:24"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Greedy" in out and "MIP-peak" in out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["warp-drive"])

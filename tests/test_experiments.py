@@ -109,6 +109,26 @@ class TestScenarioSerialization:
             PolicySpec("X", kind="simulated-annealing")
         with pytest.raises(ConfigurationError):
             ComputeSpec(cores_per_site=0)
+        with pytest.raises(ConfigurationError):
+            PolicySpec("X", "mip", decompose="frobnicate:3")
+        with pytest.raises(ConfigurationError):
+            # Decomposition only applies to plain MIP policies.
+            PolicySpec("X", "rolling_mip", decompose="window:24")
+
+    def test_decompose_reaches_scheduler_and_cache_key(self):
+        spec = PolicySpec("MIP", "mip", decompose="window:24")
+        scheduler = spec.build()
+        assert scheduler.decompose is not None
+        assert scheduler.decompose.window_steps == 24
+        base = small_scenario()
+        tweaked = small_scenario(policies=(
+            PolicySpec("Greedy", "greedy"),
+            PolicySpec("MIP", "mip", time_limit_s=10.0,
+                       decompose="window:24"),
+        ))
+        assert tweaked.solve_key(tweaked.policies[1]) != base.solve_key(
+            base.policies[1]
+        )
 
 
 class TestContentHash:
