@@ -19,6 +19,7 @@ from repro import (
     DatacenterConfig,
     generate_vm_requests,
     grid_days,
+    simulate,
     synthesize_wind,
     workload_matched_to_power,
 )
@@ -40,7 +41,7 @@ def main() -> None:
         f" {len(requests):,} VM arrivals..."
     )
 
-    result = Datacenter(config, trace).run(requests)
+    result = simulate(Datacenter(config, trace), requests)
 
     out_gb = result.out_gb_series()
     in_gb = result.in_gb_series()

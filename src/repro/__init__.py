@@ -101,6 +101,7 @@ from .sim import (
     ExecutionResult,
     PolicyComparison,
     execute_placement,
+    simulate,
     summarize_transfers,
 )
 from . import obs
@@ -177,6 +178,7 @@ __all__ = [
     "PolicyComparison",
     "SUMMARY_SCHEMA",
     "execute_placement",
+    "simulate",
     "summarize_transfers",
     "obs",
     "BatteryDispatch",

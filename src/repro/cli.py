@@ -310,6 +310,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="how many slowest spans to list (default 5)",
     )
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the digital-twin session API (requires the 'serve'"
+        " extra for uvicorn)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8321, help="bind port"
+    )
+
     return parser
 
 
@@ -624,6 +636,22 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    try:
+        import uvicorn
+    except ImportError:
+        print(
+            "repro serve needs an ASGI server; install the extra:\n"
+            "  pip install 'repro[serve]'",
+            file=sys.stderr,
+        )
+        return 1
+    from .serve import create_app
+
+    uvicorn.run(create_app(), host=args.host, port=args.port)
+    return 0
+
+
 _COMMANDS = {
     "sites": _cmd_sites,
     "synthesize": _cmd_synthesize,
@@ -633,6 +661,7 @@ _COMMANDS = {
     "schedule": _cmd_schedule,
     "sweep": _cmd_sweep,
     "report": _cmd_report,
+    "serve": _cmd_serve,
 }
 
 

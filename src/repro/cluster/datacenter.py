@@ -1237,25 +1237,71 @@ class Datacenter:
         and the SoA kernel (:class:`~repro.cluster.kernel.StepKernel`)
         unchanged.
         """
+        return self.advance_closed_event(site, cols, dispatcher, 0, n)
+
+    def closed_span_precompute(
+        self, dispatcher: SupplyDispatcher
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Whole-run arrays the closed-loop window machinery commits.
+
+        A pinned window behaves open-loop: delivered is the base round
+        trip (modulo the rare covered-demand ulp clamp), so the
+        whole-run clip and budget series can be precomputed once and
+        windows commit views into them instead of recomputing.
+        Sessions advancing a run tick by tick cache the tuple across
+        :meth:`advance_closed_event` calls.
+        """
+        base_mw = dispatcher.base_mw_series()
+        rt_full = base_mw / dispatcher.capacity_mw
+        clipped_full = np.clip(rt_full, 0.0, 1.0)
+        budgets_full = self._budget_series(clipped_full)
+        return base_mw, rt_full, clipped_full, budgets_full
+
+    def advance_closed_event(
+        self,
+        site,
+        cols: StepColumns,
+        dispatcher: SupplyDispatcher,
+        step: int,
+        until: int,
+        precomp: tuple | None = None,
+    ) -> int:
+        """Run the closed-loop event engine over ``[step, until)``.
+
+        The resumable core of :meth:`_run_closed_event`: dispatches and
+        wakes exactly as the full run would, but halts once the cursor
+        reaches ``until`` (windows are clamped there).  Because a wake
+        at a provably no-op step is harmless and dispatching a pinned
+        or in-span step is bit-identical either way, splitting a run
+        into consecutive ``[step, until)`` segments produces columns,
+        event logs, and supply telemetry identical to one uninterrupted
+        call — the invariant checkpoint/resume sessions rely on.
+
+        Args:
+            site: Wake-protocol adapter (object model or SoA kernel).
+            cols: The run's column store.
+            dispatcher: The run's closed-loop supply dispatcher.
+            step: First step to process (0, or a previous ``until``).
+            until: One past the last step to process (≤ grid length).
+            precomp: Optional cached :meth:`closed_span_precompute`
+                tuple; recomputed when omitted.
+
+        Returns:
+            Wake steps dispatched within the segment.
+        """
         processed = 0
         core_budget = self.power_model.core_budget
         norm_for_cores = self.power_model.norm_for_cores
         dispatch = dispatcher.dispatch
-        base_mw = dispatcher.base_mw_series()
+        if precomp is None:
+            precomp = self.closed_span_precompute(dispatcher)
+        base_mw, rt_full, clipped_full, budgets_full = precomp
         capacity = dispatcher.capacity_mw
-        # A pinned window behaves open-loop: delivered is the base
-        # round trip (modulo the rare covered-demand ulp clamp), so
-        # the whole-run clip and budget series can be precomputed once
-        # and windows commit views into them instead of recomputing.
-        rt_full = base_mw / capacity
-        clipped_full = np.clip(rt_full, 0.0, 1.0)
-        budgets_full = self._budget_series(clipped_full)
-        step = 0
         # A span-kernel crossing has already dispatched its step; the
         # delivered value is handed to the wake iteration via
         # ``pending`` instead of dispatching twice.
         pending: float | None = None
-        while step < n:
+        while step < until:
             if pending is None:
                 demand_norm = norm_for_cores(site.demand_at(step))
                 delivered = dispatch(step, demand_norm)
@@ -1269,12 +1315,16 @@ class Datacenter:
             site.step_wake(step, budget)
             processed += 1
             start = step + 1
-            if start >= n:
+            if start >= until:
                 break
             # Window end: the next step where something can happen
             # regardless of power (arrival, scheduled finish, queue
-            # expiry).  Stale heap tops are spent events.
+            # expiry).  Stale heap tops are spent events.  Segment runs
+            # clamp the window at ``until``; the first step beyond it is
+            # dispatched as a (harmless, bit-identical) wake on resume.
             stop = site.next_event()
+            if stop > until:
+                stop = until
             if stop <= start:
                 step = start
                 continue
@@ -1315,7 +1365,12 @@ class Datacenter:
                     pending = deliveries[-1]
                     step = start + len(deliveries) - 1
                 else:
-                    step = stop
+                    # The span may have returned early because the
+                    # stack went idle (pinned for the sign it was
+                    # dispatching) partway through the window; resume
+                    # right after the prefix so the pinned-window
+                    # vectorized path below takes over the remainder.
+                    step = start + len(deliveries)
                 continue
             # Pinned window: every dispatch of the window's balance
             # sign is a provable no-op, so the whole span vectorizes.

@@ -93,3 +93,8 @@ def _rebuild_solver_error(message, status, window, shape):
 
 class ConfigurationError(ReproError):
     """A simulation or model was configured with invalid parameters."""
+
+
+class SessionError(ReproError):
+    """A live simulation session was used invalidly (bad tick, bad
+    checkpoint blob, unknown session id, malformed injection)."""

@@ -46,6 +46,7 @@ from ..sim import (
     FleetSite,
     PolicyComparison,
     execute_placement,
+    simulate,
     summarize_transfers,
 )
 from ..supply import SupplyStack
@@ -97,6 +98,70 @@ class RunResult:
 
 def _slug(name: str) -> str:
     return re.sub(r"[^A-Za-z0-9._-]+", "-", name).strip("-") or "scenario"
+
+
+def fleet_sites_for_scenario(
+    scenario: Scenario,
+    traces: Mapping[str, PowerTrace] | None = None,
+) -> list[FleetSite]:
+    """Materialize a scenario's sites as ready-to-run :class:`FleetSite`\\ s.
+
+    The site-construction core of the Runner's ``vm_requests`` path —
+    same per-site trace synthesis, power-matched workload sizing, and
+    seed derivation — without the manifest/caching machinery, so live
+    session backends (``repro.serve``) and ad-hoc scripts can build the
+    exact fleet a :class:`~repro.experiments.Runner` would simulate.
+
+    Args:
+        scenario: A ``vm_requests`` scenario (the ``applications``
+            pipeline schedules placements instead of replaying sites).
+        traces: Pre-synthesized per-site traces; synthesized from the
+            scenario's catalog when omitted.
+
+    Returns:
+        One :class:`FleetSite` per scenario site, in scenario order.
+    """
+    if scenario.workload.kind != "vm_requests":
+        raise ConfigurationError(
+            "fleet sites require a vm_requests workload, not"
+            f" {scenario.workload.kind!r}"
+        )
+    if traces is None:
+        from ..traces import synthesize_catalog_traces
+
+        traces = synthesize_catalog_traces(
+            scenario.catalog(),
+            scenario.grid,
+            seed=scenario.effective_trace_seed,
+        )
+    spec = scenario.workload
+    config = DatacenterConfig(admission_utilization=spec.utilization)
+    supply_spec = scenario.supply
+    supply = supply_spec.build() if supply_spec.enabled else None
+    sites = []
+    for index, name in enumerate(scenario.sites):
+        trace = traces[name]
+        workload = workload_matched_to_power(
+            float(trace.values.mean()),
+            config.cluster.total_cores,
+            utilization=spec.utilization,
+        )
+        requests = generate_vm_requests(
+            scenario.grid,
+            workload,
+            seed=scenario.effective_workload_seed + index,
+        )
+        sites.append(
+            FleetSite(
+                name=name,
+                config=config,
+                trace=trace,
+                requests=requests,
+                supply=supply,
+                supply_mode=supply_spec.mode,
+            )
+        )
+    return sites
 
 
 class Runner:
@@ -518,13 +583,13 @@ class Runner:
                     )
                 )
             with manifest.record("simulate:fleet"):
-                result.simulations = FleetEngine(
+                result.simulations = simulate(
                     fleet_sites, record_events=True
-                ).run()
+                )
         else:
 
             def site_task(index, name):
-                def simulate():
+                def run_site():
                     worker = self._worker_label()
                     requests, workload_stage = workload_task(
                         index, name
@@ -532,13 +597,16 @@ class Runner:
                     with manifest.record_detached(
                         f"simulate:{name}", worker
                     ) as stage:
-                        simulation = Datacenter(
-                            config, result.traces[name],
-                            supply=supply, supply_mode=supply_mode,
-                        ).run(requests)
+                        simulation = simulate(
+                            Datacenter(
+                                config, result.traces[name],
+                                supply=supply, supply_mode=supply_mode,
+                            ),
+                            requests,
+                        )
                     return simulation, [workload_stage, stage]
 
-                return simulate
+                return run_site
 
             outcomes = self._fan_out(
                 site_task(index, name)

@@ -1,0 +1,14 @@
+"""Digital-twin service layer: live, checkpointable simulations.
+
+:class:`SimSession` is the engine (bounded advance, checkpoint /
+restore / fork, injections); :class:`SessionRegistry` manages many
+concurrent sessions; :func:`create_app` wraps a registry in a
+dependency-free ASGI application (``repro serve`` runs it under any
+ASGI server, e.g. uvicorn).
+"""
+
+from .session import SimSession
+from .registry import SessionRegistry
+from .app import create_app
+
+__all__ = ["SimSession", "SessionRegistry", "create_app"]

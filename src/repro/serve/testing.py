@@ -1,0 +1,119 @@
+"""A minimal synchronous ASGI test client (no HTTP stack, no deps).
+
+Drives an ASGI application coroutine directly — the same transport
+trick as ``httpx.ASGITransport``, reduced to what the endpoint tests
+need so the core install stays dependency-free.  When the ``serve``
+extra is installed, the test suite also exercises the app through real
+``httpx``; this client is the always-available baseline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json as _json
+from urllib.parse import quote, urlsplit
+
+__all__ = ["ASGIClient", "Response"]
+
+
+class Response:
+    """What one request produced.
+
+    Attributes:
+        status: HTTP status code.
+        headers: Lower-cased header name → value.
+        body: Raw response bytes.
+    """
+
+    def __init__(self, status: int, headers: dict[str, str], body: bytes):
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+    def json(self):
+        """Decode the body as JSON."""
+        return _json.loads(self.body.decode())
+
+    def __repr__(self) -> str:
+        return f"Response(status={self.status}, {len(self.body)} bytes)"
+
+
+class ASGIClient:
+    """Synchronous requests against an ASGI app, in-process.
+
+    Each request runs the app coroutine to completion on a private
+    event loop — handlers that await only the receive/send channel
+    (like :func:`repro.serve.app.create_app`'s) execute effectively
+    synchronously, so tests stay plain functions.
+    """
+
+    def __init__(self, app):
+        self.app = app
+
+    # -- convenience verbs --------------------------------------------
+
+    def get(self, path: str) -> Response:
+        return self.request("GET", path)
+
+    def post(self, path: str, json=None, data: bytes = b"") -> Response:
+        return self.request("POST", path, json=json, data=data)
+
+    def delete(self, path: str) -> Response:
+        return self.request("DELETE", path)
+
+    # -- transport -----------------------------------------------------
+
+    def request(
+        self, method: str, path: str, json=None, data: bytes = b""
+    ) -> Response:
+        """Run one request through the app and collect the response."""
+        if json is not None:
+            data = _json.dumps(json).encode()
+        split = urlsplit(path)
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0"},
+            "http_version": "1.1",
+            "method": method.upper(),
+            "scheme": "http",
+            "path": quote(split.path),
+            "raw_path": split.path.encode(),
+            "query_string": split.query.encode(),
+            "root_path": "",
+            "headers": [
+                (b"host", b"testserver"),
+                (b"content-length", str(len(data)).encode()),
+            ],
+            "client": ("testclient", 50000),
+            "server": ("testserver", 80),
+        }
+        return asyncio.run(self._call(scope, data))
+
+    async def _call(self, scope, data: bytes) -> Response:
+        sent = False
+        messages: list[dict] = []
+
+        async def receive():
+            nonlocal sent
+            if sent:
+                return {"type": "http.disconnect"}
+            sent = True
+            return {"type": "http.request", "body": data, "more_body": False}
+
+        async def send(message):
+            messages.append(message)
+
+        await self.app(scope, receive, send)
+        status = 500
+        headers: dict[str, str] = {}
+        body = b""
+        for message in messages:
+            if message["type"] == "http.response.start":
+                status = message["status"]
+                headers = {
+                    k.decode().lower(): v.decode()
+                    for k, v in message.get("headers", [])
+                }
+            elif message["type"] == "http.response.body":
+                body += message.get("body", b"")
+        return Response(status, headers, body)

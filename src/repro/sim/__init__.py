@@ -14,6 +14,7 @@ from .detailed import (
     DetailedSiteRecord,
     execute_placement_detailed,
 )
+from .facade import simulate
 from .fleet import FleetEngine, FleetSite
 from .results import (
     SUMMARY_SCHEMA,
@@ -32,6 +33,7 @@ __all__ = [
     "FleetEngine",
     "FleetSite",
     "PolicyComparison",
+    "simulate",
     "SUMMARY_SCHEMA",
     "TransferSummary",
     "summarize_transfers",

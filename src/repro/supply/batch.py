@@ -44,41 +44,54 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import ConfigurationError
-from .components import BatteryDispatch, GridFirmPower
-from .stack import SupplyDispatcher
+from .components import (
+    BatteryDispatch,
+    BatteryState,
+    GridBudgetState,
+    GridFirmPower,
+)
+from .stack import SupplyDispatcher, SupplyEvaluation
 
 __all__ = ["BatchedDispatch"]
 
 
 class _BatteryLanes:
-    """One slot's battery lanes: SoA state + parameters."""
+    """One slot's battery lanes: SoA state + parameters.
 
-    __slots__ = ("idx", "soc", "cap", "maxp", "eff", "h", "states")
+    ``cells`` holds ``(states_list, slot)`` write-back addresses — the
+    owning dispatcher's mutable state list and the component's slot in
+    it — so :meth:`BatchedDispatch.finalize` can install fresh state
+    records instead of poking attributes on the originals.
+    """
 
-    def __init__(self, members, step_hours):
-        self.idx = np.array([i for i, _, _ in members])
-        self.soc = np.array([s.soc_mwh for _, _, s in members])
-        self.cap = np.array([c.capacity_mwh for _, c, _ in members])
-        self.maxp = np.array([c.max_power_mw for _, c, _ in members])
-        self.eff = np.array([c.efficiency for _, c, _ in members])
+    __slots__ = ("idx", "soc", "cap", "maxp", "eff", "h", "cells")
+
+    def __init__(self, members, step_hours, slot):
+        self.idx = np.array([i for i, _, _, _ in members])
+        self.soc = np.array([s.soc_mwh for _, _, s, _ in members])
+        self.cap = np.array([c.capacity_mwh for _, c, _, _ in members])
+        self.maxp = np.array([c.max_power_mw for _, c, _, _ in members])
+        self.eff = np.array([c.efficiency for _, c, _, _ in members])
         self.h = step_hours[self.idx]
-        self.states = [s for _, _, s in members]
+        self.cells = [(states, slot) for _, _, _, states in members]
 
 
 class _GridLanes:
-    """One slot's grid lanes: SoA state + parameters."""
+    """One slot's grid lanes: SoA state + parameters (see above)."""
 
-    __slots__ = ("idx", "remaining", "maxp", "h", "states")
+    __slots__ = ("idx", "remaining", "maxp", "h", "cells")
 
-    def __init__(self, members, step_hours):
-        self.idx = np.array([i for i, _, _ in members])
-        self.remaining = np.array([s.remaining_mwh for _, _, s in members])
+    def __init__(self, members, step_hours, slot):
+        self.idx = np.array([i for i, _, _, _ in members])
+        self.remaining = np.array(
+            [s.remaining_mwh for _, _, s, _ in members]
+        )
         self.maxp = np.array([
             np.inf if c.max_power_mw is None else c.max_power_mw
-            for _, c, _ in members
+            for _, c, _, _ in members
         ])
         self.h = step_hours[self.idx]
-        self.states = [s for _, _, s in members]
+        self.cells = [(states, slot) for _, _, _, states in members]
 
 
 class BatchedDispatch:
@@ -112,25 +125,27 @@ class BatchedDispatch:
         s, n = base.shape
         self.n_sites = s
         self.n = n
-        # Shared site-major telemetry; delivered rows keep each site's
-        # un-dispatched default (the base values), as the scalar
-        # evaluation does.
-        self._delivered = np.vstack(
+        # Shared site-major telemetry, one (S, n) matrix per series in
+        # the documented SupplyEvaluation.SERIES_FIELDS order; each
+        # dispatcher's evaluation attributes are rebound to its row.
+        # Delivered rows keep each site's un-dispatched default (the
+        # base values), as the scalar evaluation does.
+        matrices = {
+            name: np.zeros((s, n))
+            for name in SupplyEvaluation.SERIES_FIELDS
+        }
+        matrices["delivered"] = np.vstack(
             [d.evaluation.delivered for d in dispatchers]
         )
-        self._soc = np.zeros((s, n))
-        self._charge = np.zeros((s, n))
-        self._discharge = np.zeros((s, n))
-        self._grid_import = np.zeros((s, n))
-        self._curtailed = np.zeros((s, n))
         for i, d in enumerate(dispatchers):
-            ev = d.evaluation
-            ev.delivered = self._delivered[i]
-            ev.soc_mwh = self._soc[i]
-            ev.charge_mwh = self._charge[i]
-            ev.discharge_mwh = self._discharge[i]
-            ev.grid_import_mwh = self._grid_import[i]
-            ev.curtailed_mwh = self._curtailed[i]
+            for name, matrix in matrices.items():
+                setattr(d.evaluation, name, matrix[i])
+        self._delivered = matrices["delivered"]
+        self._soc = matrices["soc_mwh"]
+        self._charge = matrices["charge_mwh"]
+        self._discharge = matrices["discharge_mwh"]
+        self._grid_import = matrices["grid_import_mwh"]
+        self._curtailed = matrices["curtailed_mwh"]
         # Slot k holds the k-th component of every site that has one,
         # split into battery and grid lanes (dispatch order = slot
         # order; lanes within a slot belong to distinct sites, so their
@@ -147,12 +162,12 @@ class BatchedDispatch:
                 component = d.components[k]
                 state = d.states[k]
                 if type(component) is BatteryDispatch:
-                    batteries.append((i, component, state))
+                    batteries.append((i, component, state, d.states))
                 else:
-                    grids.append((i, component, state))
+                    grids.append((i, component, state, d.states))
             self._slots.append((
-                _BatteryLanes(batteries, self._h) if batteries else None,
-                _GridLanes(grids, self._h) if grids else None,
+                _BatteryLanes(batteries, self._h, k) if batteries else None,
+                _GridLanes(grids, self._h, k) if grids else None,
             ))
 
     @staticmethod
@@ -256,18 +271,26 @@ class BatchedDispatch:
         return delivered
 
     def finalize(self) -> None:
-        """Write the advanced lane state back into the component states.
+        """Install the advanced lane state as fresh component states.
 
         The telemetry matrices are already each site's evaluation (rows
         were rebound at construction); only the mutable component
         states need syncing for anything that inspects them post-run.
+        Each lane's advanced value is materialized through the state
+        type's documented ``from_dict`` snapshot constructor and
+        swapped into the owning dispatcher's state slot — no ad-hoc
+        attribute poking on live state objects.
         """
         for battery, grid in self._slots:
             if battery is not None:
                 soc = battery.soc
-                for j, state in enumerate(battery.states):
-                    state.soc_mwh = float(soc[j])
+                for j, (states, k) in enumerate(battery.cells):
+                    states[k] = BatteryState.from_dict(
+                        {"soc_mwh": float(soc[j])}
+                    )
             if grid is not None:
                 remaining = grid.remaining
-                for j, state in enumerate(grid.states):
-                    state.remaining_mwh = float(remaining[j])
+                for j, (states, k) in enumerate(grid.cells):
+                    states[k] = GridBudgetState.from_dict(
+                        {"remaining_mwh": float(remaining[j])}
+                    )

@@ -34,6 +34,12 @@ class SupplyComponent(Protocol):
     most the surplus), positive when contributing (at most the
     deficit).  Components are evaluated in stack order, each seeing the
     balance left over by the previous one.
+
+    State records returned by :meth:`initial_state` should expose
+    ``to_dict()`` / ``from_dict()`` snapshots (as the shipped
+    :class:`BatteryState` / :class:`GridBudgetState` do) so session
+    checkpoints and the batched dispatcher's state sync can rebuild
+    them without poking attributes ad hoc.
     """
 
     def initial_state(self) -> object:
@@ -64,6 +70,15 @@ class BatteryState:
 
     def __init__(self, soc_mwh: float):
         self.soc_mwh = soc_mwh
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot (session checkpoints, batch sync)."""
+        return {"soc_mwh": self.soc_mwh}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BatteryState":
+        """Rebuild a state snapshotted by :meth:`to_dict`."""
+        return cls(float(data["soc_mwh"]))
 
 
 @dataclass(frozen=True)
@@ -163,6 +178,15 @@ class GridBudgetState:
 
     def __init__(self, remaining_mwh: float):
         self.remaining_mwh = remaining_mwh
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot (session checkpoints, batch sync)."""
+        return {"remaining_mwh": self.remaining_mwh}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GridBudgetState":
+        """Rebuild a state snapshotted by :meth:`to_dict`."""
+        return cls(float(data["remaining_mwh"]))
 
 
 @dataclass(frozen=True)

@@ -55,10 +55,20 @@ class SupplyEvaluation:
             loop passes surplus through to the cluster and records 0).
     """
 
-    __slots__ = (
+    #: The per-step series attributes, in their *stable, documented*
+    #: order: ``delivered`` first, then the component telemetry in
+    #: accounting order (SoC, charge, discharge, grid import,
+    #: curtailment).  This tuple is the contract consumers iterate —
+    #: the fleet engine's batched dispatch rebinds these attributes to
+    #: shared site-major matrices, and session checkpoints serialize
+    #: them — instead of poking attributes ad hoc.  Appending a new
+    #: series is allowed; reordering or renaming is a breaking change.
+    SERIES_FIELDS = (
         "delivered", "soc_mwh", "charge_mwh", "discharge_mwh",
         "grid_import_mwh", "curtailed_mwh",
     )
+
+    __slots__ = SERIES_FIELDS
 
     def __init__(self, delivered: np.ndarray):
         n = len(delivered)
@@ -153,6 +163,16 @@ class SupplyDispatcher:
         """The stack's components, in dispatch order."""
         return self._components
 
+    def invalidate_base_cache(self) -> None:
+        """Drop caches derived from the base trace values.
+
+        The dispatcher reads generation through a live view of the
+        trace's value array; callers that mutate those values in place
+        (session blackout injections) must invalidate the scalar plan
+        cache so subsequent dispatches see the new series.
+        """
+        self._values_list = None
+
     @property
     def states(self) -> list[object]:
         """Mutable per-component dispatch states (same order)."""
@@ -241,7 +261,11 @@ class SupplyDispatcher:
             ``(deliveries, crossed)``: the raw delivered values (before
             the engine's [0, 1] clip) for the dispatched prefix, and
             whether the last one crossed a threshold (making its step a
-            wake the caller must process).
+            wake the caller must process).  A prefix shorter than the
+            window with ``crossed=False`` means the stack went *idle* —
+            pinned for the sign it was dispatching — and the caller
+            should resume after the prefix, where :meth:`pinned` now
+            holds and whole windows can vectorize.
         """
         if stop <= start:
             return [], False
@@ -347,6 +371,29 @@ class SupplyDispatcher:
             if clipped < lo or clipped >= up:
                 crossed = True
                 break
+            if delivered_mw == base_mw and t + 1 < stop:
+                # Idle probe: no component moved this step (deltas
+                # never cancel — charging and importing cannot coexist
+                # in one step — so an unchanged delivered power means
+                # every delta was zero).  If on top of that every
+                # component is *pinned* for this step's balance sign,
+                # all further dispatches of that sign are provable
+                # no-ops: return the prefix early (not a crossing) so
+                # the engine's vectorized pinned-window path skips the
+                # rest of the window instead of grinding it here.  The
+                # bound tests mirror ``pinned()`` exactly, so the
+                # engine's re-check agrees and cannot bounce back.
+                for row in plan:
+                    if row[0] == 0:
+                        if covered:
+                            if row[2] - row[1] != 0.0:
+                                break
+                        elif row[1] * row[4] != 0.0 or row[1] < 0.0:
+                            break
+                    elif not covered and row[1] > 0.0:
+                        break
+                else:
+                    break
         # Sync the component states the inlined loop advanced.
         for row, state in zip(plan, self._states):
             if row[0] == 0:

@@ -1,0 +1,374 @@
+"""Golden tests for resumable sessions (repro.serve.session).
+
+The load-bearing guarantee: a run advanced in bounded segments —
+interrupted, checkpointed, restored (same process or another one),
+forked — produces columns, event logs, and supply telemetry
+bit-identical to one uninterrupted ``Datacenter.run`` / fleet run.
+"""
+
+from __future__ import annotations
+
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from tests.test_fleet import (
+    assert_identical,
+    battery_grid_stack,
+    battery_stack,
+    make_site,
+    mixed_fleet,
+    reference_run,
+)
+
+from repro.errors import SessionError
+from repro.serve import SessionRegistry, SimSession
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def session_run(site, engine, chunk):
+    session = SimSession(site, engine=engine)
+    while not session.done:
+        session.advance(chunk)
+    return session.results()[site.name]
+
+
+class TestSegmentedAdvance:
+    """advance(n) in any segmentation == one uninterrupted run."""
+
+    @pytest.mark.parametrize("engine", ["event", "soa"])
+    @pytest.mark.parametrize(
+        "mode,stack",
+        [
+            ("open", None),
+            ("open", "battery"),
+            ("closed", "battery_grid"),
+        ],
+    )
+    def test_chunked_advance_golden(self, engine, mode, stack):
+        supply = {
+            None: None,
+            "battery": battery_stack(),
+            "battery_grid": battery_grid_stack(),
+        }[stack]
+        site = make_site(3, 1500, 400, supply=supply, supply_mode=mode)
+        want = reference_run(site, engine=engine)
+        for chunk in (1, 137, 5000):
+            got = session_run(site, engine, chunk)
+            assert_identical(
+                f"{engine}/{mode}/{stack}/chunk={chunk}",
+                got, want, events=True,
+            )
+
+    def test_zero_and_overshoot_advance(self):
+        site = make_site(2, 600, 150)
+        session = SimSession(site)
+        session.advance(0)
+        assert session.step == 0
+        session.advance(10**9)
+        assert session.done
+        with pytest.raises(SessionError):
+            session.advance(-1)
+
+    def test_status_projection_converges(self):
+        site = make_site(4, 800, 200, supply=battery_grid_stack(),
+                         supply_mode="closed")
+        want = reference_run(site)
+        session = SimSession(site)
+        session.advance(300)
+        status = session.status()
+        entry = status["sites"][site.name]
+        assert entry["step"] == 300
+        assert "battery_soc_mwh" in entry
+        assert set(entry["summary"]) == set(want.summary_dict())
+        session.run_to_end()
+        final = session.status()
+        assert final["done"] and final["progress"] == 1.0
+        assert (
+            final["sites"][site.name]["summary"] == want.summary_dict()
+        )
+
+
+class TestCheckpointRestore:
+    """Serialized mid-flight state resumes bit-identically."""
+
+    @pytest.mark.parametrize("engine", ["event", "soa"])
+    def test_checkpoint_restore_fork_golden(self, engine):
+        site = make_site(
+            5, 1500, 400, supply=battery_grid_stack(),
+            supply_mode="closed",
+        )
+        want = reference_run(site, engine=engine)
+        session = SimSession(site, engine=engine)
+        session.advance(533)
+        blob = session.checkpoint()
+
+        restored = SimSession.restore(blob)
+        restored.run_to_end()
+        assert_identical(
+            "restored", restored.results()[site.name], want, events=True
+        )
+
+        fork = session.fork()
+        fork.run_to_end()
+        assert_identical(
+            "fork", fork.results()[site.name], want, events=True
+        )
+        # The original is untouched by both and still finishes golden.
+        session.run_to_end()
+        assert_identical(
+            "original", session.results()[site.name], want, events=True
+        )
+
+    def test_mid_wake_chain_checkpoints(self):
+        """Checkpoints dropped at arbitrary (even single-step) cut
+        points — including inside dense wake chains — all resume
+        golden."""
+        site = make_site(
+            6, 700, 300, supply=battery_stack(), supply_mode="closed"
+        )
+        want = reference_run(site)
+        session = SimSession(site)
+        for cut in (1, 2, 3, 97, 251, 252, 600):
+            session.advance(cut - session.step)
+            resumed = SimSession.restore(session.checkpoint())
+            resumed.run_to_end()
+            assert_identical(
+                f"cut@{cut}", resumed.results()[site.name], want,
+                events=True,
+            )
+
+    def test_restore_into_different_process(self, tmp_path):
+        site = make_site(7, 900, 250, supply=battery_grid_stack(),
+                         supply_mode="closed")
+        want = reference_run(site)
+        session = SimSession(site)
+        session.advance(400)
+        blob_path = tmp_path / "session.ckpt"
+        blob_path.write_bytes(session.checkpoint())
+        out_path = tmp_path / "columns.npz"
+        script = (
+            "import sys, numpy as np\n"
+            f"sys.path.insert(0, {REPO_SRC!r})\n"
+            "from repro.serve import SimSession\n"
+            f"session = SimSession.restore(open({str(blob_path)!r}, 'rb').read())\n"
+            "session.run_to_end()\n"
+            "result = next(iter(session.results().values()))\n"
+            "np.savez(\n"
+            f"    {str(out_path)!r},\n"
+            "    running=result.columns.running_cores,\n"
+            "    queue=result.columns.queue_length,\n"
+            "    out_bytes=result.columns.out_bytes,\n"
+            "    soc=np.asarray(result.supply.soc_mwh),\n"
+            ")\n"
+        )
+        subprocess.run(
+            [sys.executable, "-c", script], check=True, timeout=300
+        )
+        got = np.load(out_path)
+        np.testing.assert_array_equal(
+            got["running"], want.columns.running_cores
+        )
+        np.testing.assert_array_equal(
+            got["queue"], want.columns.queue_length
+        )
+        np.testing.assert_array_equal(
+            got["out_bytes"], want.columns.out_bytes
+        )
+        np.testing.assert_array_equal(
+            got["soc"], np.asarray(want.supply.soc_mwh)
+        )
+
+    def test_bad_blobs_rejected(self):
+        with pytest.raises(SessionError):
+            SimSession.restore(b"not a pickle")
+        with pytest.raises(SessionError):
+            SimSession.restore(pickle.dumps({"format": "other/9"}))
+        with pytest.raises(SessionError):
+            SimSession.restore(pickle.dumps([1, 2, 3]))
+
+
+class TestMultiSite:
+    """Lockstep sessions over heterogeneous fleets."""
+
+    def test_mixed_fleet_session_golden(self):
+        sites = mixed_fleet()
+        session = SimSession(sites, engine="event")
+        session.advance(800)
+        resumed = SimSession.restore(session.checkpoint())
+        resumed.run_to_end()
+        results = resumed.results()
+        for site in sites:
+            assert_identical(
+                f"fleet:{site.name}",
+                results[site.name],
+                reference_run(site),
+                events=True,
+            )
+
+    def test_year_fleet_checkpoint_restore_golden(self):
+        """The acceptance bar: an 8-site year-long fleet, interrupted
+        mid-run, checkpointed, restored, and advanced to the end —
+        golden-identical to uninterrupted per-site runs."""
+        sites = [
+            make_site(
+                20 + i, 35040, 400,
+                supply=battery_grid_stack() if i % 2 == 0 else None,
+                supply_mode="closed" if i % 2 == 0 else "open",
+                name=f"yr-{i}",
+            )
+            for i in range(8)
+        ]
+        session = SimSession(sites, engine="event")
+        session.advance(9000)
+        resumed = SimSession.restore(session.checkpoint())
+        resumed.advance(11000)
+        resumed.run_to_end()
+        results = resumed.results()
+        for site in sites:
+            assert_identical(
+                f"year:{site.name}",
+                results[site.name],
+                reference_run(site),
+                events=True,
+            )
+
+    def test_shorter_sites_finish_early(self):
+        sites = [
+            make_site(11, 400, 100, name="short"),
+            make_site(12, 900, 200, name="long"),
+        ]
+        session = SimSession(sites)
+        session.advance(600)
+        status = session.status()
+        assert status["sites"]["short"]["step"] == 400
+        assert status["sites"]["long"]["step"] == 600
+        assert not session.done
+        session.run_to_end()
+        for site in sites:
+            assert_identical(
+                site.name,
+                session.results()[site.name],
+                reference_run(site),
+                events=True,
+            )
+
+    def test_duplicate_names_rejected(self):
+        site = make_site(1, 100, 10, name="twin")
+        with pytest.raises(SessionError):
+            SimSession([site, site])
+        with pytest.raises(SessionError):
+            SimSession([])
+        with pytest.raises(SessionError):
+            SimSession(site, engine="warp")
+
+
+class TestInjections:
+    """Perturbations queue, apply at the next tick, and are audited."""
+
+    def test_battery_soc_and_grid_budget(self):
+        site = make_site(
+            8, 800, 200, supply=battery_grid_stack(),
+            supply_mode="closed",
+        )
+        session = SimSession(site)
+        session.advance(100)
+        session.inject({"kind": "battery_soc", "soc_fraction": 1.0})
+        session.inject({"kind": "grid_budget", "remaining_mwh": 0.0})
+        assert session.status()["pending_injections"] == 2
+        session.advance(1)
+        dispatcher = session._sites[0].state.dispatcher
+        # Capacity 2.5 MWh (battery_grid_stack); one 15-min step can
+        # discharge at most max_power * h / efficiency ≈ 0.42 MWh from
+        # the injected full charge, and can never charge above it.
+        assert 2.0 <= dispatcher.battery_soc_mwh() <= 2.5
+        grid_state = dispatcher.states[1]
+        assert grid_state.remaining_mwh == 0.0
+        events = [e["event"] for e in session.audit_tail()]
+        assert events.count("apply") == 2
+
+    def test_blackout_starves_site(self):
+        site = make_site(9, 600, 200)
+        session = SimSession(site)
+        session.advance(200)
+        session.inject(
+            {"kind": "blackout", "site": site.name, "duration_steps": 50}
+        )
+        session.advance(50)
+        cols = session._sites[0].state.cols
+        assert np.all(cols.norm_power[200:250] == 0.0)
+        assert np.all(cols.running_cores[200:250] == 0)
+        session.run_to_end()
+        assert session.done
+
+    def test_blackout_closed_loop_recomputes(self):
+        site = make_site(
+            10, 600, 200, supply=battery_grid_stack(),
+            supply_mode="closed",
+        )
+        session = SimSession(site)
+        session.advance(150)
+        session.inject(
+            {"kind": "blackout", "site": site.name, "duration_steps": 40}
+        )
+        session.advance(40)
+        values = session._sites[0].dc.power_trace.values
+        assert np.all(values[150:190] == 0.0)
+        session.run_to_end()
+        assert session.done
+
+    def test_invalid_injections_rejected(self):
+        session = SimSession(make_site(1, 100, 10))
+        with pytest.raises(SessionError):
+            session.inject({"kind": "earthquake"})
+        with pytest.raises(SessionError):
+            session.inject({"kind": "blackout", "site": "atlantis"})
+        with pytest.raises(SessionError):
+            session.inject({"kind": "battery_soc"})
+        with pytest.raises(SessionError):
+            session.inject({"kind": "grid_budget"})
+        with pytest.raises(SessionError):
+            session.inject("blackout")
+        with pytest.raises(SessionError):
+            session.results()
+
+
+class TestRegistry:
+    """The session map behind the HTTP layer."""
+
+    def test_lifecycle(self):
+        registry = SessionRegistry()
+        site = make_site(1, 300, 80)
+        session = registry.create(site)
+        assert registry.get(session.session_id) is session
+        assert registry.ids() == [session.session_id]
+
+        fork = registry.fork(session.session_id)
+        assert fork.session_id != session.session_id
+        assert len(registry) == 2
+
+        restored = registry.restore(session.checkpoint(), "named")
+        assert restored.session_id == "named"
+        with pytest.raises(SessionError):
+            registry.restore(session.checkpoint(), "named")
+
+        registry.delete(fork.session_id)
+        with pytest.raises(SessionError):
+            registry.get(fork.session_id)
+        with pytest.raises(SessionError):
+            registry.delete(fork.session_id)
+        assert sorted(registry.ids()) == sorted(
+            [session.session_id, "named"]
+        )
+
+    def test_failed_create_releases_id(self):
+        registry = SessionRegistry()
+        with pytest.raises(SessionError):
+            registry.create([], session_id="dud")
+        site = make_site(2, 100, 10)
+        assert registry.create(site, session_id="dud").session_id == "dud"
