@@ -73,12 +73,21 @@ def bench_json_writer():
     yield
     if not _RESULTS:
         return
+    cpus = os.cpu_count() or 1
+    machine = {
+        "cpus": cpus,
+        "python": sys.version.split()[0],
+    }
+    if cpus <= 2:
+        # Recorded timings from constrained runners are directional
+        # only — treat the intra-run ratios as the signal.
+        machine["caveat"] = (
+            "recorded on a single-core (or near-single-core) runner; "
+            "absolute seconds are pessimistic, compare ratios only"
+        )
     payload = {
         "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "machine": {
-            "cpus": os.cpu_count() or 1,
-            "python": sys.version.split()[0],
-        },
+        "machine": machine,
         "benches": dict(sorted(_RESULTS.items())),
     }
     BENCH_JSON_PATH.write_text(

@@ -89,6 +89,7 @@ from .multisite import (
 from .sched import (
     CoScheduler,
     GreedyScheduler,
+    GridPricing,
     MIPScheduler,
     Placement,
     RollingMIPScheduler,
@@ -108,6 +109,7 @@ from . import obs
 from .supply import (
     BatteryDispatch,
     GridFirmPower,
+    PricedGridPower,
     SupplySpec,
     SupplyStack,
 )
@@ -168,6 +170,7 @@ __all__ = [
     "stabilize_with_purchase",
     "CoScheduler",
     "GreedyScheduler",
+    "GridPricing",
     "MIPScheduler",
     "Placement",
     "RollingMIPScheduler",
@@ -183,6 +186,7 @@ __all__ = [
     "obs",
     "BatteryDispatch",
     "GridFirmPower",
+    "PricedGridPower",
     "SupplySpec",
     "SupplyStack",
     "ArtifactCache",

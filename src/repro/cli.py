@@ -72,6 +72,8 @@ from .experiments import (
 from .experiments.defaults import DEFAULT_START, TRIO_SITES
 from .forecast import NoisyOracleForecaster, horizon_mape_profile
 from .multisite import stable_energy_split
+from .supply import GRID_POLICIES
+from .supply.spec import CARBON_TRACES, PRICE_TRACES
 from .traces import (
     default_european_catalog,
     synthesize_solar,
@@ -135,6 +137,38 @@ def _add_supply_options(parser: argparse.ArgumentParser) -> None:
         help="total grid energy purchasable over the run"
         " (0 disables grid top-up)",
     )
+    group.add_argument(
+        "--price-trace", choices=PRICE_TRACES, default="none",
+        help="spot-price series behind the grid component; anything"
+        " but 'none' prices every imported MWh",
+    )
+    group.add_argument(
+        "--carbon-trace", choices=CARBON_TRACES, default="none",
+        help="carbon-intensity series behind the grid component"
+        " ('daily' is the 140-280 gCO2/kWh cycle)",
+    )
+    group.add_argument(
+        "--price-per-mwh", type=float, default=0.0, metavar="USD",
+        help="price level for --price-trace constant",
+    )
+    group.add_argument(
+        "--carbon-per-mwh", type=float, default=0.0, metavar="KG",
+        help="carbon level for --carbon-trace constant (kgCO2/MWh)",
+    )
+    group.add_argument(
+        "--grid-policy", choices=GRID_POLICIES, default="always",
+        help="in-loop purchase policy (threshold and dvb need"
+        " --price-threshold)",
+    )
+    group.add_argument(
+        "--price-threshold", type=float, default=None, metavar="USD",
+        help="price cap for the threshold policy; dvb's theta-high",
+    )
+    group.add_argument(
+        "--carbon-weight", type=float, default=0.0, metavar="W",
+        help="schedule modes: $-per-kgCO2 weight on grid imports in"
+        " the MIP objective",
+    )
 
 
 def _supply_from_args(args: argparse.Namespace) -> SupplySpec:
@@ -142,6 +176,12 @@ def _supply_from_args(args: argparse.Namespace) -> SupplySpec:
         battery_mwh=args.battery_mwh,
         battery_power_mw=args.battery_power_mw,
         grid_budget_mwh=args.grid_budget_mwh,
+        price_trace=args.price_trace,
+        carbon_trace=args.carbon_trace,
+        price_per_mwh=args.price_per_mwh,
+        carbon_per_mwh=args.carbon_per_mwh,
+        grid_policy=args.grid_policy,
+        price_threshold=args.price_threshold,
     )
 
 
@@ -454,6 +494,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 ["final SoC MWh", f"{sim.supply.final_soc_mwh:.2f}"],
             ]
         )
+        if sim.supply.cost_total_usd or sim.supply.carbon_total_kg:
+            rows.extend(
+                [
+                    ["grid cost USD",
+                     f"{sim.supply.cost_total_usd:.2f}"],
+                    ["grid carbon kgCO2",
+                     f"{sim.supply.carbon_total_kg:.2f}"],
+                ]
+            )
     print(
         format_table(
             ["Metric", "Value"],
@@ -489,16 +538,19 @@ def _cmd_forecast(args: argparse.Namespace) -> int:
     return 0
 
 
-def _mip_policies(decompose: str | None) -> tuple[PolicySpec, ...]:
+def _mip_policies(
+    decompose: str | None, carbon_weight: float = 0.0
+) -> tuple[PolicySpec, ...]:
     """The Table-1 policy trio, optionally with decomposed MIP solves."""
     return (
         PolicySpec("Greedy", "greedy"),
         PolicySpec(
-            "MIP", "mip", time_limit_s=60.0, decompose=decompose
+            "MIP", "mip", time_limit_s=60.0, decompose=decompose,
+            carbon_weight=carbon_weight,
         ),
         PolicySpec(
             "MIP-peak", "mip", peak_weight=50.0, time_limit_s=60.0,
-            decompose=decompose,
+            decompose=decompose, carbon_weight=carbon_weight,
         ),
     )
 
@@ -515,7 +567,10 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
             mean_vm_count=40,
             mean_duration_days=max(args.days / 3, 1.0),
         ),
-        policies=_mip_policies(getattr(args, "decompose", None)),
+        policies=_mip_policies(
+            getattr(args, "decompose", None),
+            getattr(args, "carbon_weight", 0.0),
+        ),
         compute=ComputeSpec(cores_per_site=args.cores_per_site),
         supply=_supply_from_args(args),
         seed=args.seed,
@@ -584,7 +639,8 @@ def _sweep_scenarios(args: argparse.Namespace) -> list[Scenario]:
                             mean_duration_days=max(days / 3, 1.0),
                         ),
                         policies=_mip_policies(
-                            getattr(args, "decompose", None)
+                            getattr(args, "decompose", None),
+                            getattr(args, "carbon_weight", 0.0),
                         ),
                         supply=supply,
                         seed=seed,

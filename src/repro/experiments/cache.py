@@ -349,6 +349,10 @@ def placement_to_jsonable(placement) -> dict[str, Any]:
             for name, series in placement.planned_displacement.items()
         },
         "preemptive": bool(placement.preemptive),
+        "planned_grid_import": {
+            name: np.asarray(series, dtype=float).tolist()
+            for name, series in placement.planned_grid_import.items()
+        },
     }
 
 
@@ -368,4 +372,10 @@ def placement_from_jsonable(data: Mapping[str, Any]):
             for name, series in data["planned_displacement"].items()
         },
         preemptive=bool(data["preemptive"]),
+        planned_grid_import={
+            name: np.asarray(series, dtype=float)
+            for name, series in data.get(
+                "planned_grid_import", {}
+            ).items()
+        },
     )

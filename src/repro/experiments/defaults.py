@@ -50,4 +50,8 @@ DEFAULT_UTILIZATION = 0.70
 #: experiments-5: PolicySpec grows ``decompose`` (windowed/relax-fix
 #: MIP solves); placements cached by decompose-unaware code would
 #: alias the monolithic and decomposed variants of the same policy.
-CACHE_CODE_VERSION = "repro-0.1.0/experiments-5"
+#: experiments-6: priced grid supply — SupplySpec grows price/carbon
+#: trace and policy fields, PolicySpec grows ``carbon_weight``, and
+#: cached placements carry ``planned_grid_import``; artifacts cached
+#: by price-unaware code must not resurface under the new schema.
+CACHE_CODE_VERSION = "repro-0.1.0/experiments-6"

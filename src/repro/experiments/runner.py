@@ -29,7 +29,7 @@ import contextvars
 import re
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Mapping
 
@@ -38,7 +38,12 @@ import numpy as np
 from .. import obs
 from ..cluster import Datacenter, DatacenterConfig, SimulationResult
 from ..errors import ConfigurationError
-from ..sched import Placement, SchedulingProblem, SiteCapacity
+from ..sched import (
+    GridPricing,
+    Placement,
+    SchedulingProblem,
+    SiteCapacity,
+)
 from ..sched.problem import default_bytes_per_core
 from ..sim import (
     ExecutionResult,
@@ -49,7 +54,7 @@ from ..sim import (
     simulate,
     summarize_transfers,
 )
-from ..supply import SupplyStack
+from ..supply import BatteryDispatch, SupplyStack
 from ..traces import PowerTrace
 from ..workload import (
     generate_applications,
@@ -137,10 +142,12 @@ def fleet_sites_for_scenario(
     spec = scenario.workload
     config = DatacenterConfig(admission_utilization=spec.utilization)
     supply_spec = scenario.supply
-    supply = supply_spec.build() if supply_spec.enabled else None
     sites = []
     for index, name in enumerate(scenario.sites):
         trace = traces[name]
+        # Per-site stacks: priced specs synthesize their price/carbon
+        # series on the site's own trace grid.
+        supply = supply_spec.build(trace) if supply_spec.enabled else None
         workload = workload_matched_to_power(
             float(trace.values.mean()),
             config.cluster.total_cores,
@@ -240,15 +247,62 @@ class Runner:
             return None
         return f"thread:{threading.current_thread().name}"
 
-    def _supply_stack(self) -> SupplyStack | None:
+    def _supply_stack(
+        self, trace: PowerTrace | None = None
+    ) -> SupplyStack | None:
         """The scenario's live supply stack, or None when disabled.
 
-        One frozen stack instance serves every concurrent task — all
-        mutable dispatch state lives in per-run dispatcher/evaluation
-        objects, never on the stack itself.
+        Priced specs synthesize their price/carbon series on ``trace``,
+        so callers pass the site's trace and receive a per-site stack;
+        unpriced specs ignore it.  Stacks are frozen — all mutable
+        dispatch state lives in per-run dispatcher/evaluation objects,
+        never on the stack itself.
         """
         spec = self.scenario.supply
-        return spec.build() if spec.enabled else None
+        return spec.build(trace) if spec.enabled else None
+
+    def _grid_pricing(
+        self, traces: Mapping[str, PowerTrace]
+    ) -> GridPricing | None:
+        """Planner-side pricing mirroring the scenario's supply spec.
+
+        ``None`` for unpriced or grid-less specs — the MIP then keeps
+        its classic displacement-only objective.  The base pricing
+        carries ``carbon_weight=0``; each policy's own weight is
+        applied per solve.
+        """
+        scenario = self.scenario
+        return GridPricing.from_supply_spec(
+            scenario.supply,
+            {name: traces[name] for name in scenario.sites},
+            {
+                name: scenario.compute.cores_per_site
+                for name in scenario.sites
+            },
+        )
+
+    def _firming_stack(self, trace: PowerTrace) -> SupplyStack | None:
+        """Capacity-firming stack for the planner/executor path.
+
+        When the grid is priced the MIP owns grid purchases through
+        its import variables, so firming keeps only the battery — grid
+        energy priced into the objective must not also inflate the
+        capacity series (the same MWh would be counted twice).
+        """
+        spec = self.scenario.supply
+        stack = self._supply_stack(trace)
+        if stack is None or not (
+            spec.priced and spec.grid_budget_mwh > 0
+        ):
+            return stack
+        return SupplyStack(
+            tuple(
+                component
+                for component in stack.components
+                if isinstance(component, BatteryDispatch)
+            ),
+            stack.target_fraction,
+        )
 
     def _firmed_values(
         self,
@@ -369,18 +423,24 @@ class Runner:
             scenario.effective_forecast_seed
         )
         capacity = self._stage_forecast(manifest, traces, forecaster)
-        problem = self._build_problem(apps, capacity)
+        pricing = self._grid_pricing(traces)
+        problem = self._build_problem(apps, capacity, pricing)
         result.problem = problem
 
         # The fluid execution engine has no per-step demand signal, so
         # the supply stack firms the *actual* capacities open-loop —
         # the same composition the forecast capacities went through, so
-        # planner and executor differ only by forecast error.
-        supply = self._supply_stack()
+        # planner and executor differ only by forecast error.  (With a
+        # priced grid, _firming_stack keeps the battery only on both
+        # paths; grid purchases live in the MIP's import variables.)
+        firming = {
+            name: self._firming_stack(traces[name])
+            for name in scenario.sites
+        }
         actual = {
             name: np.floor(
                 self._firmed_values(
-                    supply, scenario.grid,
+                    firming[name], scenario.grid,
                     traces[name].values, traces[name],
                 )
                 * cores
@@ -420,7 +480,7 @@ class Runner:
                                 traces[site_name], issue_step, horizon
                             )
                             values = self._firmed_values(
-                                supply, forecast.grid,
+                                firming[site_name], forecast.grid,
                                 forecast.values, traces[site_name],
                             )
                             return np.floor(values * cores)
@@ -428,7 +488,20 @@ class Runner:
                         scheduler = policy.build(
                             capacity_provider=day_ahead_provider
                         )
-                        placement = scheduler.schedule(problem)
+                        task_problem = problem
+                        if (
+                            pricing is not None
+                            and policy.carbon_weight
+                            != pricing.carbon_weight
+                        ):
+                            task_problem = replace(
+                                problem,
+                                grid_pricing=replace(
+                                    pricing,
+                                    carbon_weight=policy.carbon_weight,
+                                ),
+                            )
+                        placement = scheduler.schedule(task_problem)
                         if self.cache is not None:
                             self.cache.put_json(
                                 solve_key, placement_to_jsonable(placement)
@@ -457,15 +530,23 @@ class Runner:
             result.executions[policy.name] = execution
 
         with manifest.record("analyze"):
-            summaries = [
-                summarize_transfers(
-                    policy.name,
-                    result.executions[
+            summaries = []
+            for policy in scenario.policies:
+                cost_usd = carbon_kg = 0.0
+                if pricing is not None:
+                    cost_usd, carbon_kg = result.placements[
                         policy.name
-                    ].total_transfer_series(),
+                    ].planned_cost(pricing)
+                summaries.append(
+                    summarize_transfers(
+                        policy.name,
+                        result.executions[
+                            policy.name
+                        ].total_transfer_series(),
+                        cost_usd=cost_usd,
+                        carbon_kg=carbon_kg,
+                    )
                 )
-                for policy in scenario.policies
-            ]
             result.comparison = PolicyComparison(summaries)
             manifest.summary = {
                 "policies": result.comparison.summary_dict(),
@@ -484,7 +565,6 @@ class Runner:
         scenario = self.scenario
         cores = scenario.compute.cores_per_site
         key = scenario.forecast_key()
-        supply = self._supply_stack()
         with manifest.record("forecast") as stage:
             stage.artifact = key
             capacity = None
@@ -498,7 +578,8 @@ class Runner:
                         traces[name], 0, scenario.grid.n
                     )
                     values = self._firmed_values(
-                        supply, forecast.grid,
+                        self._firming_stack(traces[name]),
+                        forecast.grid,
                         forecast.values, traces[name],
                     )
                     capacity[name] = np.floor(values * cores)
@@ -508,7 +589,10 @@ class Runner:
         return dict(capacity)
 
     def _build_problem(
-        self, apps, capacity: Mapping[str, np.ndarray]
+        self,
+        apps,
+        capacity: Mapping[str, np.ndarray],
+        grid_pricing: GridPricing | None = None,
     ) -> SchedulingProblem:
         scenario = self.scenario
         compute = scenario.compute
@@ -525,6 +609,7 @@ class Runner:
             tuple(apps),
             bytes_per_core,
             compute.utilization_cap,
+            grid_pricing=grid_pricing,
         )
 
     # ------------------------------------------------------------------
@@ -537,7 +622,6 @@ class Runner:
         scenario = self.scenario
         spec = scenario.workload
         config = DatacenterConfig(admission_utilization=spec.utilization)
-        supply = self._supply_stack()
         supply_mode = scenario.supply.mode
 
         def workload_task(index, name):
@@ -578,7 +662,7 @@ class Runner:
                         config=config,
                         trace=result.traces[name],
                         requests=requests,
-                        supply=supply,
+                        supply=self._supply_stack(result.traces[name]),
                         supply_mode=supply_mode,
                     )
                 )
@@ -600,7 +684,10 @@ class Runner:
                         simulation = simulate(
                             Datacenter(
                                 config, result.traces[name],
-                                supply=supply, supply_mode=supply_mode,
+                                supply=self._supply_stack(
+                                    result.traces[name]
+                                ),
+                                supply_mode=supply_mode,
                             ),
                             requests,
                         )

@@ -197,6 +197,10 @@ class PolicySpec:
             (e.g. ``"window:24,relax-fix"``), parsed by
             :meth:`repro.sched.DecomposeSpec.parse`; ``None`` solves
             monolithically.  Part of the result cache key.
+        carbon_weight: Weight on grid-import carbon in the MIP
+            objective ($ per kgCO2-equivalent); only meaningful when
+            the scenario's supply spec prices the grid.  Part of the
+            result cache key.
     """
 
     name: str
@@ -206,11 +210,16 @@ class PolicySpec:
     window_steps: int = 24
     day_ahead_forecasts: bool = True
     decompose: str | None = None
+    carbon_weight: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in ("greedy", "mip", "rolling_mip"):
             raise ConfigurationError(
                 f"unknown policy kind: {self.kind!r}"
+            )
+        if self.carbon_weight < 0:
+            raise ConfigurationError(
+                f"carbon_weight must be >= 0: {self.carbon_weight}"
             )
         if not self.name:
             raise ConfigurationError("policy needs a non-empty name")

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ConfigurationError
-from ..traces import PowerTrace
+from ..traces import PowerTrace, SpotPriceTrace
 
 
 @dataclass(frozen=True)
@@ -73,14 +73,29 @@ class MarketModel:
         rng: np.random.Generator | None = None,
         seed: int | None = None,
     ) -> np.ndarray:
-        """Wholesale price per step, currency/MWh (can go negative)."""
-        if rng is None:
-            rng = np.random.default_rng(seed)
-        noise = rng.normal(0.0, self.noise_std_per_mwh, len(trace))
-        return (
-            self.base_price_per_mwh
-            - self.sensitivity_per_mwh * trace.values
-            + noise
+        """Wholesale price per step, currency/MWh (can go negative).
+
+        Thin shim over :meth:`SpotPriceTrace.merit_order` — the single
+        merit-order price generator — kept for callers that want the
+        raw array; the RNG call sequence is identical, so existing
+        seeded results are unchanged bit for bit.
+        """
+        return self.price_trace(trace, rng=rng, seed=seed).values
+
+    def price_trace(
+        self,
+        trace: PowerTrace,
+        rng: np.random.Generator | None = None,
+        seed: int | None = None,
+    ) -> SpotPriceTrace:
+        """The merit-order price as a typed :class:`SpotPriceTrace`."""
+        return SpotPriceTrace.merit_order(
+            trace,
+            base_price_per_mwh=self.base_price_per_mwh,
+            sensitivity_per_mwh=self.sensitivity_per_mwh,
+            noise_std_per_mwh=self.noise_std_per_mwh,
+            rng=rng,
+            seed=seed,
         )
 
     def curtailed_series_mwh(self, trace: PowerTrace) -> np.ndarray:

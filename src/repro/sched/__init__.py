@@ -29,6 +29,7 @@ Schedulers:
 """
 
 from .problem import (
+    GridPricing,
     Placement,
     SchedulingProblem,
     SiteCapacity,
@@ -56,6 +57,7 @@ from .coscheduler import CoScheduler, CoScheduleOutcome
 from .placement import consolidate_vms_onto_servers
 
 __all__ = [
+    "GridPricing",
     "Placement",
     "SchedulingProblem",
     "SiteCapacity",

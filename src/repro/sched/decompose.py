@@ -265,6 +265,13 @@ class WindowState:
     untruncated activity windows, so later windows see load the
     committing window could not).  ``base_cap`` generalizes the
     allocation cap: windows see ``clip(base_cap - total_bg, 0)``.
+
+    When the problem carries a :class:`~repro.sched.problem.GridPricing`,
+    the ledger also tracks committed grid spend: ``grid_spent_mwh`` is
+    the per-site energy already bought by earlier windows (later
+    windows see the budget *minus* it — the seam carry that keeps a
+    shared budget exact across windows), and ``grid_import`` merges the
+    committed per-step purchase series over the full horizon.
     """
 
     def __init__(
@@ -279,6 +286,12 @@ class WindowState:
         self.stable_bg: dict[str, np.ndarray] = {}
         self.total_bg: dict[str, np.ndarray] = {}
         self.base_cap: dict[str, np.ndarray] = {}
+        self.grid_spent_mwh: dict[str, float] = {
+            site.name: 0.0 for site in problem.sites
+        }
+        self.grid_import: dict[str, np.ndarray] = {
+            site.name: np.zeros(n) for site in problem.sites
+        }
         for site in problem.sites:
             if stable_background is not None:
                 self.stable_bg[site.name] = np.array(
@@ -311,6 +324,17 @@ class WindowState:
                 self.total_bg[name][window_full] += (
                     count * app.vm_type.cores
                 )
+        if sub_placement.planned_grid_import:
+            commit = slice(built.plan.start, built.plan.commit_end)
+            for name, series in (
+                sub_placement.planned_grid_import.items()
+            ):
+                committed = np.asarray(series, dtype=float)[
+                    : built.plan.commit_steps
+                ]
+                if committed.size:
+                    self.grid_import[name][commit] = committed
+                    self.grid_spent_mwh[name] += float(committed.sum())
 
 
 @dataclass(frozen=True)
@@ -382,12 +406,26 @@ def build_window_problem(
             None,
         )
         backgrounds[site.name] = state.stable_bg[site.name][window].copy()
+    pricing = None
+    if problem.grid_pricing is not None:
+        # Window signals plus the budget left after committed spend —
+        # the grid-side analogue of the carried displacement boundary.
+        gp = problem.grid_pricing
+        pricing = gp.slice(plan.start, plan.ext_end).with_budgets(
+            {
+                name: max(
+                    budget - state.grid_spent_mwh.get(name, 0.0), 0.0
+                )
+                for name, budget in gp.budget_mwh.items()
+            }
+        )
     sub_problem = SchedulingProblem(
         problem.grid.subgrid(plan.start, horizon),
         tuple(sub_sites),
         tuple(shifted),
         problem.bytes_per_core,
         problem.utilization_cap,
+        grid_pricing=pricing,
     )
     return WindowProblem(
         plan, sub_problem, tuple(batch), tuple(shifted), caps,
@@ -424,16 +462,35 @@ def placement_objective(
     The O2 peak term is *excluded* — for ``peak_weight > 0`` the
     solver trades O1 against the peak and no placement-only closed
     form exists.
+
+    When the problem carries a :class:`~repro.sched.problem.GridPricing`
+    and the placement a grid-import plan, the bought cores raise each
+    site's effective capacity (lowering the displacement floor) and
+    their ``(price + carbon_weight * carbon)`` cost joins the total —
+    the objective of the *fixed* (placement, grid plan) pair.
     """
     stable, _ = placement_load_series(problem, placement)
     bpc_gb = problem.bytes_per_core / 1e9
     total = 0.0
+    gp = problem.grid_pricing
+    grid_cores: dict[str, np.ndarray] = {}
+    if gp is not None and placement.planned_grid_import:
+        weight = gp.objective_per_mwh()
+        for name, series in placement.planned_grid_import.items():
+            mwh = np.asarray(series, dtype=float)
+            grid_cores[name] = (
+                mwh * gp.cores_per_mw[name] / gp.step_hours
+            )
+            total += float(mwh @ weight[: len(mwh)])
     for site in problem.sites:
         load = stable[site.name]
         if stable_background is not None:
             load = load + np.asarray(
                 stable_background[site.name], dtype=float
             )
+        bought = grid_cores.get(site.name)
+        if bought is not None:
+            load = load - bought
         floor = np.clip(load - site.capacity_cores, 0.0, None)
         u0 = 0.0
         if initial_displacement is not None:
@@ -571,6 +628,13 @@ def _windows_separable(
     activity implies only for apps; background load could hold
     displacement across a seam, so any background disables it too).
     """
+    if problem.grid_pricing is not None and any(
+        np.isfinite(budget)
+        for budget in problem.grid_pricing.budget_mwh.values()
+    ):
+        # A finite shared energy budget couples every window: spend in
+        # one reduces what the next may buy.
+        return False
     if initial_displacement is not None and any(
         float(v) > 0 for v in initial_displacement.values()
     ):
@@ -672,6 +736,30 @@ def _commit_series(
     return np.asarray(series, dtype=float)[: built.plan.commit_steps]
 
 
+def _committed_grid_cost(
+    problem: SchedulingProblem,
+    built: WindowProblem,
+    sub_placement: Placement,
+) -> float:
+    """$-equivalent cost of one window's committed grid purchases."""
+    if (
+        problem.grid_pricing is None
+        or not sub_placement.planned_grid_import
+    ):
+        return 0.0
+    weight = problem.grid_pricing.objective_per_mwh()[
+        built.plan.start : built.plan.commit_end
+    ]
+    cost = 0.0
+    for series in sub_placement.planned_grid_import.values():
+        committed = np.asarray(series, dtype=float)[
+            : built.plan.commit_steps
+        ]
+        if committed.size:
+            cost += float(committed @ weight[: len(committed)])
+    return cost
+
+
 def _solve_windowed(
     scheduler: "MIPScheduler",
     spec: DecomposeSpec,
@@ -755,6 +843,9 @@ def _solve_windowed(
                         np.abs(delta).sum() + eps * series.sum()
                     ) * bpc_gb
                     planned_parts[name][commit] = series
+            expected += _committed_grid_cost(
+                problem, built, sub_placement
+            )
             state.commit(built, sub_placement)
     else:
         inner = MIPScheduler(**_mip_kwargs(scheduler), decompose=relax_spec)
@@ -819,12 +910,23 @@ def _solve_windowed(
                     ) * bpc_gb
                     planned_parts[name][commit] = series
                     boundary[name] = float(series[-1])
+            expected += _committed_grid_cost(
+                problem, built, sub_placement
+            )
             state.commit(built, sub_placement)
 
     merged = Placement(
         dict(state.assignment),
         planned_parts,
         preemptive=scheduler.peak_weight > 0,
+        planned_grid_import=(
+            {
+                name: series.copy()
+                for name, series in state.grid_import.items()
+            }
+            if problem.grid_pricing is not None
+            else {}
+        ),
     )
     merged.validate_complete(problem)
 
@@ -860,6 +962,13 @@ def _solve_windowed(
             if stable_background is not None:
                 load = load + np.asarray(
                     stable_background[site.name], dtype=float
+                )
+            if problem.grid_pricing is not None:
+                gp = problem.grid_pricing
+                load = load - (
+                    merged.planned_grid_import[site.name]
+                    * gp.cores_per_mw[site.name]
+                    / gp.step_hours
                 )
             floor = np.clip(load - site.capacity_cores, 0.0, None)
             merged.planned_displacement[site.name] = (

@@ -73,6 +73,7 @@ class _Layout:
     n_steps: int
     peak: bool
     reassign: bool = False
+    grid: bool = False
 
     @property
     def o_u(self) -> int:
@@ -96,10 +97,18 @@ class _Layout:
         return self.o_m + (1 if self.peak else 0)
 
     @property
-    def n_vars(self) -> int:
+    def o_g(self) -> int:
+        """Grid-import variables (priced problems only)."""
         base = self.o_mp
         if self.reassign:
             base += 2 * self.n_apps * self.n_sites
+        return base
+
+    @property
+    def n_vars(self) -> int:
+        base = self.o_g
+        if self.grid:
+            base += self.n_sites * self.n_steps
         return base
 
     def y(self, a: int, s: int) -> int:
@@ -121,6 +130,9 @@ class _Layout:
         return self.o_mp + self.n_apps * self.n_sites + (
             a * self.n_sites + s
         )
+
+    def g(self, s: int, t: int) -> int:
+        return self.o_g + s * self.n_steps + t
 
 
 @dataclass(frozen=True)
@@ -289,8 +301,12 @@ def _assemble(
     ub_blocks.append(vm_counts)
 
     # (C2) displacement lower bound: rows [A, A + S*T), row A + s*T + t.
+    # With grid pricing, bought cores g[s,t] relax the bound one for
+    # one: u + g - stable_load >= -capacity + background.
     r2 = A
     emit(r2 + st_idx, layout.o_u + st_idx, np.ones(ST))
+    if layout.grid:
+        emit(r2 + st_idx, layout.o_g + st_idx, np.ones(ST))
     a2, t2 = np.nonzero(active & (stable_cpv > 0)[:, None])
     if a2.size:
         emit(
@@ -371,7 +387,25 @@ def _assemble(
                     prev_arr[a, s] = float(prev.get(site.name, 0))
         lb_blocks.append(prev_arr.ravel())
         ub_blocks.append(prev_arr.ravel())
-    n_rows = r6 + (A * S if layout.reassign else 0)
+    r7 = r6 + (A * S if layout.reassign else 0)
+
+    # (C7) per-site grid energy budget: rows [r7, r7 + S), one per
+    # site — sum_t g[s,t] * step_hours / cores_per_mw[s] <= budget.
+    if layout.grid:
+        gp = problem.grid_pricing
+        mwh_per_core = np.array(
+            [gp.step_hours / gp.cores_per_mw[site.name] for site in sites]
+        )
+        emit(
+            np.repeat(r7 + s_idx, T),
+            layout.o_g + st_idx,
+            np.repeat(mwh_per_core, T),
+        )
+        lb_blocks.append(np.full(S, -np.inf))
+        ub_blocks.append(
+            np.array([gp.budget_mwh[site.name] for site in sites])
+        )
+    n_rows = r7 + (S if layout.grid else 0)
 
     matrix = sparse.csr_matrix(
         (
@@ -440,6 +474,8 @@ def _assemble_reference(
             background = np.asarray(stable_background[site.name])
         for t in range(n_steps):
             add_entry(row, layout.u(s, t), 1.0)
+            if layout.grid:
+                add_entry(row, layout.g(s, t), 1.0)
             for a in active_at[t]:
                 if stable_cpv[a] > 0:
                     add_entry(row, layout.y(a, s), -stable_cpv[a])
@@ -507,6 +543,17 @@ def _assemble_reference(
                 lb.append(previous)
                 ub.append(previous)
                 row += 1
+
+    # (C7) per-site grid energy budget.
+    if layout.grid:
+        gp = problem.grid_pricing
+        for s, site in enumerate(sites):
+            mwh_per_core = gp.step_hours / gp.cores_per_mw[site.name]
+            for t in range(n_steps):
+                add_entry(row, layout.g(s, t), mwh_per_core)
+            lb.append(-np.inf)
+            ub.append(float(gp.budget_mwh[site.name]))
+            row += 1
 
     matrix = sparse.csr_matrix(
         (vals, (rows, cols)), shape=(row, layout.n_vars)
@@ -738,6 +785,7 @@ class MIPScheduler:
             n_steps,
             self.peak_weight > 0,
             reassign=previous_assignment is not None,
+            grid=problem.grid_pricing is not None,
         )
         bpc_gb = problem.bytes_per_core / 1e9
 
@@ -764,6 +812,20 @@ class MIPScheduler:
             c[layout.o_mp : layout.o_mp + n_pairs] = (
                 switch_weight * np.repeat(move_gb, len(sites))
             )
+        if layout.grid:
+            # Each bought core-step costs its energy at the spot price
+            # plus carbon_weight dollars per kg emitted.
+            gp = problem.grid_pricing
+            weight_mwh = gp.objective_per_mwh()
+            mwh_per_core = np.array(
+                [
+                    gp.step_hours / gp.cores_per_mw[site.name]
+                    for site in sites
+                ]
+            )
+            c[layout.o_g : layout.n_vars] = (
+                mwh_per_core[:, None] * weight_mwh[None, :]
+            ).ravel()
 
         # Bounds and integrality.
         lower = np.zeros(layout.n_vars)
@@ -772,6 +834,19 @@ class MIPScheduler:
             np.array([float(app.vm_count) for app in apps]),
             len(sites),
         )
+        if layout.grid:
+            # g stays continuous; cap it at the import power limit.
+            upper[layout.o_g : layout.n_vars] = np.repeat(
+                np.array(
+                    [
+                        problem.grid_pricing.site_power_cap_cores(
+                            site.name
+                        )
+                        for site in sites
+                    ]
+                ),
+                n_steps,
+            )
         integrality = np.zeros(layout.n_vars)
         if self.integer_vms:
             integrality[: layout.o_u] = 1
@@ -947,8 +1022,23 @@ class MIPScheduler:
         for s, name in enumerate(names):
             series = x[layout.o_u + s * T : layout.o_u + (s + 1) * T]
             planned[name] = np.clip(series, 0.0, None)
+        imports: dict[str, np.ndarray] = {}
+        if layout.grid:
+            gp = problem.grid_pricing
+            for s, name in enumerate(names):
+                cores = np.clip(
+                    x[layout.o_g + s * T : layout.o_g + (s + 1) * T],
+                    0.0,
+                    None,
+                )
+                imports[name] = (
+                    cores * gp.step_hours / gp.cores_per_mw[name]
+                )
         placement = Placement(
-            assignment, planned, preemptive=self.peak_weight > 0
+            assignment,
+            planned,
+            preemptive=self.peak_weight > 0,
+            planned_grid_import=imports,
         )
         placement.validate_complete(problem)
         return placement
@@ -1053,6 +1143,16 @@ class RollingMIPScheduler:
                 chunk_timings.append(solver.last_timings)
             state.commit(built, sub_placement)
         self.last_chunk_timings = tuple(chunk_timings)
-        placement = Placement(dict(state.assignment))
+        placement = Placement(
+            dict(state.assignment),
+            planned_grid_import=(
+                {
+                    name: series.copy()
+                    for name, series in state.grid_import.items()
+                }
+                if problem.grid_pricing is not None
+                else {}
+            ),
+        )
         placement.validate_complete(problem)
         return placement

@@ -9,7 +9,7 @@ import numpy as np
 
 from ..errors import SchedulingError
 from ..forecast import Forecaster
-from ..supply import SupplyStack
+from ..supply import BatteryDispatch, SupplySpec, SupplyStack
 from ..traces import PowerTrace
 from ..units import TimeGrid
 from ..workload import Application
@@ -49,6 +49,178 @@ class SiteCapacity:
 
 
 @dataclass(frozen=True)
+class GridPricing:
+    """Per-step grid price/carbon signals the planner can buy against.
+
+    Attaching one to a :class:`SchedulingProblem` adds continuous grid
+    import variables ``g[s, t]`` (in cores) to the MIP: each core
+    bought relaxes that site's displacement bound at that step, costs
+    ``(price[t] + carbon_weight * carbon[t])`` per MWh in the
+    objective, and draws down the site's energy budget.  The MIP then
+    trades migration traffic against money and emissions — buy a few
+    expensive cores through a lull, or migrate the VMs away.
+
+    Money ($) and traffic (GB) share one objective without an explicit
+    exchange rate: a dollar competes with a gigabyte one-for-one, and
+    callers scale the price series to tune the tradeoff.
+
+    Attributes:
+        price_per_mwh: ``(n_steps,)`` spot price in $/MWh.
+        carbon_per_mwh: ``(n_steps,)`` carbon intensity in kgCO2/MWh
+            (numerically identical to gCO2/kWh).
+        step_hours: Step size — converts cores bought to MWh through
+            ``cores_per_mw``.
+        cores_per_mw: Site name -> cores one MW powers (the cluster's
+            ``total_cores / capacity_mw`` density).
+        budget_mwh: Site name -> grid energy purchasable over the
+            horizon (the supply stack's ``grid_budget_mwh``).
+        max_power_mw: Site name -> import power limit; ``None`` entries
+            (or a missing site) mean unlimited.
+        carbon_weight: $/kgCO2 folding emissions into the objective.
+    """
+
+    price_per_mwh: np.ndarray
+    carbon_per_mwh: np.ndarray
+    step_hours: float
+    cores_per_mw: Mapping[str, float]
+    budget_mwh: Mapping[str, float]
+    max_power_mw: Mapping[str, float | None] = field(default_factory=dict)
+    carbon_weight: float = 0.0
+
+    def __post_init__(self) -> None:
+        for label, values in (
+            ("price", self.price_per_mwh),
+            ("carbon", self.carbon_per_mwh),
+        ):
+            arr = np.asarray(values, dtype=float)
+            if arr.ndim != 1:
+                raise SchedulingError(
+                    f"{label} series must be 1-D, got {arr.shape}"
+                )
+            if not np.all(np.isfinite(arr)):
+                raise SchedulingError(f"{label} series must be finite")
+        object.__setattr__(
+            self, "price_per_mwh",
+            np.asarray(self.price_per_mwh, dtype=float),
+        )
+        object.__setattr__(
+            self, "carbon_per_mwh",
+            np.asarray(self.carbon_per_mwh, dtype=float),
+        )
+        if len(self.price_per_mwh) != len(self.carbon_per_mwh):
+            raise SchedulingError(
+                f"price/carbon lengths differ:"
+                f" {len(self.price_per_mwh)} != {len(self.carbon_per_mwh)}"
+            )
+        if self.step_hours <= 0:
+            raise SchedulingError(
+                f"step hours must be positive: {self.step_hours}"
+            )
+        if self.carbon_weight < 0:
+            raise SchedulingError(
+                f"carbon weight must be >= 0: {self.carbon_weight}"
+            )
+        for name, density in self.cores_per_mw.items():
+            if density <= 0:
+                raise SchedulingError(
+                    f"cores/MW for {name} must be positive: {density}"
+                )
+        for name, budget in self.budget_mwh.items():
+            if budget < 0:
+                raise SchedulingError(
+                    f"grid budget for {name} must be >= 0: {budget}"
+                )
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.price_per_mwh)
+
+    def objective_per_mwh(self) -> np.ndarray:
+        """``(n_steps,)`` $-equivalent cost of one imported MWh."""
+        return self.price_per_mwh + self.carbon_weight * self.carbon_per_mwh
+
+    def site_power_cap_cores(self, name: str) -> float:
+        """Upper bound on ``g[s, t]`` in cores (inf when unlimited)."""
+        limit = self.max_power_mw.get(name)
+        if limit is None:
+            return float("inf")
+        return float(limit) * float(self.cores_per_mw[name])
+
+    def slice(self, start: int, stop: int) -> "GridPricing":
+        """The window ``[start, stop)`` of the signals (same budgets).
+
+        Budget reduction for committed spend is the caller's job
+        (:class:`~repro.sched.decompose.WindowState` carries it), since
+        the pricing object itself is stateless.
+        """
+        return GridPricing(
+            price_per_mwh=self.price_per_mwh[start:stop],
+            carbon_per_mwh=self.carbon_per_mwh[start:stop],
+            step_hours=self.step_hours,
+            cores_per_mw=dict(self.cores_per_mw),
+            budget_mwh=dict(self.budget_mwh),
+            max_power_mw=dict(self.max_power_mw),
+            carbon_weight=self.carbon_weight,
+        )
+
+    def with_budgets(
+        self, budget_mwh: Mapping[str, float]
+    ) -> "GridPricing":
+        """Copy with replaced per-site budgets (window seam carry)."""
+        return GridPricing(
+            price_per_mwh=self.price_per_mwh,
+            carbon_per_mwh=self.carbon_per_mwh,
+            step_hours=self.step_hours,
+            cores_per_mw=dict(self.cores_per_mw),
+            budget_mwh=dict(budget_mwh),
+            max_power_mw=dict(self.max_power_mw),
+            carbon_weight=self.carbon_weight,
+        )
+
+    @classmethod
+    def from_supply_spec(
+        cls,
+        spec: SupplySpec,
+        traces: Mapping[str, PowerTrace],
+        total_cores: Mapping[str, int],
+        carbon_weight: float = 0.0,
+    ) -> "GridPricing | None":
+        """Pricing matching what :meth:`SupplySpec.components` builds.
+
+        Synthesizes the price/carbon series with
+        :meth:`SupplySpec.grid_signals` on the first trace (one shared
+        regional market), so the offline MIP prices exactly the MWh the
+        online dispatch pays for.  Returns ``None`` for unpriced or
+        grid-less specs — the problem then omits the grid variables.
+        """
+        if not spec.priced or spec.grid_budget_mwh <= 0:
+            return None
+        first = next(iter(traces.values()))
+        price, carbon = spec.grid_signals(first)
+        n = first.grid.n
+        return cls(
+            price_per_mwh=(
+                np.zeros(n) if price is None else price.values
+            ),
+            carbon_per_mwh=(
+                np.zeros(n) if carbon is None else carbon.values
+            ),
+            step_hours=first.grid.step_hours,
+            cores_per_mw={
+                name: total_cores[name] / trace.capacity_mw
+                for name, trace in traces.items()
+            },
+            budget_mwh={
+                name: spec.grid_budget_mwh for name in traces
+            },
+            max_power_mw={
+                name: spec.grid_power_mw for name in traces
+            },
+            carbon_weight=carbon_weight,
+        )
+
+
+@dataclass(frozen=True)
 class SchedulingProblem:
     """Everything a scheduler needs to place a batch of applications.
 
@@ -60,6 +232,9 @@ class SchedulingProblem:
             Defaults derived via :func:`default_bytes_per_core`.
         utilization_cap: Maximum allocated fraction of a site's total
             cores (leaves the paper's headroom for local absorption).
+        grid_pricing: Optional :class:`GridPricing` adding priced grid
+            import variables to the MIP; ``None`` (default) keeps the
+            classic traffic-only model bit-for-bit.
     """
 
     grid: TimeGrid
@@ -67,6 +242,7 @@ class SchedulingProblem:
     apps: tuple[Application, ...]
     bytes_per_core: float
     utilization_cap: float = 0.9
+    grid_pricing: GridPricing | None = None
 
     def __post_init__(self) -> None:
         if not self.sites:
@@ -96,6 +272,22 @@ class SchedulingProblem:
                     f"app {app.app_id} runs past the horizon"
                     f" ({app.end_step} > {self.grid.n})"
                 )
+        if self.grid_pricing is not None:
+            if self.grid_pricing.n_steps != self.grid.n:
+                raise SchedulingError(
+                    f"grid pricing length {self.grid_pricing.n_steps}"
+                    f" != grid {self.grid.n}"
+                )
+            for site in self.sites:
+                for label, table in (
+                    ("cores_per_mw", self.grid_pricing.cores_per_mw),
+                    ("budget_mwh", self.grid_pricing.budget_mwh),
+                ):
+                    if site.name not in table:
+                        raise SchedulingError(
+                            f"grid pricing {label} missing site"
+                            f" {site.name}"
+                        )
 
     @property
     def site_names(self) -> list[str]:
@@ -142,6 +334,10 @@ class Placement:
             objective also carry a displacement series, but it is just
             the forecast-implied minimum — following it would replay
             forecast noise as real migrations, so it stays advisory.
+        planned_grid_import: Per-site planned grid purchases in MWh per
+            step (only populated when the problem carried a
+            :class:`GridPricing`); the offline benchmark the online
+            purchase policies are compared against.
     """
 
     assignment: dict[int, dict[str, int]]
@@ -149,6 +345,22 @@ class Placement:
         default_factory=dict
     )
     preemptive: bool = False
+    planned_grid_import: dict[str, np.ndarray] = field(
+        default_factory=dict
+    )
+
+    def planned_cost(
+        self, pricing: GridPricing
+    ) -> tuple[float, float]:
+        """``(cost_usd, carbon_kg)`` of the planned grid imports."""
+        cost = 0.0
+        carbon = 0.0
+        for series in self.planned_grid_import.values():
+            mwh = np.asarray(series, dtype=float)
+            n = min(len(mwh), pricing.n_steps)
+            cost += float(mwh[:n] @ pricing.price_per_mwh[:n])
+            carbon += float(mwh[:n] @ pricing.carbon_per_mwh[:n])
+        return cost, carbon
 
     def vms_at(self, app_id: int, site_name: str) -> int:
         """VMs of ``app_id`` placed at ``site_name``."""
@@ -191,6 +403,7 @@ def problem_from_forecasts(
     bytes_per_core: float | None = None,
     utilization_cap: float = 0.9,
     supply: "Mapping[str, SupplyStack] | SupplyStack | None" = None,
+    grid_pricing: GridPricing | None = None,
 ) -> SchedulingProblem:
     """Build a problem whose site capacities come from forecasts.
 
@@ -211,6 +424,11 @@ def problem_from_forecasts(
             MIP plans against battery-firmed capacity — the same stack
             the executor then dispatches against the actual traces.
             Empty stacks are pass-throughs.
+        grid_pricing: Optional :class:`GridPricing` giving the MIP its
+            own grid-import variables.  When set, any grid component in
+            ``supply`` is *excluded* from forecast firming — the MIP
+            owns the grid decision, and firming the forecast with the
+            same budget would count the energy twice.
     """
     sites = []
     for name, trace in traces.items():
@@ -223,6 +441,14 @@ def problem_from_forecasts(
             stack = supply.get(name)
         else:
             stack = None
+        if stack is not None and grid_pricing is not None:
+            stack = SupplyStack(
+                tuple(
+                    c for c in stack.components
+                    if isinstance(c, BatteryDispatch)
+                ),
+                stack.target_fraction,
+            )
         if stack is not None and not stack.stateless:
             # Firm the forecast under the actual trace's physical
             # scaling (MW capacity): planner and executor see the same
@@ -239,5 +465,10 @@ def problem_from_forecasts(
     if bytes_per_core is None:
         bytes_per_core = default_bytes_per_core(apps)
     return SchedulingProblem(
-        grid, tuple(sites), tuple(apps), bytes_per_core, utilization_cap
+        grid,
+        tuple(sites),
+        tuple(apps),
+        bytes_per_core,
+        utilization_cap,
+        grid_pricing=grid_pricing,
     )

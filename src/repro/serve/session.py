@@ -45,7 +45,11 @@ from ..cluster import Datacenter, SimulationResult
 from ..cluster.datacenter import _ClosedEventSite
 from ..errors import SessionError
 from ..sim.fleet import FleetSite
-from ..supply.components import BatteryDispatch, GridFirmPower
+from ..supply.components import (
+    BatteryDispatch,
+    GridFirmPower,
+    PricedGridPower,
+)
 
 __all__ = ["SimSession", "SessionError"]
 
@@ -53,7 +57,7 @@ __all__ = ["SimSession", "SessionError"]
 CHECKPOINT_FORMAT = "repro-session/1"
 
 #: Injection kinds :meth:`SimSession.inject` accepts.
-INJECT_KINDS = ("battery_soc", "grid_budget", "blackout")
+INJECT_KINDS = ("battery_soc", "grid_budget", "blackout", "spot_price")
 
 
 class _SiteEngine:
@@ -205,6 +209,46 @@ class _SiteEngine:
             touched += 1
         return touched
 
+    def spot_price_shock(
+        self,
+        start: int,
+        stop: int,
+        scale: float | None = None,
+        delta_per_mwh: float | None = None,
+    ) -> int:
+        """Scale and/or shift spot prices over ``[start, stop)``.
+
+        Closed loop only: every :class:`PricedGridPower` component's
+        price series mutates in place, the dispatcher's caches
+        invalidate, and the span precompute rebuilds, so threshold/dvb
+        policies see the shock from the next dispatch on.  Returns
+        priced components touched.
+        """
+        state = self.state
+        if not state.closed:
+            return 0
+        stop = min(stop, state.n)
+        start = min(max(start, self.cursor), stop)
+        if start >= stop:
+            return 0
+        dispatcher = state.dispatcher
+        touched = 0
+        for component in dispatcher.components:
+            if not isinstance(component, PricedGridPower):
+                continue
+            prices = component.price_per_mwh
+            if prices is None:
+                continue
+            if scale is not None:
+                prices[start:stop] *= float(scale)
+            if delta_per_mwh is not None:
+                prices[start:stop] += float(delta_per_mwh)
+            touched += 1
+        if touched:
+            dispatcher.invalidate_base_cache()
+            self._precomp = self.dc.closed_span_precompute(dispatcher)
+        return touched
+
     def blackout(self, start: int, stop: int) -> int:
         """Zero the site's power over ``[start, stop)``; returns width.
 
@@ -338,9 +382,20 @@ class SimSession:
                 "summary": self._projection(se).summary_dict(),
             }
             if se.state.closed:
-                entry["battery_soc_mwh"] = (
-                    se.state.dispatcher.battery_soc_mwh()
-                )
+                dispatcher = se.state.dispatcher
+                entry["battery_soc_mwh"] = dispatcher.battery_soc_mwh()
+                cost = carbon = 0.0
+                priced = False
+                for component, st in zip(
+                    dispatcher.components, dispatcher.states
+                ):
+                    if isinstance(component, PricedGridPower):
+                        priced = True
+                        cost += st.cost_usd
+                        carbon += st.carbon_kg
+                if priced:
+                    entry["grid_cost_usd"] = cost
+                    entry["grid_carbon_kg"] = carbon
             sites[se.name] = entry
         return {
             "session_id": self.session_id,
@@ -440,6 +495,11 @@ class SimSession:
           steps): zero the targeted site's power from the current
           step.  Without ``site``, a random site is drawn from the
           session RNG.
+        * ``spot_price`` — ``scale`` and/or ``delta_per_mwh``, plus
+          ``duration_steps`` (default one day): multiply/shift every
+          priced grid component's spot prices from the current step
+          (closed loop only), e.g. a 3x price spike the dvb policy
+          should ride through.
 
         ``site`` targets one site by name; omit it to target all sites
         (``blackout``: one random site).  Returns the queued audit
@@ -465,6 +525,12 @@ class SimSession:
         ):
             raise SessionError(
                 "grid_budget needs remaining_mwh or delta_mwh"
+            )
+        if kind == "spot_price" and not (
+            "scale" in action or "delta_per_mwh" in action
+        ):
+            raise SessionError(
+                "spot_price needs scale or delta_per_mwh"
             )
         self._pending.append(dict(action))
         if obs.enabled():
@@ -499,6 +565,14 @@ class SimSession:
                     touched += se.set_grid_budget(
                         remaining_mwh=action.get("remaining_mwh"),
                         delta_mwh=action.get("delta_mwh"),
+                    )
+            elif kind == "spot_price":
+                duration = int(action.get("duration_steps", 96))
+                for se in targets:
+                    touched += se.spot_price_shock(
+                        self.step, self.step + duration,
+                        scale=action.get("scale"),
+                        delta_per_mwh=action.get("delta_per_mwh"),
                     )
             else:
                 duration = int(action.get("duration_steps", 96))

@@ -38,6 +38,8 @@ SUMMARY_SCHEMA = {
         "grid_import_mwh",
         "curtailed_mwh",
         "final_soc_mwh",
+        "cost_usd",
+        "carbon_kg",
     ),
 }
 
@@ -57,6 +59,9 @@ class TransferSummary:
         std_gb: Standard deviation of per-step transfer.
         zero_fraction: Share of steps with no transfer (Fig 7's CDF
             left edge: greedy ~81%, MIP ~94%, MIP-peak ~74%).
+        cost_usd: Grid purchase cost the policy's run accrued, summed
+            across sites (0 when the run had no priced grid).
+        carbon_kg: Grid purchase emissions, idem.
     """
 
     policy: str
@@ -65,12 +70,22 @@ class TransferSummary:
     peak_gb: float
     std_gb: float
     zero_fraction: float
+    cost_usd: float = 0.0
+    carbon_kg: float = 0.0
 
 
 def summarize_transfers(
-    policy: str, transfer_bytes: np.ndarray
+    policy: str,
+    transfer_bytes: np.ndarray,
+    cost_usd: float = 0.0,
+    carbon_kg: float = 0.0,
 ) -> TransferSummary:
-    """Build a :class:`TransferSummary` from a per-step byte series."""
+    """Build a :class:`TransferSummary` from a per-step byte series.
+
+    ``cost_usd`` / ``carbon_kg`` attach the run's grid-purchase ledger
+    (summed across sites) so the Table-1 comparison can rank policies
+    on money and emissions next to traffic.
+    """
     transfer_bytes = np.asarray(transfer_bytes, dtype=float)
     if transfer_bytes.ndim != 1 or len(transfer_bytes) == 0:
         raise SchedulingError(
@@ -85,6 +100,8 @@ def summarize_transfers(
         peak_gb=float(gb.max()),
         std_gb=float(gb.std()),
         zero_fraction=float(np.mean(gb <= 1e-12)),
+        cost_usd=float(cost_usd),
+        carbon_kg=float(carbon_kg),
     )
 
 
@@ -131,16 +148,27 @@ class PolicyComparison:
         return {s.policy: asdict(s) for s in self.summaries}
 
     def as_table(self) -> str:
-        """Fixed-width text rendition of Table 1."""
+        """Fixed-width text rendition of Table 1.
+
+        The cost/carbon columns render only when some policy accrued a
+        grid-purchase ledger, so flat-budget runs keep the classic
+        five-column table.
+        """
+        priced = any(s.cost_usd or s.carbon_kg for s in self.summaries)
         header = (
             f"{'Policy':<10} {'Total':>12} {'99%ile':>10} {'Peak':>10}"
             f" {'Std':>10} {'Zero%':>7}"
         )
+        if priced:
+            header += f" {'Cost$':>12} {'CO2kg':>12}"
         lines = [header, "-" * len(header)]
         for s in self.summaries:
-            lines.append(
+            line = (
                 f"{s.policy:<10} {s.total_gb:>12,.0f} {s.p99_gb:>10,.0f}"
                 f" {s.peak_gb:>10,.0f} {s.std_gb:>10,.0f}"
                 f" {100 * s.zero_fraction:>6.1f}%"
             )
+            if priced:
+                line += f" {s.cost_usd:>12,.2f} {s.carbon_kg:>12,.1f}"
+            lines.append(line)
         return "\n".join(lines)

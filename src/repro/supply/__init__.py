@@ -7,8 +7,9 @@ budgets through its own path now shares this one:
   over a base :class:`~repro.traces.PowerTrace`, with open-loop
   (precomputed series) and closed-loop (per-step demand-driven)
   evaluation producing :class:`SupplyEvaluation` telemetry.
-- :class:`BatteryDispatch` / :class:`GridFirmPower` — stateful top-ups
-  with SoC / budget dynamics.
+- :class:`BatteryDispatch` / :class:`GridFirmPower` /
+  :class:`PricedGridPower` — stateful top-ups with SoC / budget /
+  cost-and-carbon dynamics.
 - :class:`BatchedDispatch` — the fleet engine's vectorized closed-loop
   dispatch: S same-length sites advanced in one array program per
   step, bit-identical to S scalar dispatchers.
@@ -18,10 +19,13 @@ budgets through its own path now shares this one:
 
 from .batch import BatchedDispatch
 from .components import (
+    GRID_POLICIES,
     BatteryDispatch,
     BatteryState,
     GridBudgetState,
     GridFirmPower,
+    PricedGridPower,
+    PricedGridState,
     SupplyComponent,
 )
 from .spec import DEFAULT_BATTERY_HOURS, NO_SUPPLY, SUPPLY_MODES, SupplySpec
@@ -37,9 +41,12 @@ __all__ = [
     "BatteryDispatch",
     "BatteryState",
     "DEFAULT_BATTERY_HOURS",
+    "GRID_POLICIES",
     "GridBudgetState",
     "GridFirmPower",
     "NO_SUPPLY",
+    "PricedGridPower",
+    "PricedGridState",
     "SUPPLY_MODES",
     "SupplyComponent",
     "SupplyDispatcher",

@@ -45,10 +45,13 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from .components import (
+    GRID_POLICIES,
     BatteryDispatch,
     BatteryState,
     GridBudgetState,
     GridFirmPower,
+    PricedGridPower,
+    PricedGridState,
 )
 from .stack import SupplyDispatcher, SupplyEvaluation
 
@@ -94,6 +97,66 @@ class _GridLanes:
         self.cells = [(states, slot) for _, _, _, states in members]
 
 
+class _PricedGridLanes:
+    """One slot's priced-grid lanes: SoA state, ledger, and policy.
+
+    Per-lane price/carbon series stack into ``(L, n)`` matrices (zeros
+    for a ``None`` series — the scalar path's "free"/"carbon-free"
+    value), and the three policies batch through masks: ``is_thresh``
+    / ``is_dvb`` select which lanes apply which gate, with ``always``
+    lanes passing unconditionally.  ``vcap_safe`` substitutes 1.0 on
+    non-dvb lanes so the theta interpolation never divides by zero
+    (its result is discarded by the mask).
+    """
+
+    __slots__ = (
+        "idx", "remaining", "maxp", "h", "cells", "prices", "carbons",
+        "is_thresh", "is_dvb", "pth", "cth", "tlo", "virtual", "vcap",
+        "vcap_safe", "cost", "carbon",
+    )
+
+    def __init__(self, members, step_hours, slot, n):
+        self.idx = np.array([i for i, _, _, _ in members])
+        self.remaining = np.array(
+            [s.remaining_mwh for _, _, s, _ in members]
+        )
+        self.maxp = np.array([
+            np.inf if c.max_power_mw is None else c.max_power_mw
+            for _, c, _, _ in members
+        ])
+        self.h = step_hours[self.idx]
+        self.prices = np.vstack([
+            np.zeros(n) if c.price_per_mwh is None
+            else np.asarray(c.price_per_mwh[:n], dtype=float)
+            for _, c, _, _ in members
+        ])
+        self.carbons = np.vstack([
+            np.zeros(n) if c.carbon_per_mwh is None
+            else np.asarray(c.carbon_per_mwh[:n], dtype=float)
+            for _, c, _, _ in members
+        ])
+        policy = np.array([
+            GRID_POLICIES.index(c.policy) for _, c, _, _ in members
+        ])
+        self.is_thresh = policy == 1
+        self.is_dvb = policy == 2
+        self.pth = np.array([c.price_threshold for _, c, _, _ in members])
+        self.cth = np.array(
+            [c.carbon_threshold for _, c, _, _ in members]
+        )
+        self.tlo = np.array([c.dvb_theta_lo for _, c, _, _ in members])
+        self.virtual = np.array(
+            [s.virtual_mwh for _, _, s, _ in members]
+        )
+        self.vcap = np.array(
+            [c.dvb_capacity_mwh for _, c, _, _ in members]
+        )
+        self.vcap_safe = np.where(self.vcap > 0.0, self.vcap, 1.0)
+        self.cost = np.array([s.cost_usd for _, _, s, _ in members])
+        self.carbon = np.array([s.carbon_kg for _, _, s, _ in members])
+        self.cells = [(states, slot) for _, _, _, states in members]
+
+
 class BatchedDispatch:
     """Vectorized closed-loop dispatch over many bound dispatchers.
 
@@ -115,7 +178,7 @@ class BatchedDispatch:
             if not self.supports(d):
                 raise ConfigurationError(
                     "batched dispatch supports only BatteryDispatch / "
-                    "GridFirmPower stacks"
+                    "GridFirmPower / PricedGridPower stacks"
                 )
         self._dispatchers = tuple(dispatchers)
         self._capacity = np.array([d.capacity_mw for d in dispatchers])
@@ -146,16 +209,22 @@ class BatchedDispatch:
         self._discharge = matrices["discharge_mwh"]
         self._grid_import = matrices["grid_import_mwh"]
         self._curtailed = matrices["curtailed_mwh"]
+        self._cost = matrices["cost_usd"]
+        self._carbon = matrices["carbon_kg"]
         # Slot k holds the k-th component of every site that has one,
-        # split into battery and grid lanes (dispatch order = slot
-        # order; lanes within a slot belong to distinct sites, so their
-        # relative order is immaterial).
-        self._slots: list[tuple[_BatteryLanes | None, _GridLanes | None]]
+        # split into battery, flat-grid, and priced-grid lanes
+        # (dispatch order = slot order; lanes within a slot belong to
+        # distinct sites, so their relative order is immaterial).
+        self._slots: list[tuple[
+            _BatteryLanes | None, _GridLanes | None,
+            _PricedGridLanes | None,
+        ]]
         self._slots = []
         max_slots = max(len(d.components) for d in dispatchers)
         for k in range(max_slots):
             batteries = []
             grids = []
+            priced = []
             for i, d in enumerate(dispatchers):
                 if k >= len(d.components):
                     continue
@@ -163,11 +232,14 @@ class BatchedDispatch:
                 state = d.states[k]
                 if type(component) is BatteryDispatch:
                     batteries.append((i, component, state, d.states))
+                elif type(component) is PricedGridPower:
+                    priced.append((i, component, state, d.states))
                 else:
                     grids.append((i, component, state, d.states))
             self._slots.append((
                 _BatteryLanes(batteries, self._h, k) if batteries else None,
                 _GridLanes(grids, self._h, k) if grids else None,
+                _PricedGridLanes(priced, self._h, k, n) if priced else None,
             ))
 
     @staticmethod
@@ -179,7 +251,7 @@ class BatchedDispatch:
         :meth:`SupplyDispatcher.advance_span`.
         """
         return all(
-            type(c) in (BatteryDispatch, GridFirmPower)
+            type(c) in (BatteryDispatch, GridFirmPower, PricedGridPower)
             for c in dispatcher.components
         )
 
@@ -208,7 +280,9 @@ class BatchedDispatch:
         charge_t = np.zeros(s)
         discharge_t = np.zeros(s)
         import_t = np.zeros(s)
-        for battery, grid in self._slots:
+        cost_t = np.zeros(s)
+        carbon_t = np.zeros(s)
+        for battery, grid, priced in self._slots:
             if battery is not None:
                 idx = battery.idx
                 bal = balance[idx]
@@ -254,10 +328,75 @@ class BatchedDispatch:
                 balance[idx] = bal + delta
                 delivered_mw[idx] += delta
                 import_t[idx] += np.where(delta > 0.0, delta * h, 0.0)
+            if priced is not None:
+                idx = priced.idx
+                bal = balance[idx]
+                h = priced.h
+                remaining = priced.remaining
+                price = priced.prices[:, t]
+                carbon = priced.carbons[:, t]
+                # Policy gate (PricedGridPower.buys, branch-selected):
+                # always lanes pass, threshold lanes compare both caps,
+                # dvb lanes compare against the interpolated theta.
+                theta = priced.tlo + (priced.pth - priced.tlo) * (
+                    1.0 - priced.virtual / priced.vcap_safe
+                )
+                buy = np.where(
+                    priced.is_dvb,
+                    price <= theta,
+                    np.where(
+                        priced.is_thresh,
+                        (price <= priced.pth) & (carbon <= priced.cth),
+                        True,
+                    ),
+                )
+                active = (bal < 0.0) & (remaining > 0.0)
+                draw = active & buy
+                draw_mwh = np.minimum(
+                    np.minimum(-bal, priced.maxp) * h, remaining
+                )
+                delta = np.where(draw, draw_mwh / h, 0.0)
+                priced.remaining = np.where(
+                    draw, remaining - draw_mwh, remaining
+                )
+                cost_new = np.where(
+                    draw, priced.cost + draw_mwh * price, priced.cost
+                )
+                carbon_new = np.where(
+                    draw, priced.carbon + draw_mwh * carbon, priced.carbon
+                )
+                # dvb virtual battery: refilled by a buy, drained by a
+                # declined deficit, untouched otherwise (and on non-dvb
+                # lanes, whose virtual level stays 0).
+                v = priced.virtual
+                defer = active & ~buy & priced.is_dvb
+                refill = draw & priced.is_dvb
+                new_v = np.where(
+                    refill,
+                    np.minimum(v + draw_mwh, priced.vcap),
+                    np.where(
+                        defer, np.maximum(v - (-bal) * h, 0.0), v
+                    ),
+                )
+                priced.virtual = new_v
+                balance[idx] = bal + delta
+                delivered_mw[idx] += delta
+                import_t[idx] += np.where(delta > 0.0, delta * h, 0.0)
+                # Snapshot-diff accounting, as the scalar paths do.
+                cost_t[idx] += np.where(
+                    delta > 0.0, cost_new - priced.cost, 0.0
+                )
+                carbon_t[idx] += np.where(
+                    delta > 0.0, carbon_new - priced.carbon, 0.0
+                )
+                priced.cost = cost_new
+                priced.carbon = carbon_new
         self._soc[:, t] = soc_t
         self._charge[:, t] = charge_t
         self._discharge[:, t] = discharge_t
         self._grid_import[:, t] = import_t
+        self._cost[:, t] = cost_t
+        self._carbon[:, t] = carbon_t
         h_all = self._h
         self._curtailed[:, t] = np.where(
             balance > 0.0, balance * h_all, 0.0
@@ -281,7 +420,7 @@ class BatchedDispatch:
         swapped into the owning dispatcher's state slot — no ad-hoc
         attribute poking on live state objects.
         """
-        for battery, grid in self._slots:
+        for battery, grid, priced in self._slots:
             if battery is not None:
                 soc = battery.soc
                 for j, (states, k) in enumerate(battery.cells):
@@ -294,3 +433,11 @@ class BatchedDispatch:
                     states[k] = GridBudgetState.from_dict(
                         {"remaining_mwh": float(remaining[j])}
                     )
+            if priced is not None:
+                for j, (states, k) in enumerate(priced.cells):
+                    states[k] = PricedGridState.from_dict({
+                        "remaining_mwh": float(priced.remaining[j]),
+                        "cost_usd": float(priced.cost[j]),
+                        "carbon_kg": float(priced.carbon[j]),
+                        "virtual_mwh": float(priced.virtual[j]),
+                    })

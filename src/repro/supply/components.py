@@ -18,10 +18,22 @@ delegates here.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
+import numpy as np
+
 from ..errors import ConfigurationError
+
+#: Purchase policies a :class:`PricedGridPower` can apply at dispatch
+#: time.  ``always`` buys whenever there is a deficit and budget (the
+#: flat-budget behavior of :class:`GridFirmPower`); ``threshold``
+#: buys only when the step's price and carbon intensity are at or
+#: below the configured caps; ``dvb`` runs the dynamic-virtual-battery
+#: online policy (arXiv 2404.19387): the acceptable price rises as the
+#: virtual battery drains, so urgency grows with deferred deficits.
+GRID_POLICIES = ("always", "threshold", "dvb")
 
 
 @runtime_checkable
@@ -46,8 +58,20 @@ class SupplyComponent(Protocol):
         """Fresh mutable dispatch state for one run."""
         ...
 
-    def step(self, state: object, balance_mw: float, step_hours: float) -> float:
-        """Dispatch one step; returns the delta in MW (see class doc)."""
+    def step(
+        self,
+        state: object,
+        balance_mw: float,
+        step_hours: float,
+        t: int = 0,
+    ) -> float:
+        """Dispatch one step; returns the delta in MW (see class doc).
+
+        ``t`` is the grid index being dispatched — time-varying
+        components (:class:`PricedGridPower`) use it to look up the
+        step's price and carbon intensity; time-invariant ones ignore
+        it.  Callers that iterate steps in order pass it positionally.
+        """
         ...
 
     def pinned(self, state: object, surplus: bool) -> bool:
@@ -127,7 +151,11 @@ class BatteryDispatch:
         return BatteryState(self.initial_charge_fraction * self.capacity_mwh)
 
     def step(
-        self, state: BatteryState, balance_mw: float, step_hours: float
+        self,
+        state: BatteryState,
+        balance_mw: float,
+        step_hours: float,
+        t: int = 0,
     ) -> float:
         """Charge from a surplus / discharge into a deficit.
 
@@ -221,7 +249,11 @@ class GridFirmPower:
         return GridBudgetState(self.budget_mwh)
 
     def step(
-        self, state: GridBudgetState, balance_mw: float, step_hours: float
+        self,
+        state: GridBudgetState,
+        balance_mw: float,
+        step_hours: float,
+        t: int = 0,
     ) -> float:
         """Fill a deficit from the remaining budget; never absorbs."""
         if balance_mw >= 0.0 or state.remaining_mwh <= 0.0:
@@ -238,3 +270,196 @@ class GridFirmPower:
         if surplus:
             return True
         return state.remaining_mwh <= 0.0
+
+
+class PricedGridState(GridBudgetState):
+    """Budget plus cumulative cost/carbon for one :class:`PricedGridPower` run.
+
+    Extends :class:`GridBudgetState` (so budget-poking callers keep
+    working) with the purchase ledger and the dvb policy's virtual
+    battery level.
+    """
+
+    __slots__ = ("cost_usd", "carbon_kg", "virtual_mwh")
+
+    def __init__(
+        self,
+        remaining_mwh: float,
+        cost_usd: float = 0.0,
+        carbon_kg: float = 0.0,
+        virtual_mwh: float = 0.0,
+    ):
+        super().__init__(remaining_mwh)
+        self.cost_usd = cost_usd
+        self.carbon_kg = carbon_kg
+        self.virtual_mwh = virtual_mwh
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot (session checkpoints, batch sync)."""
+        return {
+            "remaining_mwh": self.remaining_mwh,
+            "cost_usd": self.cost_usd,
+            "carbon_kg": self.carbon_kg,
+            "virtual_mwh": self.virtual_mwh,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PricedGridState":
+        """Rebuild a state snapshotted by :meth:`to_dict`."""
+        return cls(
+            float(data["remaining_mwh"]),
+            float(data.get("cost_usd", 0.0)),
+            float(data.get("carbon_kg", 0.0)),
+            float(data.get("virtual_mwh", 0.0)),
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class PricedGridPower(GridFirmPower):
+    """A grid purchase priced and carbon-accounted per step.
+
+    Generalizes :class:`GridFirmPower`: each step carries a wholesale
+    price and a carbon intensity, every MWh drawn accrues cost and
+    emissions in the state ledger, and a purchase *policy* may decline
+    a buy when the step is expensive or dirty.  With ``policy="always"``
+    and any price series, the energy arithmetic is operation-for-
+    operation identical to :class:`GridFirmPower` — the flat-budget
+    behavior is the bitwise degenerate case the golden tests pin.
+
+    Attributes:
+        price_per_mwh: Per-step price, aligned to the dispatch grid;
+            ``None`` means free (price 0 everywhere).
+        carbon_per_mwh: Per-step carbon intensity in kgCO2/MWh
+            (numerically gCO2/kWh); ``None`` means carbon-free.
+        policy: One of :data:`GRID_POLICIES`.
+        price_threshold: Price cap for ``threshold``; ``dvb``'s
+            maximum acceptable price (theta-high).  ``inf`` disables.
+        carbon_threshold: Carbon cap for ``threshold``; ``inf``
+            disables.
+        dvb_theta_lo: ``dvb``'s acceptable price at a full virtual
+            battery (theta-low).
+        dvb_capacity_mwh: ``dvb``'s virtual battery capacity; deferred
+            deficits drain it, purchases refill it, and the effective
+            threshold interpolates theta-low → theta-high as it drains.
+    """
+
+    price_per_mwh: np.ndarray | None = None
+    carbon_per_mwh: np.ndarray | None = None
+    policy: str = "always"
+    price_threshold: float = math.inf
+    carbon_threshold: float = math.inf
+    dvb_theta_lo: float = 0.0
+    dvb_capacity_mwh: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.policy not in GRID_POLICIES:
+            raise ConfigurationError(
+                f"unknown grid policy {self.policy!r}; expected one of"
+                f" {GRID_POLICIES}"
+            )
+        for field_name in ("price_per_mwh", "carbon_per_mwh"):
+            series = getattr(self, field_name)
+            if series is None:
+                continue
+            series = np.asarray(series, dtype=float)
+            if series.ndim != 1:
+                raise ConfigurationError(
+                    f"{field_name} must be 1-D, got shape {series.shape}"
+                )
+            if np.any(~np.isfinite(series)):
+                raise ConfigurationError(
+                    f"{field_name} contains non-finite values"
+                )
+            object.__setattr__(self, field_name, series)
+        if math.isnan(self.price_threshold) or math.isnan(
+            self.carbon_threshold
+        ):
+            raise ConfigurationError("thresholds cannot be NaN")
+        if self.policy == "dvb":
+            if not math.isfinite(self.price_threshold):
+                raise ConfigurationError(
+                    "dvb needs a finite price_threshold (theta-high)"
+                )
+            if self.dvb_capacity_mwh <= 0.0:
+                raise ConfigurationError(
+                    "dvb needs a positive virtual battery capacity:"
+                    f" {self.dvb_capacity_mwh}"
+                )
+            if self.dvb_theta_lo > self.price_threshold:
+                raise ConfigurationError(
+                    "dvb theta-low must not exceed the price threshold"
+                )
+
+    def initial_state(self) -> PricedGridState:
+        """Fresh budget and ledger; the dvb virtual battery starts full."""
+        return PricedGridState(
+            self.budget_mwh,
+            virtual_mwh=self.dvb_capacity_mwh if self.policy == "dvb" else 0.0,
+        )
+
+    def buys(self, state: PricedGridState, price: float, carbon: float) -> bool:
+        """Whether the policy purchases at this step's price and carbon."""
+        if self.policy == "always":
+            return True
+        if self.policy == "threshold":
+            return (
+                price <= self.price_threshold
+                and carbon <= self.carbon_threshold
+            )
+        # dvb: the acceptable price interpolates theta-low (full virtual
+        # battery, no urgency) to theta-high (empty, must buy).
+        theta = self.dvb_theta_lo + (
+            self.price_threshold - self.dvb_theta_lo
+        ) * (1.0 - state.virtual_mwh / self.dvb_capacity_mwh)
+        return price <= theta
+
+    def step(
+        self,
+        state: PricedGridState,
+        balance_mw: float,
+        step_hours: float,
+        t: int = 0,
+    ) -> float:
+        """Fill a deficit when the policy accepts the step's price.
+
+        The deficit/budget guards, draw arithmetic, and budget update
+        replicate :meth:`GridFirmPower.step` operation for operation;
+        only the policy gate and the ledger updates are new, so the
+        ``always`` policy is a bit-exact superset of the flat budget.
+        """
+        if balance_mw >= 0.0 or state.remaining_mwh <= 0.0:
+            return 0.0
+        price = (
+            0.0 if self.price_per_mwh is None
+            else float(self.price_per_mwh[t])
+        )
+        carbon = (
+            0.0 if self.carbon_per_mwh is None
+            else float(self.carbon_per_mwh[t])
+        )
+        if not self.buys(state, price, carbon):
+            if self.policy == "dvb":
+                # A declined deficit drains the virtual battery by the
+                # energy it chose not to buy, raising future urgency.
+                state.virtual_mwh = max(
+                    state.virtual_mwh - (-balance_mw) * step_hours, 0.0
+                )
+            return 0.0
+        draw_mw = -balance_mw
+        if self.max_power_mw is not None:
+            draw_mw = min(draw_mw, self.max_power_mw)
+        draw_mwh = min(draw_mw * step_hours, state.remaining_mwh)
+        state.remaining_mwh -= draw_mwh
+        state.cost_usd += draw_mwh * price
+        state.carbon_kg += draw_mwh * carbon
+        if self.policy == "dvb":
+            state.virtual_mwh = min(
+                state.virtual_mwh + draw_mwh, self.dvb_capacity_mwh
+            )
+        return draw_mwh / step_hours
+
+    # ``pinned`` is inherited: a surplus never engages the component,
+    # and an exhausted budget makes ``step`` return before any ledger
+    # or virtual-battery mutation — both provable no-ops even though
+    # prices vary and dvb state otherwise moves on declined deficits.

@@ -37,7 +37,17 @@ import numpy as np
 from .. import obs
 from ..errors import ConfigurationError
 from ..traces import PowerTrace
-from .components import BatteryDispatch, GridFirmPower, SupplyComponent
+from .components import (
+    GRID_POLICIES,
+    BatteryDispatch,
+    GridFirmPower,
+    PricedGridPower,
+    SupplyComponent,
+)
+
+#: Integer policy codes for the span kernel's plan rows (0: always,
+#: 1: threshold, 2: dvb — index order of :data:`GRID_POLICIES`).
+_GRID_POLICY_CODES = {name: i for i, name in enumerate(GRID_POLICIES)}
 
 
 class SupplyEvaluation:
@@ -53,19 +63,23 @@ class SupplyEvaluation:
         curtailed_mwh: Surplus neither used nor stored per step
             (meaningful in closed loop, where demand is known; open
             loop passes surplus through to the cluster and records 0).
+        cost_usd: Grid purchase cost per step (priced grids only; the
+            flat :class:`GridFirmPower` records 0).
+        carbon_kg: Grid purchase emissions per step (idem).
     """
 
     #: The per-step series attributes, in their *stable, documented*
     #: order: ``delivered`` first, then the component telemetry in
     #: accounting order (SoC, charge, discharge, grid import,
-    #: curtailment).  This tuple is the contract consumers iterate —
-    #: the fleet engine's batched dispatch rebinds these attributes to
-    #: shared site-major matrices, and session checkpoints serialize
-    #: them — instead of poking attributes ad hoc.  Appending a new
-    #: series is allowed; reordering or renaming is a breaking change.
+    #: curtailment, purchase cost, purchase carbon).  This tuple is the
+    #: contract consumers iterate — the fleet engine's batched dispatch
+    #: rebinds these attributes to shared site-major matrices, and
+    #: session checkpoints serialize them — instead of poking
+    #: attributes ad hoc.  Appending a new series is allowed;
+    #: reordering or renaming is a breaking change.
     SERIES_FIELDS = (
         "delivered", "soc_mwh", "charge_mwh", "discharge_mwh",
-        "grid_import_mwh", "curtailed_mwh",
+        "grid_import_mwh", "curtailed_mwh", "cost_usd", "carbon_kg",
     )
 
     __slots__ = SERIES_FIELDS
@@ -78,6 +92,8 @@ class SupplyEvaluation:
         self.discharge_mwh = np.zeros(n)
         self.grid_import_mwh = np.zeros(n)
         self.curtailed_mwh = np.zeros(n)
+        self.cost_usd = np.zeros(n)
+        self.carbon_kg = np.zeros(n)
 
     # ------------------------------------------------------------------
 
@@ -102,6 +118,16 @@ class SupplyEvaluation:
         return float(self.curtailed_mwh.sum())
 
     @property
+    def cost_total_usd(self) -> float:
+        """Total grid purchase cost."""
+        return float(self.cost_usd.sum())
+
+    @property
+    def carbon_total_kg(self) -> float:
+        """Total grid purchase emissions."""
+        return float(self.carbon_kg.sum())
+
+    @property
     def final_soc_mwh(self) -> float:
         """Battery state of charge at the end of the run."""
         if len(self.soc_mwh) == 0:
@@ -116,6 +142,8 @@ class SupplyEvaluation:
             "grid_import_mwh": self.grid_import_total_mwh,
             "curtailed_mwh": self.curtailed_total_mwh,
             "final_soc_mwh": self.final_soc_mwh,
+            "cost_usd": self.cost_total_usd,
+            "carbon_kg": self.carbon_total_kg,
         }
 
     def emit_metrics(self, **attrs) -> None:
@@ -129,6 +157,10 @@ class SupplyEvaluation:
                 self.grid_import_total_mwh,
                 **attrs,
             )
+        if self.cost_total_usd:
+            obs.count("supply.cost_usd", self.cost_total_usd, **attrs)
+        if self.carbon_total_kg:
+            obs.count("supply.carbon_kg", self.carbon_total_kg, **attrs)
         obs.gauge("supply.final_soc_mwh", self.final_soc_mwh, **attrs)
 
 
@@ -150,13 +182,37 @@ class SupplyDispatcher:
         # Un-dispatched steps (none, in a full run) default to base.
         self.evaluation = SupplyEvaluation(np.array(trace.values))
         # Span kernel support: the scalar window loop specializes the
-        # two shipped component types; anything else (subclasses too —
+        # shipped component types; anything else (subclasses too —
         # their ``step`` may differ) falls back to per-step dispatch.
         self._span_specialized = all(
-            type(c) in (BatteryDispatch, GridFirmPower)
+            type(c) in (BatteryDispatch, GridFirmPower, PricedGridPower)
             for c in stack.components
         )
+        n = trace.grid.n
+        self._priced_series: dict[int, tuple[list | None, list | None]] = {}
+        for k, c in enumerate(stack.components):
+            if isinstance(c, PricedGridPower):
+                for series in (c.price_per_mwh, c.carbon_per_mwh):
+                    if series is not None and len(series) < n:
+                        raise ConfigurationError(
+                            f"priced grid series has {len(series)} steps"
+                            f" but the trace has {n}"
+                        )
+        self._rebuild_priced_series()
         self._values_list: list[float] | None = None
+
+    def _rebuild_priced_series(self) -> None:
+        # Python-float copies for the span kernel's inner loop (same
+        # values bit for bit, no ndarray item overhead).
+        self._priced_series.clear()
+        for k, c in enumerate(self._components):
+            if isinstance(c, PricedGridPower):
+                self._priced_series[k] = (
+                    None if c.price_per_mwh is None
+                    else c.price_per_mwh.tolist(),
+                    None if c.carbon_per_mwh is None
+                    else c.carbon_per_mwh.tolist(),
+                )
 
     @property
     def components(self) -> tuple[SupplyComponent, ...]:
@@ -164,14 +220,18 @@ class SupplyDispatcher:
         return self._components
 
     def invalidate_base_cache(self) -> None:
-        """Drop caches derived from the base trace values.
+        """Drop caches derived from the base trace values or the
+        priced components' signal series.
 
         The dispatcher reads generation through a live view of the
-        trace's value array; callers that mutate those values in place
-        (session blackout injections) must invalidate the scalar plan
-        cache so subsequent dispatches see the new series.
+        trace's value array, and the span kernel reads price/carbon
+        through Python-float copies of the component series; callers
+        that mutate either in place (session blackout or spot-price
+        injections) must invalidate so subsequent dispatches see the
+        new values.
         """
         self._values_list = None
+        self._rebuild_priced_series()
 
     @property
     def states(self) -> list[object]:
@@ -202,7 +262,11 @@ class SupplyDispatcher:
         ev = self.evaluation
         soc_mwh = 0.0
         for component, state in zip(self._components, self._states):
-            delta_mw = component.step(state, balance_mw, h)
+            priced = type(component) is PricedGridPower
+            if priced:
+                cost_before = state.cost_usd
+                carbon_before = state.carbon_kg
+            delta_mw = component.step(state, balance_mw, h, step)
             balance_mw += delta_mw
             delivered_mw += delta_mw
             if isinstance(component, BatteryDispatch):
@@ -213,6 +277,12 @@ class SupplyDispatcher:
                 soc_mwh += state.soc_mwh
             elif isinstance(component, GridFirmPower) and delta_mw > 0.0:
                 ev.grid_import_mwh[step] += delta_mw * h
+                if priced:
+                    # Snapshot-diff, not draw*price recomputed: every
+                    # engine forms the identical cumulative sequence,
+                    # so the per-step series match bit for bit.
+                    ev.cost_usd[step] += state.cost_usd - cost_before
+                    ev.carbon_kg[step] += state.carbon_kg - carbon_before
         ev.soc_mwh[step] = soc_mwh
         if balance_mw > 0.0:
             ev.curtailed_mwh[step] = balance_mw * h
@@ -286,14 +356,36 @@ class SupplyDispatcher:
             ).tolist()
         # (kind, mutable energy state, params...): battery rows carry
         # [0, soc_mwh, capacity_mwh, max_power_mw, efficiency]; grid
-        # rows [1, remaining_mwh, max_power_mw-or-inf].  min(x, inf)
-        # returns x bit-for-bit, so an unlimited grid needs no branch.
-        plan: list[list[float]] = []
-        for component, state in zip(self._components, self._states):
+        # rows [1, remaining_mwh, max_power_mw-or-inf]; priced grid
+        # rows [2, remaining_mwh, max_power_mw-or-inf, policy_code,
+        # prices-or-None, carbons-or-None, price_threshold,
+        # carbon_threshold, theta_lo, virtual_mwh, vcap, cost_usd,
+        # carbon_kg].  min(x, inf) returns x bit-for-bit, so an
+        # unlimited grid needs no branch.
+        plan: list[list] = []
+        for k, (component, state) in enumerate(
+            zip(self._components, self._states)
+        ):
             if type(component) is BatteryDispatch:
                 plan.append([
                     0, state.soc_mwh, component.capacity_mwh,
                     component.max_power_mw, component.efficiency,
+                ])
+            elif type(component) is PricedGridPower:
+                limit = component.max_power_mw
+                prices, carbons = self._priced_series[k]
+                plan.append([
+                    2, state.remaining_mwh,
+                    np.inf if limit is None else limit,
+                    _GRID_POLICY_CODES[component.policy],
+                    prices, carbons,
+                    component.price_threshold,
+                    component.carbon_threshold,
+                    component.dvb_theta_lo,
+                    state.virtual_mwh,
+                    component.dvb_capacity_mwh,
+                    state.cost_usd,
+                    state.carbon_kg,
                 ])
             else:
                 limit = component.max_power_mw
@@ -307,6 +399,8 @@ class SupplyDispatcher:
         dis_buf: list[float] = []
         imp_buf: list[float] = []
         cur_buf: list[float] = []
+        cst_buf: list[float] = []
+        car_buf: list[float] = []
         crossed = False
         for t in range(start, stop):
             base_mw = vals[t] * capacity
@@ -317,6 +411,8 @@ class SupplyDispatcher:
             chg_t = 0.0
             dis_t = 0.0
             imp_t = 0.0
+            cst_t = 0.0
+            car_t = 0.0
             for row in plan:
                 if row[0] == 0:
                     # BatteryDispatch.step, inlined operation for
@@ -341,7 +437,7 @@ class SupplyDispatcher:
                     elif delta > 0.0:
                         dis_t += delta * h
                     soc_t += row[1]
-                else:
+                elif row[0] == 1:
                     # GridFirmPower.step, inlined.
                     remaining = row[1]
                     if balance >= 0.0 or remaining <= 0.0:
@@ -354,10 +450,51 @@ class SupplyDispatcher:
                     delivered_mw += delta
                     if delta > 0.0:
                         imp_t += delta * h
+                else:
+                    # PricedGridPower.step, inlined (policy gate, then
+                    # the GridFirmPower draw plus the ledger updates).
+                    remaining = row[1]
+                    if balance >= 0.0 or remaining <= 0.0:
+                        continue
+                    price = 0.0 if row[4] is None else row[4][t]
+                    carbon = 0.0 if row[5] is None else row[5][t]
+                    pol = row[3]
+                    if pol == 0:
+                        buy = True
+                    elif pol == 1:
+                        buy = price <= row[6] and carbon <= row[7]
+                    else:
+                        theta = row[8] + (row[6] - row[8]) * (
+                            1.0 - row[9] / row[10]
+                        )
+                        buy = price <= theta
+                    if not buy:
+                        if pol == 2:
+                            row[9] = max(row[9] - (-balance) * h, 0.0)
+                        continue
+                    draw_mw = min(-balance, row[2])
+                    draw_mwh = min(draw_mw * h, remaining)
+                    row[1] = remaining - draw_mwh
+                    cost0 = row[11]
+                    carbon0 = row[12]
+                    row[11] = cost0 + draw_mwh * price
+                    row[12] = carbon0 + draw_mwh * carbon
+                    if pol == 2:
+                        row[9] = min(row[9] + draw_mwh, row[10])
+                    delta = draw_mwh / h
+                    balance += delta
+                    delivered_mw += delta
+                    if delta > 0.0:
+                        imp_t += delta * h
+                        # Snapshot-diff, as dispatch() accounts it.
+                        cst_t += row[11] - cost0
+                        car_t += row[12] - carbon0
             soc_buf.append(soc_t)
             chg_buf.append(chg_t)
             dis_buf.append(dis_t)
             imp_buf.append(imp_t)
+            cst_buf.append(cst_t)
+            car_buf.append(car_t)
             cur_buf.append(balance * h if balance > 0.0 else 0.0)
             delivered = delivered_mw / capacity
             if covered and delivered < demand_norm:
@@ -398,8 +535,13 @@ class SupplyDispatcher:
         for row, state in zip(plan, self._states):
             if row[0] == 0:
                 state.soc_mwh = row[1]
+            elif row[0] == 1:
+                state.remaining_mwh = row[1]
             else:
                 state.remaining_mwh = row[1]
+                state.virtual_mwh = row[9]
+                state.cost_usd = row[11]
+                state.carbon_kg = row[12]
         end = start + len(del_buf)
         ev = self.evaluation
         ev.delivered[start:end] = del_buf
@@ -408,6 +550,8 @@ class SupplyDispatcher:
         ev.discharge_mwh[start:end] = dis_buf
         ev.grid_import_mwh[start:end] = imp_buf
         ev.curtailed_mwh[start:end] = cur_buf
+        ev.cost_usd[start:end] = cst_buf
+        ev.carbon_kg[start:end] = car_buf
         return del_buf, crossed
 
     def _advance_span_generic(
@@ -566,6 +710,9 @@ class SupplyStack:
                 isinstance(c, BatteryDispatch) for c in self.components
             ]
             grids = [isinstance(c, GridFirmPower) for c in self.components]
+            priced = [
+                type(c) is PricedGridPower for c in self.components
+            ]
             for i, gen in enumerate(generation):
                 balance_mw = gen - target_mw
                 out_mw = gen
@@ -573,7 +720,10 @@ class SupplyStack:
                 for j, (component, state) in enumerate(
                     zip(self.components, states)
                 ):
-                    delta_mw = component.step(state, balance_mw, h)
+                    if priced[j]:
+                        cost_before = state.cost_usd
+                        carbon_before = state.carbon_kg
+                    delta_mw = component.step(state, balance_mw, h, i)
                     balance_mw += delta_mw
                     out_mw += delta_mw
                     if batteries[j]:
@@ -584,6 +734,11 @@ class SupplyStack:
                         soc_mwh += state.soc_mwh
                     elif grids[j] and delta_mw > 0.0:
                         ev.grid_import_mwh[i] += delta_mw * h
+                        if priced[j]:
+                            ev.cost_usd[i] += state.cost_usd - cost_before
+                            ev.carbon_kg[i] += (
+                                state.carbon_kg - carbon_before
+                            )
                 ev.soc_mwh[i] = soc_mwh
                 delivered_mw[i] = out_mw
             ev.delivered = np.clip(delivered_mw / capacity, 0.0, 1.0)

@@ -14,6 +14,7 @@ surface is:
 """
 
 from .base import PowerTrace
+from .gridsignal import CarbonIntensityTrace, GridSignal, SpotPriceTrace
 from .weather import WeatherRegime, RegimeModel, sample_regime_sequence
 from .solar import SolarConfig, clear_sky_profile, synthesize_solar
 from .wind import WindConfig, turbine_power_curve, synthesize_wind
@@ -35,6 +36,9 @@ from .calibration import (
 
 __all__ = [
     "PowerTrace",
+    "GridSignal",
+    "CarbonIntensityTrace",
+    "SpotPriceTrace",
     "WeatherRegime",
     "RegimeModel",
     "sample_regime_sequence",

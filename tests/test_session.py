@@ -27,6 +27,8 @@ from tests.test_fleet import (
 
 from repro.errors import SessionError
 from repro.serve import SessionRegistry, SimSession
+from repro.supply import SupplyStack
+from repro.supply.components import BatteryDispatch, PricedGridPower
 
 REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
 
@@ -333,9 +335,121 @@ class TestInjections:
         with pytest.raises(SessionError):
             session.inject({"kind": "grid_budget"})
         with pytest.raises(SessionError):
+            session.inject({"kind": "spot_price"})
+        with pytest.raises(SessionError):
             session.inject("blackout")
         with pytest.raises(SessionError):
             session.results()
+
+
+def priced_grid_stack(n: int, policy: str = "threshold") -> SupplyStack:
+    """A battery plus a threshold-priced grid: cheap steps buy, a
+    3x price spike crosses the 80 $/MWh cap and purchases stop."""
+    return SupplyStack(
+        components=(
+            BatteryDispatch(
+                capacity_mwh=2.5, max_power_mw=1.5, efficiency=0.9
+            ),
+            PricedGridPower(
+                budget_mwh=300.0,
+                max_power_mw=1.0,
+                price_per_mwh=np.full(n, 50.0),
+                carbon_per_mwh=np.full(n, 200.0),
+                policy=policy,
+                price_threshold=80.0,
+            ),
+        )
+    )
+
+
+class TestGridSupplyInjections:
+    """Injections against grid-backed closed-loop supply stacks."""
+
+    def test_blackout_rides_on_the_grid(self):
+        """A blacked-out site with a firm grid keeps partial power —
+        unlike the starved no-supply blackout — and the outage MWh
+        show up as grid imports."""
+        site = make_site(
+            12, 600, 200, supply=battery_grid_stack(),
+            supply_mode="closed",
+        )
+        session = SimSession(site)
+        session.advance(150)
+        se = session._sites[0]
+        imported_before = se.state.dispatcher.evaluation.grid_import_mwh[
+            :150
+        ].sum()
+        session.inject(
+            {"kind": "blackout", "site": site.name, "duration_steps": 60}
+        )
+        session.advance(60)
+        ev = se.state.dispatcher.evaluation
+        assert np.all(se.dc.power_trace.values[150:210] == 0.0)
+        # The grid firms the outage in-loop...
+        assert ev.grid_import_mwh[150:210].sum() > 0.0
+        # ...and powers cores a supply-less blackout would starve.
+        assert se.state.cols.core_budget[150:210].max() > 0
+        session.run_to_end()
+        total = ev.grid_import_mwh.sum()
+        assert total > imported_before
+        assert total <= 300.0 + 1e-9
+
+    def test_spot_price_shock_halts_threshold_buys(self):
+        n = 600
+        site = make_site(
+            13, n, 200, supply=priced_grid_stack(n),
+            supply_mode="closed",
+        )
+        session = SimSession(site)
+        session.advance(150)
+        control = session.fork("control")
+        session.inject({"kind": "spot_price", "scale": 3.0,
+                        "duration_steps": 100})
+        session.advance(100)
+        control.advance(100)
+        shocked_ev = session._sites[0].state.dispatcher.evaluation
+        control_ev = control._sites[0].state.dispatcher.evaluation
+        window = slice(150, 250)
+        # 150 $/MWh > the 80 $/MWh cap: no purchases in the window.
+        assert shocked_ev.grid_import_mwh[window].sum() == 0.0
+        assert shocked_ev.cost_usd[window].sum() == 0.0
+        assert control_ev.grid_import_mwh[window].sum() > 0.0
+        # Identical histories before the shock.
+        np.testing.assert_array_equal(
+            shocked_ev.grid_import_mwh[:150],
+            control_ev.grid_import_mwh[:150],
+        )
+        status = session.status()["sites"][site.name]
+        assert "grid_cost_usd" in status
+        assert status["grid_cost_usd"] == pytest.approx(
+            shocked_ev.cost_usd.sum()
+        )
+        events = [e["event"] for e in session.audit_tail()]
+        assert "apply" in events
+
+    def test_spot_price_shock_checkpoint_round_trip(self):
+        """A shocked session checkpoints/restores bit-identically."""
+        n = 600
+        site = make_site(
+            14, n, 200, supply=priced_grid_stack(n),
+            supply_mode="closed",
+        )
+        session = SimSession(site)
+        session.advance(100)
+        session.inject({"kind": "spot_price", "delta_per_mwh": 200.0,
+                        "duration_steps": 50})
+        session.advance(10)
+        clone = SimSession.restore(session.checkpoint())
+        session.run_to_end()
+        clone.run_to_end()
+        ours = session._sites[0].state.dispatcher.evaluation
+        theirs = clone._sites[0].state.dispatcher.evaluation
+        for name in ("delivered", "grid_import_mwh", "cost_usd",
+                     "carbon_kg"):
+            np.testing.assert_array_equal(
+                getattr(ours, name), getattr(theirs, name),
+                err_msg=name,
+            )
 
 
 class TestRegistry:

@@ -699,6 +699,8 @@ class TestStateSnapshots:
             "discharge_mwh",
             "grid_import_mwh",
             "curtailed_mwh",
+            "cost_usd",
+            "carbon_kg",
         )
         assert SupplyEvaluation.__slots__ == (
             SupplyEvaluation.SERIES_FIELDS

@@ -1,0 +1,349 @@
+"""Golden degenerate and batched-equality tests for the priced grid.
+
+Pins the tentpole contracts of the carbon/price-aware supply layer:
+
+- **Flat-budget degenerate case**: a constant-price, no-threshold,
+  ``always``-policy :class:`PricedGridPower` is bit-identical to
+  :class:`GridFirmPower` — delivered series and simulation columns,
+  across both event engines, open and closed loop, per-site and
+  batched fleet — while additionally carrying the cost/carbon ledger
+  (total cost == total imports x the constant price).
+- **Scalar == batched**: the ``(S,)``-lane branch-select replay in
+  ``repro.supply.batch`` reproduces scalar ``dispatch()`` bitwise on
+  unlimited-power grids under every purchase policy.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterSpec,
+    Datacenter,
+    DatacenterConfig,
+    ServerSpec,
+)
+from repro.sim import simulate
+from repro.sim.fleet import FleetSite
+from repro.supply import (
+    BatteryDispatch,
+    GridFirmPower,
+    PricedGridPower,
+    SupplyStack,
+)
+from repro.supply.batch import BatchedDispatch
+from repro.supply.stack import SupplyEvaluation
+from repro.traces import PowerTrace
+from repro.units import TimeGrid
+from repro.workload import VMClass, VMRequest, VMType
+
+START = datetime(2020, 5, 1)
+
+#: Evaluation series shared by flat and priced grids (the priced
+#: component adds cost_usd / carbon_kg on top, checked separately).
+ENERGY_SERIES = (
+    "delivered", "soc_mwh", "charge_mwh", "discharge_mwh",
+    "grid_import_mwh", "curtailed_mwh",
+)
+
+
+def make_trace(values, capacity_mw=100.0, step_minutes=15, name="t"):
+    grid = TimeGrid(
+        START, timedelta(minutes=step_minutes), len(values)
+    )
+    return PowerTrace(
+        grid, np.asarray(values, dtype=float), name, "wind", capacity_mw
+    )
+
+
+def dippy_trace(n=400, capacity_mw=100.0, seed=7, name="t"):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    values = np.clip(
+        0.55 + 0.4 * np.sin(2 * np.pi * t / 96) + rng.normal(0, 0.1, n),
+        0.0,
+        1.0,
+    )
+    values[(t % 120) < 16] = 0.0
+    return make_trace(values, capacity_mw, name=name)
+
+
+def small_config(**overrides):
+    defaults = dict(
+        cluster=ClusterSpec(n_servers=8, server=ServerSpec(cores=10)),
+        queue_patience_steps=50,
+    )
+    defaults.update(overrides)
+    return DatacenterConfig(**defaults)
+
+
+def requests_for(n_steps, count=120, seed=3, cores=2):
+    rng = np.random.default_rng(seed)
+    vm_type = VMType(f"T{cores}", cores, cores * 4.0)
+    return [
+        VMRequest(
+            i,
+            int(rng.integers(0, n_steps)),
+            int(rng.integers(4, 120)),
+            vm_type,
+            VMClass.STABLE if rng.random() < 0.6 else VMClass.DEGRADABLE,
+        )
+        for i in range(count)
+    ]
+
+
+PRICE = 40.0
+CARBON = 230.0
+
+
+def flat_stack(n, budget=25.0, max_power=None, battery=True):
+    parts = []
+    if battery:
+        parts.append(BatteryDispatch(30.0, 10.0))
+    parts.append(
+        GridFirmPower(budget_mwh=budget, max_power_mw=max_power)
+    )
+    return SupplyStack(tuple(parts))
+
+
+def priced_stack(n, budget=25.0, max_power=None, battery=True):
+    """The degenerate twin: constant price, no thresholds, always-buy."""
+    parts = []
+    if battery:
+        parts.append(BatteryDispatch(30.0, 10.0))
+    parts.append(
+        PricedGridPower(
+            budget_mwh=budget,
+            max_power_mw=max_power,
+            price_per_mwh=np.full(n, PRICE),
+            carbon_per_mwh=np.full(n, CARBON),
+            policy="always",
+        )
+    )
+    return SupplyStack(tuple(parts))
+
+
+def assert_energy_series_equal(flat_ev, priced_ev):
+    for name in ENERGY_SERIES:
+        np.testing.assert_array_equal(
+            getattr(flat_ev, name), getattr(priced_ev, name),
+            err_msg=name,
+        )
+
+
+def assert_cost_ledger(priced_ev):
+    """Constant-price cost identity: cost == imports x price."""
+    assert np.isclose(
+        priced_ev.cost_usd.sum(),
+        priced_ev.grid_import_mwh.sum() * PRICE,
+    )
+    assert np.isclose(
+        priced_ev.carbon_kg.sum(),
+        priced_ev.grid_import_mwh.sum() * CARBON,
+    )
+    # Cost lands exactly on the import steps.
+    np.testing.assert_array_equal(
+        priced_ev.cost_usd > 0.0, priced_ev.grid_import_mwh > 0.0
+    )
+
+
+class TestFlatBudgetDegenerate:
+    """Constant-price always-policy PricedGridPower == GridFirmPower."""
+
+    def test_open_loop_bitwise(self):
+        trace = dippy_trace()
+        n = len(trace)
+        flat = flat_stack(n).evaluate_open_loop(trace)
+        priced = priced_stack(n).evaluate_open_loop(trace)
+        assert_energy_series_equal(flat, priced)
+        assert_cost_ledger(priced)
+
+    @pytest.mark.parametrize("engine", ["event", "dense"])
+    @pytest.mark.parametrize("mode", ["closed", "open"])
+    def test_simulation_bitwise(self, engine, mode):
+        trace = dippy_trace()
+        n = len(trace)
+        requests = requests_for(n, count=200)
+        config = small_config()
+        flat = Datacenter(
+            config, trace, supply=flat_stack(n), supply_mode=mode
+        ).run(requests, engine=engine)
+        priced = Datacenter(
+            config, trace, supply=priced_stack(n), supply_mode=mode
+        ).run(requests, engine=engine)
+        for column in (
+            "norm_power", "core_budget", "running_cores", "n_evicted",
+            "out_bytes", "in_bytes", "queue_length",
+        ):
+            np.testing.assert_array_equal(
+                getattr(flat.columns, column),
+                getattr(priced.columns, column),
+                err_msg=column,
+            )
+        assert_energy_series_equal(flat.supply, priced.supply)
+        assert priced.supply.grid_import_total_mwh > 0.0
+        assert_cost_ledger(priced.supply)
+
+    def test_power_cap_stays_degenerate(self):
+        """A finite max_power_mw binds identically on both paths."""
+        trace = dippy_trace()
+        n = len(trace)
+        requests = requests_for(n, count=200)
+        flat = Datacenter(
+            small_config(), trace,
+            supply=flat_stack(n, max_power=4.0, battery=False),
+        ).run(requests)
+        priced = Datacenter(
+            small_config(), trace,
+            supply=priced_stack(n, max_power=4.0, battery=False),
+        ).run(requests)
+        assert_energy_series_equal(flat.supply, priced.supply)
+        step_hours = trace.grid.step_hours
+        assert priced.supply.grid_import_mwh.max() <= (
+            4.0 * step_hours + 1e-12
+        )
+
+    def test_fleet_batched_bitwise(self):
+        """The columnar fleet engine replays the degenerate case too."""
+        n = 400
+        config = small_config()
+        traces = [
+            dippy_trace(n, capacity_mw=80.0 + 15 * i, seed=11 + i,
+                        name=f"s{i}")
+            for i in range(3)
+        ]
+        requests = [
+            requests_for(n, count=150, seed=5 + i) for i in range(3)
+        ]
+
+        def fleet(stack_for):
+            return simulate(
+                [
+                    FleetSite(
+                        name=trace.name,
+                        config=config,
+                        trace=trace,
+                        requests=reqs,
+                        supply=stack_for(n),
+                        supply_mode="closed",
+                    )
+                    for trace, reqs in zip(traces, requests)
+                ]
+            )
+
+        flat = fleet(flat_stack)
+        priced = fleet(priced_stack)
+        solo = {
+            trace.name: Datacenter(
+                config, trace, supply=priced_stack(n)
+            ).run(reqs)
+            for trace, reqs in zip(traces, requests)
+        }
+        for name in flat:
+            assert_energy_series_equal(
+                flat[name].supply, priced[name].supply
+            )
+            assert_cost_ledger(priced[name].supply)
+            # Batched fleet == per-site loop, cost series included.
+            for series in ENERGY_SERIES + ("cost_usd", "carbon_kg"):
+                np.testing.assert_array_equal(
+                    getattr(priced[name].supply, series),
+                    getattr(solo[name].supply, series),
+                    err_msg=series,
+                )
+
+
+def random_trace(n, seed, capacity_mw=80.0, name="r"):
+    rng = np.random.default_rng(seed)
+    return make_trace(rng.uniform(0.0, 1.0, n), capacity_mw, name=name)
+
+
+def priced_component(policy, n, seed, budget=60.0):
+    """An unlimited-power priced grid with per-step random signals."""
+    rng = np.random.default_rng(seed)
+    kwargs = dict(
+        budget_mwh=budget,
+        max_power_mw=None,
+        price_per_mwh=rng.uniform(10.0, 120.0, n),
+        carbon_per_mwh=rng.uniform(100.0, 300.0, n),
+        policy=policy,
+    )
+    if policy == "threshold":
+        kwargs.update(price_threshold=60.0, carbon_threshold=250.0)
+    if policy == "dvb":
+        kwargs.update(price_threshold=90.0, dvb_capacity_mwh=15.0)
+    return PricedGridPower(**kwargs)
+
+
+class TestScalarBatchedProperty:
+    """Satellite: scalar step() == batched lanes, bit for bit."""
+
+    @pytest.mark.parametrize("policy", ["always", "threshold", "dvb"])
+    def test_scalar_matches_batched_bitwise(self, policy):
+        n, n_sites = 160, 5
+        traces = [
+            random_trace(n, seed=10 + i, capacity_mw=50.0 + 10 * i,
+                         name=f"r{i}")
+            for i in range(n_sites)
+        ]
+        stacks = [
+            SupplyStack((
+                BatteryDispatch(30.0, 10.0),
+                priced_component(policy, n, seed=20 + i),
+            ))
+            for i in range(n_sites)
+        ]
+        rng = np.random.default_rng(99)
+        demands = rng.uniform(0.0, 1.2, size=(n, n_sites))
+
+        scalar = [
+            stack.dispatcher(trace)
+            for stack, trace in zip(stacks, traces)
+        ]
+        lanes = [
+            stack.dispatcher(trace)
+            for stack, trace in zip(stacks, traces)
+        ]
+        batched = BatchedDispatch(lanes)
+        for t in range(n):
+            got = batched.step_many(t, demands[t])
+            want = np.array([
+                d.dispatch(t, float(demands[t, i]))
+                for i, d in enumerate(scalar)
+            ])
+            np.testing.assert_array_equal(
+                got, want, err_msg=f"step {t}"
+            )
+        batched.finalize()
+        for d_scalar, d_lane in zip(scalar, lanes):
+            for name in SupplyEvaluation.SERIES_FIELDS:
+                np.testing.assert_array_equal(
+                    getattr(d_scalar.evaluation, name),
+                    getattr(d_lane.evaluation, name),
+                    err_msg=name,
+                )
+            for st_scalar, st_lane in zip(
+                d_scalar.states, d_lane.states
+            ):
+                assert st_scalar.to_dict() == st_lane.to_dict()
+
+    def test_policies_actually_diverge(self):
+        """Guard: the three policies buy different energy, so the
+        bitwise equalities above exercise three distinct paths."""
+        n = 160
+        trace = random_trace(n, seed=10, capacity_mw=50.0)
+        totals = {}
+        for policy in ("always", "threshold", "dvb"):
+            # Budget big enough that the policy, not exhaustion, binds.
+            stack = SupplyStack(
+                (priced_component(policy, n, seed=20, budget=6000.0),)
+            )
+            d = stack.dispatcher(trace)
+            for t in range(n):
+                d.dispatch(t, 1.0)
+            totals[policy] = d.evaluation.grid_import_mwh.sum()
+        assert totals["always"] > totals["threshold"] > 0.0
+        assert totals["always"] > totals["dvb"] > 0.0
